@@ -1,0 +1,75 @@
+// Ablation: static vs adaptive RTMA energy budgets under drift. The static
+// scheme anchors Phi once on a default-strategy reference; the adaptive
+// controller retunes Phi online from its own Eq. 3 estimates. Under a
+// capacity wave plus arrival churn, the one-shot anchor goes stale while the
+// controller tracks its target.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_ablation_adaptive", "static vs adaptive RTMA budget",
+                     10000, 40);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  Table table("adaptive-budget ablation",
+              {"scenario", "scheduler", "PE (mJ/us)", "PC (ms/us)",
+               "serving energy (mJ/tx-slot)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const bool drift : {false, true}) {
+    ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+    scenario.max_slots = args.slots;
+    if (drift) {
+      scenario.capacity_kind = CapacityKind::kSine;
+      scenario.capacity_wave_fraction = 0.4;
+      scenario.capacity_wave_period = 700.0;
+      scenario.arrival_spread_slots = 400;
+    }
+    const DefaultReference reference = run_default_reference(scenario);
+    for (const char* name : {"rtma", "rtma-adaptive"}) {
+      ExperimentSpec spec{name, name, scenario, {}};
+      if (spec.scheduler == "rtma") {
+        spec.options = rtma_options_for_alpha(1.0, reference);
+      } else {
+        spec.options.rtma_adaptive.target_energy_mj = reference.trans_per_tx_slot_mj;
+      }
+      const RunMetrics m = run_experiment(spec, false);
+      double serving = 0.0;
+      std::size_t counted = 0;
+      for (const auto& user : m.per_user) {
+        if (user.tx_slots == 0) continue;
+        serving += user.trans_mj / static_cast<double>(user.tx_slots);
+        ++counted;
+      }
+      if (counted > 0) serving /= static_cast<double>(counted);
+      const std::string label = drift ? "drift (wave+churn)" : "static";
+      table.row({label, name, format_double(m.avg_energy_per_user_slot_mj(), 1),
+                 format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1),
+                 format_double(serving, 0)});
+      csv_rows.push_back({drift ? "drift" : "static", name,
+                          format_double(m.avg_energy_per_user_slot_mj(), 4),
+                          format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4),
+                          format_double(serving, 2)});
+    }
+  }
+  table.print();
+  std::printf("\nReading: Phi is a cap, not a setpoint — whenever RTMA's need-based\n"
+              "shards spend less than the target, the controller relaxes the budget\n"
+              "and the adaptive scheduler converges to the static one (static row).\n"
+              "Under drift the controller re-tightens in expensive phases, trading\n"
+              "some rebuffering for energy relative to the stale static anchor.\n");
+  maybe_write_csv(args.csv_dir, "ablation_adaptive.csv",
+                  {"scenario", "scheduler", "pe_mj", "pc_ms", "serving_mj"}, csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_ablation_adaptive", argc, argv, run);
+}

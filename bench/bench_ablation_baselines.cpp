@@ -1,0 +1,81 @@
+// Ablation: baseline parameter sensitivity. The paper does not publish the
+// configurations of Throttling / ON-OFF / SALSA / EStreamer; this sweep
+// varies each around our defaults and checks that the headline conclusions
+// (RTMA's rebuffering advantage, EMA's energy advantage) do not hinge on any
+// particular tuning.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_ablation_baselines", "baseline parameter sensitivity",
+                     10000, 40);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+  const DefaultReference reference = run_default_reference(scenario);
+  const RunMetrics rtma = run_experiment(
+      {"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)}, false);
+  SchedulerOptions ema_options;
+  ema_options.ema.v_weight = 0.05;
+  const RunMetrics ema = run_experiment({"ema", "ema", scenario, ema_options}, false);
+  std::printf("references: RTMA PC = %.1f ms/us, EMA PE = %.1f mJ/us\n\n",
+              1000.0 * rtma.avg_rebuffer_per_user_slot_s(),
+              ema.avg_energy_per_user_slot_mj());
+
+  Table table("baseline sensitivity",
+              {"baseline", "variant", "PE (mJ/us)", "PC (ms/us)",
+               "RTMA still lower PC?", "EMA still lower PE?"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  const auto probe = [&](const std::string& name, const std::string& variant,
+                         const SchedulerOptions& options) {
+    const RunMetrics m = run_experiment({name, name, scenario, options}, false);
+    const bool rtma_wins = rtma.avg_rebuffer_per_user_slot_s() <
+                           m.avg_rebuffer_per_user_slot_s();
+    const bool ema_wins =
+        ema.avg_energy_per_user_slot_mj() < m.avg_energy_per_user_slot_mj();
+    table.row({name, variant, format_double(m.avg_energy_per_user_slot_mj(), 1),
+               format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1),
+               rtma_wins ? "yes" : "NO", ema_wins ? "yes" : "NO"});
+    csv_rows.push_back({name, variant, format_double(m.avg_energy_per_user_slot_mj(), 4),
+                        format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4),
+                        rtma_wins ? "1" : "0", ema_wins ? "1" : "0"});
+  };
+
+  for (double factor : {1.1, 1.25, 1.5}) {
+    SchedulerOptions options;
+    options.throttling_rate_factor = factor;
+    probe("throttling", "factor=" + format_double(factor, 2), options);
+  }
+  for (double low : {5.0, 10.0, 20.0}) {
+    SchedulerOptions options;
+    options.onoff_low_s = low;
+    options.onoff_high_s = low + 30.0;
+    probe("onoff", "low=" + format_double(low, 0) + "s", options);
+  }
+  probe("salsa", "defaults", {});
+  for (double capacity : {20.0, 30.0, 60.0}) {
+    SchedulerOptions options;
+    options.estreamer_capacity_s = capacity;
+    options.estreamer_resume_s = capacity / 5.0;
+    probe("estreamer", "cap=" + format_double(capacity, 0) + "s", options);
+  }
+  table.print();
+  maybe_write_csv(args.csv_dir, "ablation_baselines.csv",
+                  {"baseline", "variant", "pe_mj", "pc_ms", "rtma_wins", "ema_wins"},
+                  csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_ablation_baselines", argc, argv, run);
+}

@@ -1,0 +1,54 @@
+// Ablation: the data-unit (frame) size delta. The paper never publishes
+// delta; this sweep shows how allocation granularity moves the metrics and
+// how the EMA DP's cost scales (the DP is O(N * M * phi_max) with
+// M, phi_max ~ 1/delta).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_ablation_delta", "frame size delta sensitivity", 10000, 30);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  Table table("delta ablation (rtma & ema, V = 0.05)",
+              {"delta (KB)", "scheduler", "PE (mJ/us)", "PC (ms/us)", "wall (s)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (double delta : {50.0, 100.0, 200.0, 400.0}) {
+    ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+    scenario.max_slots = args.slots;
+    scenario.slot.delta_kb = delta;
+    for (const char* name : {"rtma", "ema"}) {
+      SchedulerOptions options;
+      options.ema.v_weight = 0.05;
+      const auto start = std::chrono::steady_clock::now();
+      const RunMetrics m = run_experiment({name, name, scenario, options}, false);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      table.row({format_double(delta, 0), name,
+                 format_double(m.avg_energy_per_user_slot_mj(), 1),
+                 format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1),
+                 format_double(wall, 3)});
+      csv_rows.push_back({format_double(delta, 0), name,
+                          format_double(m.avg_energy_per_user_slot_mj(), 4),
+                          format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4),
+                          format_double(wall, 4)});
+    }
+  }
+  table.print();
+  maybe_write_csv(args.csv_dir, "ablation_delta.csv",
+                  {"delta_kb", "scheduler", "pe_mj", "pc_ms", "wall_s"}, csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_ablation_delta", argc, argv, run);
+}

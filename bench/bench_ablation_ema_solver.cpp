@@ -1,0 +1,58 @@
+// Ablation: EMA's exact dynamic-programming slot solver (the paper's
+// Algorithm 2) vs the slope-greedy EmaFast solver. Compares end-to-end
+// metrics and wall-clock time. The greedy exploits the per-user linearity of
+// f(i, phi) and should land within a small margin of the DP at a fraction of
+// the cost.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_ablation_ema_solver", "EMA solver: exact DP vs greedy");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+
+  Table table("EMA solver ablation (V = 0.05)",
+              {"solver", "PE (mJ/us)", "PC (ms/us)", "total E (kJ)", "wall (s)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double dp_energy = 0.0;
+  for (const char* name : {"ema", "ema-fast"}) {
+    SchedulerOptions options;
+    options.ema.v_weight = 0.05;
+    const auto start = std::chrono::steady_clock::now();
+    const RunMetrics m = run_experiment({name, name, scenario, options}, false);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (std::string(name) == "ema") dp_energy = m.total_energy_mj();
+    table.row(name,
+              {m.avg_energy_per_user_slot_mj(),
+               1000.0 * m.avg_rebuffer_per_user_slot_s(),
+               m.total_energy_mj() / 1e6, wall},
+              3);
+    csv_rows.push_back({name, format_double(m.avg_energy_per_user_slot_mj(), 4),
+                        format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4),
+                        format_double(wall, 4)});
+    if (std::string(name) == "ema-fast" && dp_energy > 0.0) {
+      std::printf("greedy total-energy gap vs DP: %+.2f %%\n",
+                  100.0 * (m.total_energy_mj() - dp_energy) / dp_energy);
+    }
+  }
+  table.print();
+  maybe_write_csv(args.csv_dir, "ablation_ema_solver.csv",
+                  {"solver", "pe_mj", "pc_ms", "wall_s"}, csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_ablation_ema_solver", argc, argv, run);
+}

@@ -1,0 +1,67 @@
+// ABR extension study: quality / rebuffering / switching / energy for every
+// (scheduler, quality policy) pair across capacity levels. Not a paper
+// figure — it demonstrates the framework generalizing to segmented
+// adaptive-bitrate traffic, the direction modern deployments took after the
+// paper's CBR setting.
+#include <cstdio>
+
+#include "abr/abr_simulator.hpp"
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_abr_study", "ABR quality/energy study", 10000, 30);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  Table table("ABR study",
+              {"capacity (MB/s)", "scheduler", "policy", "quality (KB/s)",
+               "rebuf (s)", "switches", "QoE", "energy (kJ)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (double capacity_mbps : {8.0, 14.0, 20.0}) {
+    for (const char* selector : {"fixed", "buffer-based", "rate-based"}) {
+      for (const char* scheduler : {"default", "rtma", "ema-fast"}) {
+        AbrScenarioConfig config;
+        config.base = paper_scenario(args.users, args.seed);
+        config.base.max_slots = args.slots;
+        config.base.capacity_kbps = capacity_mbps * 1000.0;
+        config.selector = selector;
+        SchedulerOptions options;
+        options.ema.v_weight = 0.05;
+        const AbrRunMetrics m =
+            simulate_abr(config, make_scheduler(scheduler, options));
+        table.row({format_double(capacity_mbps, 0), scheduler, selector,
+                   format_double(m.mean_quality_kbps(), 0),
+                   format_double(m.mean_rebuffer_s(), 1),
+                   format_double(m.mean_switches(), 1),
+                   format_double(m.mean_qoe_score(), 0),
+                   format_double(m.total_energy_mj() / 1e6, 2)});
+        csv_rows.push_back({format_double(capacity_mbps, 1), scheduler, selector,
+                            format_double(m.mean_quality_kbps(), 2),
+                            format_double(m.mean_rebuffer_s(), 3),
+                            format_double(m.mean_switches(), 2),
+                            format_double(m.mean_qoe_score(), 2),
+                            format_double(m.total_energy_mj() / 1e6, 4)});
+      }
+    }
+  }
+  table.print();
+  std::printf("\nExpected: buffer-based adaptation converts spare capacity into\n"
+              "quality; under scarcity it sheds quality instead of stalling, while\n"
+              "fixed-rate clients stall. Scheduler choice shifts the energy column\n"
+              "just as in the CBR experiments.\n");
+  maybe_write_csv(args.csv_dir, "abr_study.csv",
+                  {"capacity_mbps", "scheduler", "policy", "quality_kbps",
+                   "rebuffer_s", "switches", "qoe", "energy_kj"},
+                  csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_abr_study", argc, argv, run);
+}

@@ -1,0 +1,67 @@
+// Figure 2: CDF of the per-slot Jain fairness index, RTMA vs the default
+// strategy. Paper setting: 40 users, average required data amount 350 MB,
+// RTMA energy budget Phi = E_default (alpha = 1).
+//
+// Expected shape: RTMA's fairness CDF sits far to the right of the default's
+// — the paper reports RTMA > 0.7 in more than 90% of slots while the default
+// stays below 0.2 for about half of them.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig02_fairness_rtma",
+                     "Fig. 2: per-slot fairness CDF, RTMA vs default");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+  const DefaultReference reference = run_default_reference(scenario);
+
+  ExperimentSpec default_spec{"default", "default", scenario, {}};
+  ExperimentSpec rtma_spec{"rtma", "rtma", scenario,
+                           rtma_options_for_alpha(1.0, reference)};
+  const RunMetrics default_metrics = run_experiment(default_spec, true);
+  const RunMetrics rtma_metrics = run_experiment(rtma_spec, true);
+
+  print_cdf_table("Fig. 2 series: default fairness CDF", "fairness",
+                  default_metrics.slot_fairness);
+  print_cdf_table("Fig. 2 series: RTMA fairness CDF", "fairness",
+                  rtma_metrics.slot_fairness);
+
+  const double rtma_above_07 =
+      1.0 - fraction_at_most(rtma_metrics.slot_fairness, 0.7);
+  const double default_below_02 =
+      fraction_at_most(default_metrics.slot_fairness, 0.2);
+  Table summary("Fig. 2 summary (paper: RTMA > 0.7 for >90% of slots; "
+                "default < 0.2 for ~50%)",
+                {"metric", "measured"});
+  summary.row({"slots with RTMA fairness > 0.7",
+               format_double(100.0 * rtma_above_07, 1) + " %"});
+  summary.row({"slots with default fairness < 0.2",
+               format_double(100.0 * default_below_02, 1) + " %"});
+  summary.row({"mean fairness default", format_double(default_metrics.mean_fairness(), 3)});
+  summary.row({"mean fairness RTMA", format_double(rtma_metrics.mean_fairness(), 3)});
+  summary.print();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& point : empirical_cdf(default_metrics.slot_fairness, 100)) {
+    rows.push_back({"default", format_double(point.value, 5), format_double(point.fraction, 5)});
+  }
+  for (const auto& point : empirical_cdf(rtma_metrics.slot_fairness, 100)) {
+    rows.push_back({"rtma", format_double(point.value, 5), format_double(point.fraction, 5)});
+  }
+  maybe_write_csv(args.csv_dir, "fig02_fairness.csv", {"series", "fairness", "cdf"}, rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig02_fairness_rtma", argc, argv, run);
+}

@@ -1,0 +1,76 @@
+// Figure 3: CDF of the per-slot rebuffering time c_i(n), RTMA vs default
+// (40 users, Phi = E_default). The paper reports ~90% of RTMA slots below
+// 1.5 s while the default leaves a heavy tail of starved users, plus a
+// per-user view: most default users barely stall but a starved minority
+// accumulates tens of seconds.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig03_rebuffer_cdf",
+                     "Fig. 3: per-slot rebuffering CDF, RTMA vs default");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+  const DefaultReference reference = run_default_reference(scenario);
+
+  const RunMetrics default_metrics =
+      run_experiment({"default", "default", scenario, {}}, true);
+  const RunMetrics rtma_metrics = run_experiment(
+      {"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)}, true);
+
+  print_cdf_table("Fig. 3 series: default per-slot rebuffering CDF", "rebuffer_s",
+                  default_metrics.rebuffer_samples_s);
+  print_cdf_table("Fig. 3 series: RTMA per-slot rebuffering CDF", "rebuffer_s",
+                  rtma_metrics.rebuffer_samples_s);
+
+  // Per-user cumulative rebuffering (the paper's bimodality observation).
+  auto per_user = [](const RunMetrics& metrics) {
+    std::vector<double> totals;
+    totals.reserve(metrics.per_user.size());
+    for (const auto& user : metrics.per_user) totals.push_back(user.rebuffer_s);
+    return totals;
+  };
+  const std::vector<double> default_users = per_user(default_metrics);
+  const std::vector<double> rtma_users = per_user(rtma_metrics);
+
+  Table summary("Fig. 3 summary", {"metric", "default", "rtma"});
+  summary.row({"slots with c <= 1.5 s",
+               format_double(100.0 * fraction_at_most(default_metrics.rebuffer_samples_s, 1.5), 1) + " %",
+               format_double(100.0 * fraction_at_most(rtma_metrics.rebuffer_samples_s, 1.5), 1) + " %"});
+  summary.row({"users with < 1 s total stall",
+               format_double(100.0 * fraction_at_most(default_users, 1.0), 1) + " %",
+               format_double(100.0 * fraction_at_most(rtma_users, 1.0), 1) + " %"});
+  summary.row({"users with > 11 s total stall",
+               format_double(100.0 * (1.0 - fraction_at_most(default_users, 11.0)), 1) + " %",
+               format_double(100.0 * (1.0 - fraction_at_most(rtma_users, 11.0)), 1) + " %"});
+  summary.row({"PC (ms/user-slot)",
+               format_double(1000.0 * default_metrics.avg_rebuffer_per_user_slot_s(), 1),
+               format_double(1000.0 * rtma_metrics.avg_rebuffer_per_user_slot_s(), 1)});
+  summary.print();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& point : empirical_cdf(default_metrics.rebuffer_samples_s, 100)) {
+    rows.push_back({"default", format_double(point.value, 5), format_double(point.fraction, 5)});
+  }
+  for (const auto& point : empirical_cdf(rtma_metrics.rebuffer_samples_s, 100)) {
+    rows.push_back({"rtma", format_double(point.value, 5), format_double(point.fraction, 5)});
+  }
+  maybe_write_csv(args.csv_dir, "fig03_rebuffer_cdf.csv",
+                  {"series", "rebuffer_s", "cdf"}, rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig03_rebuffer_cdf", argc, argv, run);
+}

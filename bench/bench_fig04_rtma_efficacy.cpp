@@ -1,0 +1,99 @@
+// Figure 4: efficacy of RTMA under different energy constraints.
+//   (a) total rebuffering time vs user number (20..40) for the default
+//       strategy and RTMA with alpha in {0.8, 1.0, 1.2};
+//   (b) the same series vs average data amount (150..550 MB) at fixed users.
+//
+// Expected shape: looser budgets (larger alpha) buy less rebuffering; RTMA
+// with alpha >= 1 stays below the default across the sweep, while the tight
+// alpha = 0.8 budget can sacrifice playback to hold the energy cap (the paper
+// also reports the improvement only "in certain cases" there).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+constexpr double kAlphas[] = {0.8, 1.0, 1.2};
+
+void run_panel(const std::string& title, const std::string& x_label,
+               const std::vector<std::pair<std::string, ScenarioConfig>>& points,
+               const CommonArgs& args, const std::string& csv_name) {
+  // Reference default runs, one per x point, used both as a series and as the
+  // alpha anchor.
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::string> series_names{"default"};
+  for (double alpha : kAlphas) {
+    series_names.push_back("rtma a=" + format_double(alpha, 1));
+  }
+  for (const auto& [x, scenario] : points) {
+    const DefaultReference reference = run_default_reference(scenario);
+    specs.push_back({"default@" + x, "default", scenario, {}});
+    for (double alpha : kAlphas) {
+      specs.push_back({"rtma@" + x, "rtma", scenario,
+                       rtma_options_for_alpha(alpha, reference)});
+    }
+  }
+  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+
+  Table table(title, [&] {
+    std::vector<std::string> header{x_label};
+    for (const auto& name : series_names) header.push_back(name + " (s)");
+    return header;
+  }());
+  std::vector<std::vector<std::string>> csv_rows;
+  const std::size_t stride = 1 + std::size(kAlphas);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<double> row;
+    for (std::size_t s = 0; s < stride; ++s) {
+      row.push_back(results[p * stride + s].total_rebuffer_s());
+    }
+    table.row(points[p].first, row, 0);
+    for (std::size_t s = 0; s < stride; ++s) {
+      csv_rows.push_back({points[p].first, series_names[s],
+                          format_double(row[s], 3)});
+    }
+  }
+  table.print();
+  maybe_write_csv(args.csv_dir, csv_name, {x_label, "series", "total_rebuffer_s"},
+                  csv_rows);
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig04_rtma_efficacy",
+                     "Fig. 4: RTMA total rebuffering vs users / data amount");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  // Panel (a): user sweep at the paper's default 250-500 MB videos.
+  std::vector<std::pair<std::string, ScenarioConfig>> user_points;
+  for (std::size_t users : {20UL, 25UL, 30UL, 35UL, 40UL}) {
+    ScenarioConfig scenario = paper_scenario(users, args.seed);
+    scenario.max_slots = args.slots;
+    user_points.emplace_back(std::to_string(users), scenario);
+  }
+  run_panel("Fig. 4a: total rebuffering vs user number", "users", user_points, args,
+            "fig04a_users.csv");
+  std::printf("\n");
+
+  // Panel (b): data-amount sweep at a fixed population.
+  std::vector<std::pair<std::string, ScenarioConfig>> data_points;
+  for (double avg_mb : {150.0, 250.0, 350.0, 450.0, 550.0}) {
+    ScenarioConfig scenario =
+        paper_scenario_with_data_amount(args.users, avg_mb, args.seed);
+    scenario.max_slots = args.slots;
+    data_points.emplace_back(format_double(avg_mb, 0), scenario);
+  }
+  run_panel("Fig. 4b: total rebuffering vs data amount (MB), " +
+                std::to_string(args.users) + " users",
+            "avg_data_mb", data_points, args, "fig04b_data.csv");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig04_rtma_efficacy", argc, argv, run);
+}

@@ -1,0 +1,67 @@
+// Figure 6: CDF of the per-slot Jain fairness index, EMA vs the default
+// strategy (40 users, average 350 MB). EMA's negative-queue mechanism keeps
+// surplus users from being over-served, so its fairness CDF dominates the
+// default's.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig06_fairness_ema",
+                     "Fig. 6: per-slot fairness CDF, EMA vs default");
+  cli.add_flag("beta", "1.0", "rebuffering bound Omega = beta * R_default");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+  const DefaultReference reference = run_default_reference(scenario);
+
+  const double beta = cli.get_double("beta");
+  SchedulerOptions ema_options;
+  ema_options.ema.v_weight = calibrate_v_for_rebuffer(
+      scenario, beta * reference.rebuffer_per_user_slot_s);
+  std::printf("calibrated V = %.4f for Omega = %.1f ms/user-slot (beta = %.1f)\n\n",
+              ema_options.ema.v_weight,
+              1000.0 * beta * reference.rebuffer_per_user_slot_s, beta);
+
+  const RunMetrics default_metrics =
+      run_experiment({"default", "default", scenario, {}}, true);
+  const RunMetrics ema_metrics =
+      run_experiment({"ema", "ema", scenario, ema_options}, true);
+
+  print_cdf_table("Fig. 6 series: default fairness CDF", "fairness",
+                  default_metrics.slot_fairness);
+  print_cdf_table("Fig. 6 series: EMA fairness CDF", "fairness",
+                  ema_metrics.slot_fairness);
+
+  Table summary("Fig. 6 summary (paper: EMA fairer than default)",
+                {"metric", "default", "ema"});
+  summary.row({"mean fairness", format_double(default_metrics.mean_fairness(), 3),
+               format_double(ema_metrics.mean_fairness(), 3)});
+  summary.row({"median fairness",
+               format_double(percentile(default_metrics.slot_fairness, 0.5), 3),
+               format_double(percentile(ema_metrics.slot_fairness, 0.5), 3)});
+  summary.print();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& point : empirical_cdf(default_metrics.slot_fairness, 100)) {
+    rows.push_back({"default", format_double(point.value, 5), format_double(point.fraction, 5)});
+  }
+  for (const auto& point : empirical_cdf(ema_metrics.slot_fairness, 100)) {
+    rows.push_back({"ema", format_double(point.value, 5), format_double(point.fraction, 5)});
+  }
+  maybe_write_csv(args.csv_dir, "fig06_fairness_ema.csv",
+                  {"series", "fairness", "cdf"}, rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig06_fairness_ema", argc, argv, run);
+}

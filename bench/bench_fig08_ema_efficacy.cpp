@@ -1,0 +1,106 @@
+// Figure 8: efficacy of EMA under different rebuffering bounds.
+//   (a) total energy (kJ) vs user number for the default strategy and EMA
+//       with beta in {0.8, 1.0, 1.2} (Omega = beta * R_default);
+//   (b) the same series vs average data amount at fixed users.
+//
+// The Lyapunov weight V realizing each beta is calibrated once per panel on
+// the mid-sweep scenario with the fast solver, then reused across the sweep —
+// the per-series knob the paper describes as "beta can be tuned".
+//
+// Expected shape: EMA stays well below the default everywhere; looser bounds
+// (larger beta) buy more energy savings.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+constexpr double kBetas[] = {0.8, 1.0, 1.2};
+
+void run_panel(const std::string& title, const std::string& x_label,
+               const std::vector<std::pair<std::string, ScenarioConfig>>& points,
+               const ScenarioConfig& calibration_scenario, const CommonArgs& args,
+               const std::string& csv_name) {
+  // Calibrate V once per beta on the calibration scenario.
+  const DefaultReference calibration_ref =
+      run_default_reference(calibration_scenario);
+  std::vector<double> v_for_beta;
+  for (double beta : kBetas) {
+    v_for_beta.push_back(calibrate_v_for_rebuffer(
+        calibration_scenario, beta * calibration_ref.rebuffer_per_user_slot_s));
+  }
+  std::printf("calibrated V: ");
+  for (std::size_t b = 0; b < std::size(kBetas); ++b) {
+    std::printf("beta=%.1f -> V=%.4f  ", kBetas[b], v_for_beta[b]);
+  }
+  std::printf("\n");
+
+  std::vector<ExperimentSpec> specs;
+  for (const auto& [x, scenario] : points) {
+    specs.push_back({"default@" + x, "default", scenario, {}});
+    for (std::size_t b = 0; b < std::size(kBetas); ++b) {
+      SchedulerOptions options;
+      options.ema.v_weight = v_for_beta[b];
+      specs.push_back({"ema@" + x, "ema", scenario, options});
+    }
+  }
+  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+
+  std::vector<std::string> header{x_label, "default (kJ)"};
+  for (double beta : kBetas) header.push_back("ema b=" + format_double(beta, 1) + " (kJ)");
+  Table table(title, header);
+  std::vector<std::vector<std::string>> csv_rows;
+  const std::size_t stride = 1 + std::size(kBetas);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<double> row;
+    for (std::size_t s = 0; s < stride; ++s) {
+      row.push_back(results[p * stride + s].total_energy_mj() / 1e6);
+    }
+    table.row(points[p].first, row, 2);
+    for (std::size_t s = 0; s < stride; ++s) {
+      csv_rows.push_back({points[p].first, header[s + 1], format_double(row[s], 4)});
+    }
+  }
+  table.print();
+  maybe_write_csv(args.csv_dir, csv_name, {x_label, "series", "total_energy_kj"},
+                  csv_rows);
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig08_ema_efficacy",
+                     "Fig. 8: EMA total energy vs users / data amount");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  std::vector<std::pair<std::string, ScenarioConfig>> user_points;
+  for (std::size_t users : {20UL, 25UL, 30UL, 35UL, 40UL}) {
+    ScenarioConfig scenario = paper_scenario(users, args.seed);
+    scenario.max_slots = args.slots;
+    user_points.emplace_back(std::to_string(users), scenario);
+  }
+  run_panel("Fig. 8a: total energy vs user number", "users", user_points,
+            user_points[2].second, args, "fig08a_users.csv");
+  std::printf("\n");
+
+  std::vector<std::pair<std::string, ScenarioConfig>> data_points;
+  for (double avg_mb : {150.0, 250.0, 350.0, 450.0, 550.0}) {
+    ScenarioConfig scenario =
+        paper_scenario_with_data_amount(args.users, avg_mb, args.seed);
+    scenario.max_slots = args.slots;
+    data_points.emplace_back(format_double(avg_mb, 0), scenario);
+  }
+  run_panel("Fig. 8b: total energy vs data amount (MB), " +
+                std::to_string(args.users) + " users",
+            "avg_data_mb", data_points, data_points[2].second, args,
+            "fig08b_data.csv");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig08_ema_efficacy", argc, argv, run);
+}

@@ -1,0 +1,102 @@
+// Figure 9: EMA against the energy-efficient scheduling baselines across
+// user counts.
+//   (a) average energy per user-slot: EMA / EStreamer / SALSA / Default;
+//   (b) average rebuffering per user-slot for the same four.
+//
+// Per the paper, EMA's rebuffering bound Omega is set to EStreamer's
+// rebuffering time (measured on the mid-sweep scenario), then V is calibrated
+// to that bound. Expected shape: EMA lowest energy — the paper claims >= 48%
+// reduction vs SALSA and the default and >= 27% vs EStreamer.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+const char* kSchedulers[] = {"ema", "estreamer", "salsa", "default"};
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig09_ema_comparison",
+                     "Fig. 9: EMA vs EStreamer/SALSA/Default");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  const std::vector<std::size_t> user_counts{20, 25, 30, 35, 40};
+
+  // Omega = EStreamer's rebuffering on the mid-sweep scenario.
+  ScenarioConfig calibration = paper_scenario(user_counts[2], args.seed);
+  calibration.max_slots = args.slots;
+  const RunMetrics estreamer_reference =
+      run_experiment({"estreamer", "estreamer", calibration, {}}, false);
+  const double omega = estreamer_reference.avg_rebuffer_per_user_slot_s();
+  SchedulerOptions ema_options;
+  ema_options.ema.v_weight = calibrate_v_for_rebuffer(calibration, omega);
+  std::printf("Omega = EStreamer rebuffering = %.1f ms/user-slot -> V = %.4f\n\n",
+              1000.0 * omega, ema_options.ema.v_weight);
+
+  std::vector<ExperimentSpec> specs;
+  for (std::size_t users : user_counts) {
+    ScenarioConfig scenario = paper_scenario(users, args.seed);
+    scenario.max_slots = args.slots;
+    for (const char* name : kSchedulers) {
+      ExperimentSpec spec{name, name, scenario, {}};
+      if (spec.scheduler == "ema") spec.options = ema_options;
+      specs.push_back(std::move(spec));
+    }
+  }
+  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::size_t stride = std::size(kSchedulers);
+
+  Table energy("Fig. 9a: average energy (mJ per user-slot), tail in brackets",
+               {"users", "ema", "estreamer", "salsa", "default"});
+  Table rebuffer("Fig. 9b: average rebuffering time (ms per user-slot)",
+                 {"users", "ema", "estreamer", "salsa", "default"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t p = 0; p < user_counts.size(); ++p) {
+    std::vector<std::string> energy_row{std::to_string(user_counts[p])};
+    std::vector<double> rebuf_row;
+    for (std::size_t s = 0; s < stride; ++s) {
+      const RunMetrics& m = results[p * stride + s];
+      energy_row.push_back(format_double(m.avg_energy_per_user_slot_mj(), 1) + " [" +
+                           format_double(m.avg_tail_per_user_slot_mj(), 1) + "]");
+      rebuf_row.push_back(1000.0 * m.avg_rebuffer_per_user_slot_s());
+      csv_rows.push_back({std::to_string(user_counts[p]), kSchedulers[s],
+                          format_double(m.avg_energy_per_user_slot_mj(), 4),
+                          format_double(m.avg_tail_per_user_slot_mj(), 4),
+                          format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4)});
+    }
+    energy.row(energy_row);
+    rebuffer.row(std::to_string(user_counts[p]), rebuf_row, 1);
+  }
+  energy.print();
+  std::printf("\n");
+  rebuffer.print();
+
+  // Headline claim at the largest population.
+  const std::size_t last = user_counts.size() - 1;
+  const double ema_pe = results[last * stride].avg_energy_per_user_slot_mj();
+  Table claim("Headline: EMA energy reduction at " +
+                  std::to_string(user_counts[last]) +
+                  " users (paper: >= 48% vs SALSA/default, >= 27% vs EStreamer)",
+              {"baseline", "reduction"});
+  for (std::size_t s = 1; s < stride; ++s) {
+    const double base_pe = results[last * stride + s].avg_energy_per_user_slot_mj();
+    const double reduction = base_pe > 0.0 ? 100.0 * (1.0 - ema_pe / base_pe) : 0.0;
+    claim.row({kSchedulers[s], format_double(reduction, 1) + " %"});
+  }
+  claim.print();
+
+  maybe_write_csv(args.csv_dir, "fig09_comparison.csv",
+                  {"users", "scheduler", "energy_mj", "tail_mj", "rebuffer_ms"},
+                  csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig09_ema_comparison", argc, argv, run);
+}

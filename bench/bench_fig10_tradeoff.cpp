@@ -1,0 +1,88 @@
+// Figure 10: the rebuffering-energy trade-off panel. For user counts 20..40,
+// plot (total energy, total rebuffering) points for the default strategy,
+// RTMA (alpha = 1) and EMA (beta = 1).
+//
+// Expected shape: relative to the default's curve, RTMA's points drift in the
+// negative rebuffering direction at comparable energy, and EMA's points drift
+// in the negative energy direction at comparable rebuffering.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_fig10_tradeoff",
+                     "Fig. 10: rebuffering-energy panel, RTMA/EMA/default");
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  const std::vector<std::size_t> user_counts{20, 25, 30, 35, 40};
+
+  // Anchor alpha/beta on the mid-sweep scenario.
+  ScenarioConfig calibration = paper_scenario(user_counts[2], args.seed);
+  calibration.max_slots = args.slots;
+  const DefaultReference calibration_ref = run_default_reference(calibration);
+  SchedulerOptions ema_options;
+  ema_options.ema.v_weight = calibrate_v_for_rebuffer(
+      calibration, calibration_ref.rebuffer_per_user_slot_s);
+
+  std::vector<ExperimentSpec> specs;
+  for (std::size_t users : user_counts) {
+    ScenarioConfig scenario = paper_scenario(users, args.seed);
+    scenario.max_slots = args.slots;
+    const DefaultReference reference = run_default_reference(scenario);
+    specs.push_back({"default", "default", scenario, {}});
+    specs.push_back({"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)});
+    specs.push_back({"ema", "ema", scenario, ema_options});
+  }
+  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+
+  Table table("Fig. 10: (total energy, total rebuffering) per scheduler and user count",
+              {"users", "scheduler", "total energy (kJ)", "total rebuffer (s)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t p = 0; p < user_counts.size(); ++p) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const RunMetrics& m = results[p * 3 + s];
+      const std::string scheduler = specs[p * 3 + s].label;
+      table.row({std::to_string(user_counts[p]), scheduler,
+                 format_double(m.total_energy_mj() / 1e6, 2),
+                 format_double(m.total_rebuffer_s(), 0)});
+      csv_rows.push_back({std::to_string(user_counts[p]), scheduler,
+                          format_double(m.total_energy_mj() / 1e6, 4),
+                          format_double(m.total_rebuffer_s(), 2)});
+    }
+  }
+  table.print();
+
+  // Drift summary at the largest population.
+  const std::size_t last = (user_counts.size() - 1) * 3;
+  const RunMetrics& d = results[last];
+  const RunMetrics& r = results[last + 1];
+  const RunMetrics& e = results[last + 2];
+  Table drift("Fig. 10 drift vs default at " + std::to_string(user_counts.back()) +
+                  " users (paper: RTMA drifts -rebuffer, EMA drifts -energy)",
+              {"scheduler", "delta energy", "delta rebuffer"});
+  auto pct = [](double ours, double base) {
+    return base > 0.0 ? format_double(100.0 * (ours - base) / base, 1) + " %" : "n/a";
+  };
+  drift.row({"rtma", pct(r.total_energy_mj(), d.total_energy_mj()),
+             pct(r.total_rebuffer_s(), d.total_rebuffer_s())});
+  drift.row({"ema", pct(e.total_energy_mj(), d.total_energy_mj()),
+             pct(e.total_rebuffer_s(), d.total_rebuffer_s())});
+  drift.print();
+
+  maybe_write_csv(args.csv_dir, "fig10_tradeoff.csv",
+                  {"users", "scheduler", "total_energy_kj", "total_rebuffer_s"},
+                  csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_fig10_tradeoff", argc, argv, run);
+}

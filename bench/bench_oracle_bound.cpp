@@ -1,0 +1,68 @@
+// Offline bound study: how close do the online schedulers come to the
+// clairvoyant schedule's transmission energy? Also contextualizes Theorem 1:
+// the oracle's byte bill is a concrete (feasible-schedule) estimate of E*,
+// and EMA's V sweep should approach it from above as V grows.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/oracle.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_oracle_bound", "online schedulers vs offline bound",
+                     10000, 30);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+  const OracleResult oracle = offline_energy_bound(scenario);
+  std::printf(
+      "offline oracle: trans %.2f kJ, tail %.2f kJ over %lld slots"
+      " (%lld units had no zero-stall slot and were priced at their window's"
+      " cheapest rate)\n\n",
+      oracle.total_trans_mj / 1e6, oracle.total_tail_mj / 1e6,
+      static_cast<long long>(oracle.horizon_slots),
+      static_cast<long long>(oracle.stranded_units));
+
+  Table table("transmission energy vs the offline bound",
+              {"scheduler", "trans (kJ)", "x oracle", "PC (ms/us)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const char* name : {"default", "throttling", "onoff", "salsa", "estreamer",
+                           "rtma", "ema"}) {
+    SchedulerOptions options;
+    options.ema.v_weight = 0.05;
+    const RunMetrics m = run_experiment({name, name, scenario, options}, false);
+    const double ratio = m.total_trans_mj() / oracle.total_trans_mj;
+    table.row({name, format_double(m.total_trans_mj() / 1e6, 2),
+               format_double(ratio, 2),
+               format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1)});
+    csv_rows.push_back({name, format_double(m.total_trans_mj() / 1e6, 4),
+                        format_double(ratio, 4)});
+  }
+  table.print();
+
+  std::printf("\nEMA V sweep approaching the bound (byte bill only):\n");
+  Table sweep("", {"V", "trans (kJ)", "x oracle"});
+  for (double v : {0.01, 0.05, 0.2, 1.0, 5.0}) {
+    SchedulerOptions options;
+    options.ema.v_weight = v;
+    const RunMetrics m = run_experiment({"ema", "ema-fast", scenario, options}, false);
+    sweep.row({format_double(v, 2), format_double(m.total_trans_mj() / 1e6, 2),
+               format_double(m.total_trans_mj() / oracle.total_trans_mj, 2)});
+  }
+  sweep.print();
+
+  maybe_write_csv(args.csv_dir, "oracle_bound.csv",
+                  {"scheduler", "trans_kj", "ratio_to_oracle"}, csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_oracle_bound", argc, argv, run);
+}

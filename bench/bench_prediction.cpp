@@ -1,0 +1,73 @@
+// Prediction study: what would perfect short-term channel prediction buy over
+// the paper's prediction-free designs? Runs the oracle-assisted Lookahead
+// scheduler (Proteus/Bartendr-style) against RTMA and EMA across prediction
+// horizons.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/lookahead.hpp"
+#include "sim/forecast.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_prediction", "perfect-prediction lookahead vs RTMA/EMA",
+                     10000, 30);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
+  scenario.max_slots = args.slots;
+  const DefaultReference reference = run_default_reference(scenario);
+  const auto forecast = make_signal_forecast(scenario, scenario.max_slots);
+
+  Table table("prediction study",
+              {"scheduler", "PE (mJ/us)", "tail (mJ/us)", "PC (ms/us)"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  const auto report = [&](const std::string& label, const RunMetrics& m) {
+    table.row({label, format_double(m.avg_energy_per_user_slot_mj(), 1),
+               format_double(m.avg_tail_per_user_slot_mj(), 1),
+               format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1)});
+    csv_rows.push_back({label, format_double(m.avg_energy_per_user_slot_mj(), 4),
+                        format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4)});
+  };
+
+  {
+    const RunMetrics m = run_experiment(
+        {"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)}, false);
+    report("rtma (no prediction)", m);
+  }
+  {
+    SchedulerOptions options;
+    options.ema.v_weight = 0.05;
+    const RunMetrics m = run_experiment({"ema", "ema", scenario, options}, false);
+    report("ema (no prediction)", m);
+  }
+  for (std::int64_t horizon : {30, 90, 300}) {
+    LookaheadConfig config;
+    config.horizon_slots = horizon;
+    const RunMetrics m = simulate(
+        scenario, std::make_unique<LookaheadScheduler>(config, forecast), false);
+    report("lookahead H=" + std::to_string(horizon), m);
+  }
+  table.print();
+  std::printf("\nReading: longer horizons help the lookahead (PE falls with H at\n"
+              "RTMA-grade rebuffering), yet it does NOT beat the prediction-free\n"
+              "designs: crest capacity is oversubscribed under contention, and the\n"
+              "inter-crest safety refills keep paying RRC tails that Eq. 5 never\n"
+              "charges a pace-every-slot policy. This supports the paper's choice of\n"
+              "cross-user scheduling over per-user prediction (Proteus, Bartendr).\n");
+  maybe_write_csv(args.csv_dir, "prediction.csv", {"scheduler", "pe_mj", "pc_ms"},
+                  csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_prediction", argc, argv, run);
+}

@@ -1,0 +1,53 @@
+// Scaling study: wall-clock cost of a full simulation as the population
+// grows well beyond the paper's 40 users. Establishes the simulator's and
+// each scheduler's complexity envelope (the EMA DP is the only super-linear
+// component: O(N * M * phi_max) per slot).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_scaling_users", "simulation wall-clock vs population",
+                     3000, 40);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  Table table("scaling: full-run wall clock (s)",
+              {"users", "default", "rtma", "ema-fast", "ema"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t users : {20UL, 40UL, 80UL, 160UL}) {
+    ScenarioConfig scenario = paper_scenario(users, args.seed);
+    scenario.max_slots = args.slots;
+    // Scale the pipe with the population so sessions still complete.
+    scenario.capacity_kbps = 500.0 * static_cast<double>(users);
+    std::vector<std::string> row{std::to_string(users)};
+    for (const char* name : {"default", "rtma", "ema-fast", "ema"}) {
+      SchedulerOptions options;
+      options.ema.v_weight = 0.05;
+      const auto start = std::chrono::steady_clock::now();
+      const RunMetrics m = run_experiment({name, name, scenario, options}, false);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      row.push_back(format_double(wall, 3));
+      csv_rows.push_back({std::to_string(users), name, format_double(wall, 4),
+                          format_double(m.avg_energy_per_user_slot_mj(), 2)});
+    }
+    table.row(row);
+  }
+  table.print();
+  maybe_write_csv(args.csv_dir, "scaling_users.csv",
+                  {"users", "scheduler", "wall_s", "pe_mj"}, csv_rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_scaling_users", argc, argv, run);
+}

@@ -1,0 +1,76 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace jstream::bench {
+
+Cli make_cli(const std::string& program, const std::string& description,
+             std::int64_t default_slots, std::size_t default_users) {
+  Cli cli(program, description);
+  cli.add_flag("users", std::to_string(default_users), "number of concurrent users");
+  cli.add_flag("slots", std::to_string(default_slots),
+               "simulation horizon in slots (REPRO_SLOTS env overrides)");
+  cli.add_flag("seed", "42", "scenario RNG seed");
+  cli.add_flag("csv", "", "directory for CSV export of the series (empty = off)");
+  cli.add_flag("threads", "0", "sweep worker threads (0 = hardware concurrency)");
+  return cli;
+}
+
+CommonArgs parse_common(Cli& cli, int argc, const char* const* argv) {
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help().c_str(), stdout);
+    std::exit(0);
+  }
+  CommonArgs args;
+  args.users = static_cast<std::size_t>(cli.get_int("users"));
+  args.slots = cli.get_int("slots");
+  if (!cli.provided("slots")) {
+    args.slots = env_int("REPRO_SLOTS", args.slots);
+  }
+  args.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  args.csv_dir = cli.get_string("csv");
+  args.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  require(args.users > 0, "--users must be positive");
+  require(args.slots > 0, "--slots must be positive");
+  return args;
+}
+
+void maybe_write_csv(const std::string& csv_dir, const std::string& file,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows) {
+  if (csv_dir.empty()) return;
+  std::filesystem::create_directories(csv_dir);
+  CsvWriter writer(csv_dir + "/" + file, header);
+  for (const auto& row : rows) writer.row(row);
+  std::printf("[csv] wrote %s/%s (%zu rows)\n", csv_dir.c_str(), file.c_str(),
+              rows.size());
+}
+
+void print_cdf_table(const std::string& title, const std::string& value_label,
+                     const std::vector<double>& samples, std::size_t points) {
+  Table table(title, {value_label, "cdf"});
+  for (const CdfPoint& point : empirical_cdf(samples, points)) {
+    table.row({format_double(point.value, 4), format_double(point.fraction, 4)});
+  }
+  table.print();
+}
+
+int guarded_main(const std::string& program, int argc, const char* const* argv,
+                 int (*body)(int, const char* const*)) {
+  try {
+    return body(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", program.c_str(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace jstream::bench

@@ -1,0 +1,49 @@
+// Shared plumbing for the experiment binaries: common flags (--users,
+// --slots, --seed, --csv, --threads), the REPRO_SLOTS environment override,
+// and CSV export of figure series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace jstream::bench {
+
+/// Flags every experiment binary accepts.
+struct CommonArgs {
+  std::size_t users = 40;
+  std::int64_t slots = 10000;
+  std::uint64_t seed = 42;
+  std::string csv_dir;     ///< empty = no CSV export
+  std::size_t threads = 0; ///< sweep parallelism; 0 = hardware concurrency
+};
+
+/// Builds a Cli pre-populated with the common flags.
+[[nodiscard]] Cli make_cli(const std::string& program, const std::string& description,
+                           std::int64_t default_slots = 10000,
+                           std::size_t default_users = 40);
+
+/// Parses argv; prints help and exits(0) on --help; applies REPRO_SLOTS.
+[[nodiscard]] CommonArgs parse_common(Cli& cli, int argc, const char* const* argv);
+
+/// Writes `rows` to `<csv_dir>/<file>` when csv_dir is non-empty.
+void maybe_write_csv(const std::string& csv_dir, const std::string& file,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows);
+
+/// Prints an empirical CDF as a two-column series table.
+void print_cdf_table(const std::string& title, const std::string& value_label,
+                     const std::vector<double>& samples, std::size_t points = 20);
+
+/// Standard entry-point wrapper: runs `body`, reporting jstream::Error
+/// cleanly instead of crashing.
+int guarded_main(const std::string& program, int argc, const char* const* argv,
+                 int (*body)(int, const char* const*));
+
+}  // namespace jstream::bench

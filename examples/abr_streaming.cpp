@@ -1,0 +1,61 @@
+// Adaptive-bitrate extension walkthrough: the same gateway schedulers serving
+// DASH-style segmented clients that pick their representation per segment.
+// Shows how quality, switching, rebuffering and energy trade against each
+// other per (scheduler, quality policy) pair.
+//
+//   ./abr_streaming --users 20 --capacity 9000
+#include <cstdio>
+
+#include "abr/abr_simulator.hpp"
+#include "baselines/factory.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace jstream;
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli("abr_streaming", "ABR clients over the gateway schedulers");
+    cli.add_flag("users", "20", "number of streaming clients");
+    cli.add_flag("capacity", "9000", "base-station capacity in KB/s");
+    cli.add_flag("seed", "42", "scenario seed");
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::fputs(cli.help().c_str(), stdout);
+      return 0;
+    }
+
+    AbrScenarioConfig config;
+    config.base = paper_scenario(static_cast<std::size_t>(cli.get_int("users")),
+                                 static_cast<std::uint64_t>(cli.get_int("seed")));
+    config.base.capacity_kbps = cli.get_double("capacity");
+
+    Table table("ABR study (" + std::to_string(config.base.users) + " clients, " +
+                    format_double(config.base.capacity_kbps / 1000.0, 1) + " MB/s)",
+                {"scheduler", "policy", "quality (KB/s)", "switches", "rebuf (s)",
+                 "QoE", "energy (kJ)"});
+    for (const char* selector : {"fixed", "rate-based", "buffer-based"}) {
+      for (const char* scheduler : {"default", "rtma", "ema-fast"}) {
+        config.selector = selector;
+        SchedulerOptions options;
+        options.ema.v_weight = 0.05;
+        const AbrRunMetrics m =
+            simulate_abr(config, make_scheduler(scheduler, options));
+        table.row({scheduler, selector, format_double(m.mean_quality_kbps(), 0),
+                   format_double(m.mean_switches(), 1),
+                   format_double(m.mean_rebuffer_s(), 1),
+                   format_double(m.mean_qoe_score(), 0),
+                   format_double(m.total_energy_mj() / 1e6, 2)});
+      }
+    }
+    table.print();
+    std::printf("\nQoE = mean quality - 600*(stall fraction) - 30*(switches/s).\n"
+                "Buffer-based adaptation climbs the ladder when the gateway leaves\n"
+                "headroom; under RTM scheduling the low-rate reservations keep every\n"
+                "client smooth, trading peak quality for stability.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "abr_streaming: error: %s\n", e.what());
+    return 1;
+  }
+}

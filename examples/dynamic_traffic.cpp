@@ -1,0 +1,74 @@
+// Dynamic-traffic scenario: sessions arrive over time (Poisson-like spread),
+// content is VBR, and the base station's spare capacity follows a load wave.
+// Compares the framework's two modes against the default strategy under this
+// churn and writes full per-user CSV reports.
+//
+//   ./dynamic_traffic --users 30 --spread 600 --out /tmp/jstream_report
+#include <cstdio>
+
+#include "baselines/factory.hpp"
+#include "common/cli.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+using namespace jstream;
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli("dynamic_traffic", "arrivals + VBR + capacity wave comparison");
+    cli.add_flag("users", "30", "number of sessions over the run");
+    cli.add_flag("spread", "600", "arrival spread in slots");
+    cli.add_flag("seed", "42", "scenario seed");
+    cli.add_flag("out", "", "directory for per-user CSV reports (empty = off)");
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::fputs(cli.help().c_str(), stdout);
+      return 0;
+    }
+
+    ScenarioConfig scenario = paper_scenario(
+        static_cast<std::size_t>(cli.get_int("users")),
+        static_cast<std::uint64_t>(cli.get_int("seed")));
+    scenario.arrival_spread_slots = cli.get_int("spread");
+    scenario.vbr = true;
+    scenario.capacity_kind = CapacityKind::kSine;
+    scenario.capacity_wave_fraction = 0.3;
+    scenario.capacity_wave_period = 900.0;
+
+    const DefaultReference reference = run_default_reference(scenario);
+    std::printf("scenario: %zu users arriving over %lld slots, VBR %g-%g KB/s, "
+                "capacity 20 MB/s +-30%%\n\n",
+                scenario.users, static_cast<long long>(scenario.arrival_spread_slots),
+                scenario.bitrate_min_kbps, scenario.bitrate_max_kbps);
+
+    const std::string out_dir = cli.get_string("out");
+    std::vector<RunMetrics> results;
+    for (const char* name : {"default", "rtma", "ema"}) {
+      ExperimentSpec spec{name, name, scenario, {}};
+      if (spec.scheduler == "rtma") spec.options = rtma_options_for_alpha(1.0, reference);
+      if (spec.scheduler == "ema") {
+        spec.options.ema.v_weight =
+            calibrate_v_for_rebuffer(scenario, reference.rebuffer_per_user_slot_s);
+      }
+      results.push_back(run_experiment(spec));
+      std::printf("%s\n", summarize_run(name, results.back()).c_str());
+      if (!out_dir.empty()) {
+        export_run_csv(out_dir, name, results.back());
+        std::printf("  [csv] %s/%s_{users,slots}.csv\n", out_dir.c_str(), name);
+      }
+    }
+    const double rebuffer_delta =
+        100.0 * (1.0 - results[1].avg_rebuffer_per_user_slot_s() /
+                           std::max(results[0].avg_rebuffer_per_user_slot_s(), 1e-9));
+    std::printf("\nUnder this churn RTM mode changes rebuffering by %+.0f%% vs the\n"
+                "default. Note that staggered arrivals lighten the instantaneous\n"
+                "load: with little competition the default strategy is already\n"
+                "near-idle most slots, so EM mode has less energy to reclaim than\n"
+                "in the paper's all-at-once setting (see EXPERIMENTS.md).\n",
+                -rebuffer_delta);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dynamic_traffic: error: %s\n", e.what());
+    return 1;
+  }
+}

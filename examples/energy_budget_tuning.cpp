@@ -1,0 +1,81 @@
+// Shows the operator-facing tuning knobs of both modes:
+//   * RTM mode: sweep alpha (energy budget Phi = alpha * E_default) and watch
+//     the rebuffering/energy trade move (paper Fig. 4 mechanics);
+//   * EM mode: sweep the Lyapunov weight V and watch Theorem 1's trade-off,
+//     then calibrate V for a target rebuffering bound Omega = beta * R_default.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+using namespace jstream;
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli("energy_budget_tuning", "alpha / V tuning walkthrough");
+    cli.add_flag("users", "30", "number of users");
+    cli.add_flag("seed", "42", "scenario seed");
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::fputs(cli.help().c_str(), stdout);
+      return 0;
+    }
+
+    ScenarioConfig scenario = paper_scenario(
+        static_cast<std::size_t>(cli.get_int("users")),
+        static_cast<std::uint64_t>(cli.get_int("seed")));
+
+    // Reference run of the uncoordinated default strategy.
+    const DefaultReference reference = run_default_reference(scenario);
+    std::printf("default reference: PE=%.1f mJ/user-slot, PC=%.1f ms/user-slot, "
+                "serving-slot energy=%.0f mJ\n\n",
+                reference.energy_per_user_slot_mj,
+                1000.0 * reference.rebuffer_per_user_slot_s,
+                reference.trans_per_tx_slot_mj);
+
+    Table rtm("RTM mode: energy budget Phi = alpha * E_default",
+              {"alpha", "PE (mJ/user-slot)", "PC (ms/user-slot)", "fairness"});
+    for (double alpha : {0.8, 0.9, 1.0, 1.1, 1.2}) {
+      ExperimentSpec spec;
+      spec.label = "rtma";
+      spec.scheduler = "rtma";
+      spec.scenario = scenario;
+      spec.options = rtma_options_for_alpha(alpha, reference);
+      const RunMetrics metrics = run_experiment(spec, /*keep_series=*/false);
+      rtm.row(format_double(alpha, 1),
+              {metrics.avg_energy_per_user_slot_mj(),
+               1000.0 * metrics.avg_rebuffer_per_user_slot_s(),
+               metrics.mean_fairness()},
+              1);
+    }
+    rtm.print();
+    std::printf("\n");
+
+    Table em("EM mode: Lyapunov weight V",
+             {"V", "PE (mJ/user-slot)", "PC (ms/user-slot)", "fairness"});
+    for (double v : {0.005, 0.02, 0.05, 0.1, 0.2}) {
+      ExperimentSpec spec;
+      spec.label = "ema";
+      spec.scheduler = "ema";
+      spec.scenario = scenario;
+      spec.options.ema.v_weight = v;
+      const RunMetrics metrics = run_experiment(spec, /*keep_series=*/false);
+      em.row(format_double(v, 3),
+             {metrics.avg_energy_per_user_slot_mj(),
+              1000.0 * metrics.avg_rebuffer_per_user_slot_s(),
+              metrics.mean_fairness()},
+             1);
+    }
+    em.print();
+
+    // Calibrate V so EMA's rebuffering matches the default's (beta = 1).
+    const double omega = reference.rebuffer_per_user_slot_s;
+    const double v_star = calibrate_v_for_rebuffer(scenario, omega);
+    std::printf("\ncalibrated V for Omega = R_default (beta = 1): V* = %.4f\n", v_star);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "energy_budget_tuning: error: %s\n", e.what());
+    return 1;
+  }
+}

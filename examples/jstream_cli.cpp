@@ -1,0 +1,118 @@
+// jstream_cli — the everything-runner: pick a scenario preset, a scheduler,
+// optional alpha/beta anchoring and replications, and get a report (plus CSV
+// export). Exercises the whole public API from one binary.
+//
+//   ./jstream_cli --list
+//   ./jstream_cli --scenario stress --scheduler ema --beta 1.0 --reps 5
+//   ./jstream_cli --scenario paper --scheduler rtma --alpha 1.0 --report --out /tmp/r
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/catalog.hpp"
+#include "sim/replication.hpp"
+#include "sim/report.hpp"
+
+using namespace jstream;
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli("jstream_cli", "run any scheduler on any scenario preset");
+    cli.add_flag("list", "false", "list scenario presets and schedulers, then exit");
+    cli.add_flag("scenario", "paper", "scenario preset (see --list)");
+    cli.add_flag("scheduler", "rtma", "scheduler name (see --list)");
+    cli.add_flag("users", "40", "number of users");
+    cli.add_flag("slots", "10000", "horizon in slots");
+    cli.add_flag("seed", "42", "base RNG seed");
+    cli.add_flag("alpha", "0", "RTMA: Phi = alpha * E_default (0 = unconstrained)");
+    cli.add_flag("beta", "0", "EMA: calibrate V for Omega = beta * R_default "
+                              "(0 = use --v directly)");
+    cli.add_flag("v", "0.05", "EMA Lyapunov weight when beta is 0");
+    cli.add_flag("reps", "1", "replications (seeds seed..seed+reps-1)");
+    cli.add_flag("report", "false", "print the full per-user report");
+    cli.add_flag("out", "", "CSV export directory (empty = off)");
+    cli.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::fputs(cli.help().c_str(), stdout);
+      return 0;
+    }
+    if (cli.get_bool("list")) {
+      Table presets("scenario presets", {"name", "description"});
+      for (const ScenarioPreset& preset : scenario_catalog()) {
+        presets.row({preset.name, preset.description});
+      }
+      presets.print();
+      std::printf("\nschedulers:");
+      for (const std::string& name : scheduler_names()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    }
+
+    ScenarioConfig scenario = make_catalog_scenario(
+        cli.get_string("scenario"), static_cast<std::size_t>(cli.get_int("users")),
+        static_cast<std::uint64_t>(cli.get_int("seed")));
+    scenario.max_slots = cli.get_int("slots");
+
+    ExperimentSpec spec{cli.get_string("scheduler"), cli.get_string("scheduler"),
+                        scenario, {}};
+    const double alpha = cli.get_double("alpha");
+    const double beta = cli.get_double("beta");
+    if (spec.scheduler == "rtma" && alpha > 0.0) {
+      spec.options = rtma_options_for_alpha(alpha, run_default_reference(scenario));
+      std::printf("[anchor] Phi = %.0f mJ (alpha = %.2f)\n",
+                  spec.options.rtma.energy_budget_mj, alpha);
+    }
+    if ((spec.scheduler == "ema" || spec.scheduler == "ema-fast")) {
+      if (beta > 0.0) {
+        const DefaultReference reference = run_default_reference(scenario);
+        spec.options.ema.v_weight = calibrate_v_for_rebuffer(
+            scenario, beta * reference.rebuffer_per_user_slot_s);
+        std::printf("[anchor] V = %.4f (beta = %.2f)\n", spec.options.ema.v_weight,
+                    beta);
+      } else {
+        spec.options.ema.v_weight = cli.get_double("v");
+      }
+    }
+
+    const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+    const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+    if (reps <= 1) {
+      const RunMetrics metrics = run_experiment(spec);
+      if (cli.get_bool("report")) {
+        std::printf("%s\n", render_report(spec.label, metrics).c_str());
+      } else {
+        std::printf("%s\n", summarize_run(spec.label, metrics).c_str());
+      }
+      if (!cli.get_string("out").empty()) {
+        export_run_csv(cli.get_string("out"), spec.label, metrics);
+        std::printf("[csv] wrote %s/%s_{users,slots}.csv\n",
+                    cli.get_string("out").c_str(), spec.label.c_str());
+      }
+      return 0;
+    }
+
+    const ReplicationResult result = replicate_experiment(spec, reps, threads);
+    Table table(spec.label + " over " + std::to_string(reps) + " seeds",
+                {"metric", "mean", "ci95", "min", "max"});
+    const auto row = [&](const std::string& metric, const ReplicatedMetric& m,
+                         double scale, int precision) {
+      table.row({metric, format_double(scale * m.summary.mean, precision),
+                 "+-" + format_double(scale * m.ci95_halfwidth(), precision),
+                 format_double(scale * m.summary.min, precision),
+                 format_double(scale * m.summary.max, precision)});
+    };
+    row("PE (mJ/user-slot)", result.pe_mj, 1.0, 1);
+    row("PC (ms/user-slot)", result.pc_s, 1000.0, 1);
+    row("fairness", result.fairness, 1.0, 3);
+    row("total energy (kJ)", result.total_energy_mj, 1e-6, 2);
+    row("total rebuffer (s)", result.total_rebuffer_s, 1.0, 0);
+    table.print();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jstream_cli: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,102 @@
+// ABR client state: a segmented session, its playback buffer, and the QoE
+// bookkeeping (mean quality, switches, rebuffering).
+//
+// A segment becomes playable only when fully downloaded (the segmented
+// analogue of the paper's "data shard usable when fully accepted"). Quality
+// for a segment is chosen by the QualitySelector the moment its download
+// begins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "abr/ladder.hpp"
+#include "abr/policies.hpp"
+#include "media/playback_buffer.hpp"
+
+namespace jstream {
+
+/// QoE accumulators of one ABR session.
+struct AbrQoe {
+  double quality_seconds_kbps = 0.0;  ///< integral of played quality rate
+  std::int64_t switches = 0;          ///< quality changes between segments
+  double rebuffer_s = 0.0;
+
+  /// Mean representation rate over the content duration.
+  [[nodiscard]] double mean_quality_kbps(double duration_s) const {
+    return duration_s > 0.0 ? quality_seconds_kbps / duration_s : 0.0;
+  }
+
+  /// A standard linear QoE score: mean quality minus penalties.
+  [[nodiscard]] double score(double duration_s, double rebuffer_penalty_kbps = 600.0,
+                             double switch_penalty_kbps = 30.0) const {
+    return mean_quality_kbps(duration_s) -
+           rebuffer_penalty_kbps * (duration_s > 0.0 ? rebuffer_s / duration_s : 0.0) -
+           switch_penalty_kbps *
+               (duration_s > 0.0 ? static_cast<double>(switches) / duration_s : 0.0);
+  }
+};
+
+/// One streaming client downloading a segmented title.
+class AbrClient {
+ public:
+  /// `duration_s` total content time, split into `segment_s`-long segments
+  /// (the last may be shorter). The selector is owned by the client.
+  AbrClient(double duration_s, double segment_s, QualityLadder ladder,
+            std::unique_ptr<QualitySelector> selector, double tau_s);
+
+  /// Bitrate of the segment currently downloading, KB/s (what the gateway
+  /// needs to sustain).
+  [[nodiscard]] double current_rate_kbps() const;
+
+  /// Bytes still missing from the current segment, KB (0 once the session is
+  /// fully downloaded).
+  [[nodiscard]] double segment_remaining_kb() const;
+
+  /// Total bytes still to download at current quality decisions (the current
+  /// segment's remainder plus future segments estimated at the current
+  /// level).
+  [[nodiscard]] double estimated_remaining_kb() const;
+
+  /// Feeds `kb` of downloaded data (must be called inside a slot). Completed
+  /// segments enter the playback buffer; a new segment's quality is selected
+  /// when its download begins. Returns the KB actually consumed (delivery
+  /// beyond the last segment is rejected by the cap, so this equals `kb`).
+  double on_downloaded(double kb, double smoothed_throughput_kbps);
+
+  /// Slot protocol, mirroring PlaybackBuffer.
+  void begin_slot();
+  void end_slot();
+
+  [[nodiscard]] const PlaybackBuffer& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] PlaybackBuffer& buffer() noexcept { return buffer_; }
+  [[nodiscard]] const AbrQoe& qoe() const noexcept { return qoe_; }
+  [[nodiscard]] double duration_s() const noexcept { return duration_s_; }
+  [[nodiscard]] bool download_finished() const noexcept;
+  [[nodiscard]] bool playback_finished() const noexcept {
+    return buffer_.playback_finished();
+  }
+  [[nodiscard]] std::size_t current_level() const noexcept { return current_level_; }
+
+  /// Accumulates this slot's rebuffering into the QoE (call once per slot,
+  /// between begin_slot and end_slot).
+  void record_rebuffer();
+
+ private:
+  void start_next_segment(double smoothed_throughput_kbps);
+
+  double duration_s_;
+  double segment_s_;
+  QualityLadder ladder_;
+  std::unique_ptr<QualitySelector> selector_;
+  PlaybackBuffer buffer_;
+  AbrQoe qoe_;
+
+  std::int64_t segment_index_ = 0;     ///< segment currently downloading
+  std::int64_t total_segments_ = 0;
+  double segment_downloaded_kb_ = 0.0;
+  std::size_t current_level_ = 0;
+  bool first_segment_started_ = false;
+};
+
+}  // namespace jstream

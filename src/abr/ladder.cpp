@@ -1,0 +1,36 @@
+#include "abr/ladder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+QualityLadder::QualityLadder(std::vector<double> rates_kbps)
+    : rates_kbps_(std::move(rates_kbps)) {
+  require(!rates_kbps_.empty(), "ladder needs at least one level");
+  require(rates_kbps_.front() > 0.0, "ladder rates must be positive");
+  require(std::is_sorted(rates_kbps_.begin(), rates_kbps_.end()) &&
+              std::adjacent_find(rates_kbps_.begin(), rates_kbps_.end()) ==
+                  rates_kbps_.end(),
+          "ladder rates must be strictly increasing");
+}
+
+double QualityLadder::rate_kbps(std::size_t level) const {
+  require(level < rates_kbps_.size(), "unknown ladder level");
+  return rates_kbps_[level];
+}
+
+std::size_t QualityLadder::level_for_rate(double rate_kbps) const noexcept {
+  std::size_t level = 0;
+  for (std::size_t k = 0; k < rates_kbps_.size(); ++k) {
+    if (rates_kbps_[k] <= rate_kbps) level = k;
+  }
+  return level;
+}
+
+QualityLadder paper_range_ladder() {
+  return QualityLadder({300.0, 375.0, 450.0, 525.0, 600.0});
+}
+
+}  // namespace jstream

@@ -1,0 +1,37 @@
+// Adaptive-bitrate quality ladders.
+//
+// The paper streams fixed-rate content; modern services encode each title at
+// several bitrates and let the client switch per segment (DASH/HLS). This
+// extension models that: a ladder is an ascending list of representation
+// rates, and a session downloads one representation per fixed-length segment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jstream {
+
+/// Ascending representation bitrates of one title, KB/s.
+class QualityLadder {
+ public:
+  /// `rates_kbps` must be non-empty and strictly increasing.
+  explicit QualityLadder(std::vector<double> rates_kbps);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return rates_kbps_.size(); }
+  [[nodiscard]] double rate_kbps(std::size_t level) const;
+  [[nodiscard]] double min_rate_kbps() const noexcept { return rates_kbps_.front(); }
+  [[nodiscard]] double max_rate_kbps() const noexcept { return rates_kbps_.back(); }
+
+  /// Highest level whose rate is <= `rate_kbps` (0 when even the lowest
+  /// exceeds it) — the rate-based selection primitive.
+  [[nodiscard]] std::size_t level_for_rate(double rate_kbps) const noexcept;
+
+ private:
+  std::vector<double> rates_kbps_;
+};
+
+/// A ladder mirroring the paper's 300-600 KB/s content range (five levels).
+[[nodiscard]] QualityLadder paper_range_ladder();
+
+}  // namespace jstream

@@ -1,0 +1,52 @@
+#include "abr/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+FixedQualitySelector::FixedQualitySelector(std::size_t level) : level_(level) {}
+
+std::size_t FixedQualitySelector::select(const AbrDecisionInput& /*input*/,
+                                         const QualityLadder& ladder) {
+  return std::min(level_, ladder.levels() - 1);
+}
+
+BufferBasedSelector::BufferBasedSelector(double reservoir_s, double cushion_s)
+    : reservoir_s_(reservoir_s), cushion_s_(cushion_s) {
+  require(reservoir_s_ >= 0.0, "reservoir must be non-negative");
+  require(cushion_s_ > reservoir_s_, "cushion must exceed the reservoir");
+}
+
+std::size_t BufferBasedSelector::select(const AbrDecisionInput& input,
+                                        const QualityLadder& ladder) {
+  if (input.buffer_s <= reservoir_s_) return 0;
+  if (input.buffer_s >= cushion_s_) return ladder.levels() - 1;
+  const double fraction =
+      (input.buffer_s - reservoir_s_) / (cushion_s_ - reservoir_s_);
+  const auto level = static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(ladder.levels() - 1) + 0.5));
+  return std::min(level, ladder.levels() - 1);
+}
+
+RateBasedSelector::RateBasedSelector(double safety_factor)
+    : safety_factor_(safety_factor) {
+  require(safety_factor_ > 0.0 && safety_factor_ <= 1.0,
+          "safety factor must be in (0,1]");
+}
+
+std::size_t RateBasedSelector::select(const AbrDecisionInput& input,
+                                      const QualityLadder& ladder) {
+  return ladder.level_for_rate(safety_factor_ * input.throughput_kbps);
+}
+
+std::unique_ptr<QualitySelector> make_quality_selector(const std::string& name) {
+  if (name == "fixed") return std::make_unique<FixedQualitySelector>(0);
+  if (name == "buffer-based") return std::make_unique<BufferBasedSelector>();
+  if (name == "rate-based") return std::make_unique<RateBasedSelector>();
+  throw Error("unknown quality selector: " + name);
+}
+
+}  // namespace jstream

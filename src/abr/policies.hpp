@@ -1,0 +1,73 @@
+// Per-segment quality selection policies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "abr/ladder.hpp"
+
+namespace jstream {
+
+/// Everything a selector may look at when the next segment starts.
+struct AbrDecisionInput {
+  double buffer_s = 0.0;           ///< client buffer occupancy
+  std::size_t last_level = 0;      ///< previous segment's level
+  double throughput_kbps = 0.0;    ///< smoothed recent download rate estimate
+};
+
+/// Chooses the representation level for the next segment.
+class QualitySelector {
+ public:
+  virtual ~QualitySelector() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::size_t select(const AbrDecisionInput& input,
+                                           const QualityLadder& ladder) = 0;
+};
+
+/// Always the same level (the paper's CBR setting as a ladder policy).
+class FixedQualitySelector final : public QualitySelector {
+ public:
+  explicit FixedQualitySelector(std::size_t level);
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+  [[nodiscard]] std::size_t select(const AbrDecisionInput& input,
+                                   const QualityLadder& ladder) override;
+
+ private:
+  std::size_t level_;
+};
+
+/// Buffer-based adaptation (BBA-style): the level is a linear map of the
+/// buffer occupancy between a reservoir and a cushion.
+class BufferBasedSelector final : public QualitySelector {
+ public:
+  /// Below `reservoir_s` -> lowest level; above `cushion_s` -> highest;
+  /// linear in between.
+  BufferBasedSelector(double reservoir_s = 8.0, double cushion_s = 40.0);
+  [[nodiscard]] std::string name() const override { return "buffer-based"; }
+  [[nodiscard]] std::size_t select(const AbrDecisionInput& input,
+                                   const QualityLadder& ladder) override;
+
+ private:
+  double reservoir_s_;
+  double cushion_s_;
+};
+
+/// Rate-based adaptation: pick the highest level sustainable at a safety
+/// fraction of the estimated throughput.
+class RateBasedSelector final : public QualitySelector {
+ public:
+  explicit RateBasedSelector(double safety_factor = 0.8);
+  [[nodiscard]] std::string name() const override { return "rate-based"; }
+  [[nodiscard]] std::size_t select(const AbrDecisionInput& input,
+                                   const QualityLadder& ladder) override;
+
+ private:
+  double safety_factor_;
+};
+
+/// Factory: "fixed" (lowest level), "buffer-based", "rate-based".
+[[nodiscard]] std::unique_ptr<QualitySelector> make_quality_selector(
+    const std::string& name);
+
+}  // namespace jstream

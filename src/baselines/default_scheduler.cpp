@@ -1,0 +1,26 @@
+#include "baselines/default_scheduler.hpp"
+
+#include <algorithm>
+
+#include "baselines/rotation.hpp"
+
+namespace jstream {
+
+void DefaultScheduler::reset(std::size_t /*users*/) {}
+
+Allocation DefaultScheduler::allocate(const SlotContext& ctx) {
+  const std::size_t n = ctx.user_count();
+  Allocation alloc = Allocation::zeros(n);
+  std::int64_t remaining = ctx.capacity_units;
+  const std::size_t start = rotation_start(ctx.slot, n);
+  for (std::size_t k = 0; k < n && remaining > 0; ++k) {
+    const std::size_t i = (start + k) % n;
+    const std::int64_t grant = std::min(ctx.users[i].alloc_cap_units, remaining);
+    if (grant <= 0) continue;
+    alloc.units[i] = grant;
+    remaining -= grant;
+  }
+  return alloc;
+}
+
+}  // namespace jstream

@@ -1,0 +1,43 @@
+#include "baselines/factory.hpp"
+
+#include "baselines/default_scheduler.hpp"
+#include "baselines/estreamer.hpp"
+#include "baselines/onoff.hpp"
+#include "baselines/salsa.hpp"
+#include "baselines/throttling.hpp"
+#include "common/error.hpp"
+#include "core/ema_fast.hpp"
+
+namespace jstream {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerOptions& options) {
+  if (name == "default") return std::make_unique<DefaultScheduler>();
+  if (name == "throttling") {
+    return std::make_unique<ThrottlingScheduler>(options.throttling_rate_factor);
+  }
+  if (name == "onoff") {
+    return std::make_unique<OnOffScheduler>(options.onoff_low_s, options.onoff_high_s);
+  }
+  if (name == "salsa") return std::make_unique<SalsaScheduler>();
+  if (name == "estreamer") {
+    EStreamerScheduler::Params params;
+    params.buffer_capacity_s = options.estreamer_capacity_s;
+    params.resume_threshold_s = options.estreamer_resume_s;
+    return std::make_unique<EStreamerScheduler>(params);
+  }
+  if (name == "rtma") return std::make_unique<RtmaScheduler>(options.rtma);
+  if (name == "rtma-adaptive") {
+    return std::make_unique<AdaptiveRtmaScheduler>(options.rtma_adaptive);
+  }
+  if (name == "ema") return std::make_unique<EmaScheduler>(options.ema);
+  if (name == "ema-fast") return std::make_unique<EmaFastScheduler>(options.ema);
+  throw Error("unknown scheduler: " + name);
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"default", "throttling", "onoff", "salsa",     "estreamer",
+          "rtma",    "rtma-adaptive", "ema", "ema-fast"};
+}
+
+}  // namespace jstream

@@ -1,0 +1,36 @@
+// Name -> scheduler factory used by examples and the bench harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_rtma.hpp"
+#include "core/ema.hpp"
+#include "core/rtma.hpp"
+#include "gateway/scheduler.hpp"
+
+namespace jstream {
+
+/// Options forwarded to the schedulers that take parameters.
+struct SchedulerOptions {
+  RtmaConfig rtma;
+  EmaConfig ema;
+  AdaptiveRtmaConfig rtma_adaptive;
+  double throttling_rate_factor = 1.25;
+  double onoff_low_s = 10.0;
+  double onoff_high_s = 40.0;
+  double estreamer_capacity_s = 30.0;
+  double estreamer_resume_s = 6.0;
+};
+
+/// Creates a scheduler by name: "default", "throttling", "onoff", "salsa",
+/// "estreamer", "rtma", "rtma-adaptive", "ema", "ema-fast". Throws
+/// jstream::Error for unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                                        const SchedulerOptions& options = {});
+
+/// All scheduler names the factory accepts.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace jstream

@@ -1,0 +1,37 @@
+// Serving-order model for the uncoordinated baselines.
+//
+// The comparison systems do not coordinate users at the base station. Two
+// regimes are modeled:
+//
+//  * Gateway/BS-level policies (Default, SALSA) drain the backlog in whatever
+//    order flows happen to head the queue; that order carries no structure
+//    across slots, so they iterate users from a deterministic pseudo-random
+//    rotation of the ring (`rotation_start`). Any single slot may be seized
+//    by whoever comes first, but every user gets long-run turns.
+//
+//  * End-to-end protocols (Throttling, ON-OFF, EStreamer) ride long-lived
+//    per-flow TCP connections whose relative share at the bottleneck is
+//    persistent — the same flows dominate for the whole session. They iterate
+//    users in fixed index order, so under capacity pressure the same tail of
+//    users is starved persistently (the bimodal rebuffering the paper's
+//    Fig. 3 describes).
+//
+// RTMA and EMA install their own deliberate orderings.
+#pragma once
+
+#include <cstdint>
+
+namespace jstream {
+
+/// Start index of the serving ring for `slot` over `users` users.
+/// Deterministic (SplitMix64 finalizer) so runs are reproducible.
+[[nodiscard]] inline std::size_t rotation_start(std::int64_t slot,
+                                                std::size_t users) noexcept {
+  std::uint64_t x = static_cast<std::uint64_t>(slot) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return users == 0 ? 0 : static_cast<std::size_t>(x % users);
+}
+
+}  // namespace jstream

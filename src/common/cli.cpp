@@ -1,0 +1,128 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  require(!name.empty() && name.rfind("--", 0) != 0,
+          "flag names are declared without leading dashes: " + name);
+  const auto [it, inserted] = flags_.emplace(name, Flag{default_value, help, {}});
+  require(inserted, "duplicate flag: " + name);
+  (void)it;
+  order_.push_back(name);
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    require(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const auto flag_it = flags_.find(name);
+      require(flag_it != flags_.end(), "unknown flag --" + name);
+      const bool is_switch = flag_it->second.default_value == "true" ||
+                             flag_it->second.default_value == "false";
+      const bool next_is_flag =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) == 0;
+      if (is_switch && (i + 1 >= argc || next_is_flag)) {
+        value = "true";  // bare boolean switch: --report
+      } else {
+        require(i + 1 < argc, "missing value for flag --" + name);
+        value = argv[++i];
+      }
+    }
+    const auto it = flags_.find(name);
+    require(it != flags_.end(), "unknown flag --" + name);
+    it->second.value = value;
+  }
+}
+
+std::string Cli::help() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    out << "  --" << name << " <value>   " << f.help << " (default: " << f.default_value
+        << ")\n";
+  }
+  return out.str();
+}
+
+const Cli::Flag& Cli::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  require(it != flags_.end(), "flag not declared: " + name);
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  const Flag& f = find(name);
+  return f.value.value_or(f.default_value);
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string text = get_string(name);
+  std::size_t pos = 0;
+  std::int64_t result = 0;
+  try {
+    result = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects an integer, got: " + text);
+  }
+  require(pos == text.size(), "flag --" + name + " expects an integer, got: " + text);
+  return result;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string text = get_string(name);
+  std::size_t pos = 0;
+  double result = 0.0;
+  try {
+    result = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects a number, got: " + text);
+  }
+  require(pos == text.size(), "flag --" + name + " expects a number, got: " + text);
+  return result;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string text = get_string(name);
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  throw Error("flag --" + name + " expects true/false, got: " + text);
+}
+
+bool Cli::provided(const std::string& name) const { return find(name).value.has_value(); }
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(raw, &pos);
+    if (pos != std::string(raw).size()) return fallback;
+    return value;
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace jstream

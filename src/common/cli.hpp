@@ -1,0 +1,63 @@
+// Small command-line flag parser shared by examples and bench binaries.
+//
+// Flags take the form `--name value` or `--name=value`; `--help` is handled
+// by the caller via `help_requested()`. Unknown flags raise an error so typos
+// in experiment invocations fail loudly instead of silently using defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jstream {
+
+/// Declarative flag set with typed accessors and default values.
+class Cli {
+ public:
+  /// `program` and `description` are used in the help text.
+  Cli(std::string program, std::string description);
+
+  /// Declares a flag. Must be called before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Throws jstream::Error for unknown or malformed flags.
+  void parse(int argc, const char* const* argv);
+
+  /// True when `--help` was passed; callers should print help() and exit 0.
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+
+  /// Rendered help text.
+  [[nodiscard]] std::string help() const;
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True when the user explicitly supplied the flag (vs. default).
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparseable. Used for the global REPRO_SLOTS override.
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace jstream

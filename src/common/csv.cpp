@@ -1,0 +1,57 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  require(out_.good(), "cannot open CSV file for writing: " + path);
+  require(!header.empty(), "CSV header must not be empty");
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  require(cells.size() == width_, "CSV row width mismatch");
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << v;
+    text.push_back(oss.str());
+  }
+  row(text);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  require(out_.good(), "CSV write failed");
+}
+
+}  // namespace jstream

@@ -1,0 +1,37 @@
+// Minimal CSV writer used by the benchmark harness to export figure series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace jstream {
+
+/// Writes rows of mixed string/numeric cells to a CSV file. Values containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the cell count must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience overload formatting doubles with full round-trip precision.
+  void row(const std::vector<double>& cells);
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV cell (exposed for testing).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace jstream

@@ -1,0 +1,27 @@
+// Library-wide error type and precondition helpers.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace jstream {
+
+/// Thrown on violated preconditions or invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws jstream::Error when `condition` is false. Used for argument and
+/// configuration validation on public entry points (internal invariants use
+/// assert-style checks in tests instead).
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " +
+                message);
+  }
+}
+
+}  // namespace jstream

@@ -1,0 +1,25 @@
+// Leveled logging for the simulator. Off by default so benchmark output stays
+// clean; examples enable Info to narrate what the framework is doing.
+#pragma once
+
+#include <string>
+
+namespace jstream {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level emitted (thread-safe).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global level.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits `message` to stderr when `level` >= the global level.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace jstream

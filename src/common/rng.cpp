@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace jstream {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  return mean + stddev * gaussian();
+}
+
+Rng Rng::split(std::uint64_t stream) const noexcept {
+  // Mix the parent's state with the stream index through SplitMix64 so sibling
+  // streams are decorrelated regardless of how many values the parent drew.
+  std::uint64_t mix = state_[0] ^ rotl(state_[3], 13) ^ (stream * 0xd1342543de82ef95ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace jstream

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be exactly reproducible from a seed, including when
+// configurations run concurrently on the sweep thread pool, so the library
+// owns its generator (xoshiro256**) instead of relying on implementation-
+// defined std::random distributions. Every simulated user derives an
+// independent stream from the scenario seed via `split`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace jstream {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded through SplitMix64 so any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  [[nodiscard]] double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept;
+
+  /// Derives an independent generator; `stream` distinguishes siblings
+  /// produced from the same parent (e.g. one stream per user).
+  [[nodiscard]] Rng split(std::uint64_t stream) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace jstream

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+double percentile(std::span<const double> values, double q) {
+  require(!values.empty(), "percentile of empty sample");
+  require(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  RunningStat rs;
+  for (double v : sorted) rs.add(v);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  auto pct = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  };
+  s.p50 = pct(0.5);
+  s.p90 = pct(0.9);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t max_points) {
+  require(max_points >= 2, "empirical_cdf needs at least 2 points");
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    // Evenly spaced ranks including both extremes.
+    const std::size_t rank =
+        (points == 1) ? n - 1 : (k * (n - 1)) / (points - 1);
+    cdf.push_back({sorted[rank],
+                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+double fraction_at_most(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  const auto hits = std::count_if(values.begin(), values.end(),
+                                  [&](double v) { return v <= threshold; });
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+double jain_index(std::span<const double> shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+void RunningStat::add(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace jstream

@@ -1,0 +1,66 @@
+// Descriptive statistics and empirical CDFs for metric post-processing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jstream {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary of `values`; returns a zeroed Summary for empty input.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile, q in [0, 1]. Throws on empty input or
+/// out-of-range q.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF of a sample, downsampled to at most `max_points` points
+/// (always keeping the extremes). Suitable for printing figure series.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                                  std::size_t max_points = 100);
+
+/// Fraction of samples <= threshold.
+[[nodiscard]] double fraction_at_most(std::span<const double> values, double threshold);
+
+/// Jain fairness index of non-negative shares: (sum x)^2 / (n * sum x^2).
+/// Returns 1.0 for an empty or all-zero sample (perfectly equal shares).
+[[nodiscard]] double jain_index(std::span<const double> shares);
+
+/// Running mean/variance accumulator (Welford) for streaming per-slot metrics.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1); zero with fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace jstream

@@ -1,0 +1,39 @@
+// Aligned ASCII tables for the experiment harness output. Every bench binary
+// prints its figure's series through this renderer so rows are directly
+// comparable with the paper's plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jstream {
+
+/// Column-aligned text table with a title and header row.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Appends a row of preformatted cells; width must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Appends a row whose first cell is a label and the rest are numbers
+  /// formatted with `precision` fractional digits.
+  void row(const std::string& label, const std::vector<double>& values,
+           int precision = 3);
+
+  /// Renders the table with a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by bench binaries).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace jstream

@@ -1,0 +1,76 @@
+// Fixed-size worker pool used to run independent simulation configurations
+// concurrently (parameter sweeps, replicated seeds). Tasks are type-erased
+// thunks; results flow back through futures or the parallel_for helper.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jstream {
+
+/// A minimal task-queue thread pool. Safe to submit from multiple threads;
+/// destruction drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 selects std::thread::hardware_concurrency()
+  /// (at least one worker in either case).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result.
+  template <typename Fn>
+  [[nodiscard]] auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) on `pool`, blocking until all complete.
+/// Exceptions from tasks are rethrown (the first one encountered).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, count) and collects results in index order.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t count, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using Result = std::invoke_result_t<Fn, std::size_t>;
+  std::vector<std::future<Result>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.submit([fn, i] { return fn(i); }));
+  }
+  std::vector<Result> results;
+  results.reserve(count);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace jstream

@@ -1,0 +1,38 @@
+// Unit conventions used across the library.
+//
+// The paper (Section VI, Eq. 24) expresses throughput in KB/s and power in
+// mJ/KB, so the library adopts a single consistent system rather than strong
+// wrapper types on every quantity:
+//
+//   data     : kilobytes (KB, decimal: 1 KB = 1000 bytes)
+//   time     : seconds
+//   rate     : KB/s
+//   energy   : millijoules (mJ)
+//   power    : milliwatts (mW == mJ/s)
+//   signal   : dBm
+//
+// Helper functions make intent explicit at call sites and centralize the
+// decimal conversions so they cannot silently diverge between modules.
+#pragma once
+
+namespace jstream {
+
+/// Kilobytes per megabyte (decimal, matching the paper's MB figures).
+inline constexpr double kKbPerMb = 1000.0;
+
+/// Convert megabytes to kilobytes.
+[[nodiscard]] constexpr double mb_to_kb(double mb) noexcept { return mb * kKbPerMb; }
+
+/// Convert kilobytes to megabytes.
+[[nodiscard]] constexpr double kb_to_mb(double kb) noexcept { return kb / kKbPerMb; }
+
+/// Convert millijoules to joules.
+[[nodiscard]] constexpr double mj_to_j(double mj) noexcept { return mj / 1000.0; }
+
+/// Convert joules to millijoules.
+[[nodiscard]] constexpr double j_to_mj(double j) noexcept { return j * 1000.0; }
+
+/// Convert milliwatts to watts.
+[[nodiscard]] constexpr double mw_to_w(double mw) noexcept { return mw / 1000.0; }
+
+}  // namespace jstream

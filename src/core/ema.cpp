@@ -1,0 +1,145 @@
+#include "core/ema.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "radio/rrc.hpp"
+
+namespace jstream {
+
+EmaSlotCosts compute_ema_slot_costs(const SlotContext& ctx,
+                                    const LyapunovQueues& queues, double v_weight) {
+  require(queues.size() == ctx.user_count(), "queue/user count mismatch");
+  require(ctx.radio != nullptr && ctx.power != nullptr && ctx.throughput != nullptr,
+          "context missing models");
+  const std::size_t n = ctx.user_count();
+  EmaSlotCosts costs;
+  costs.idle_cost.resize(n);
+  costs.active_base.resize(n);
+  costs.slope.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const UserSlotInfo& user = ctx.users[i];
+    // Tail increment of staying idle this slot (Eq. 4); a radio that never
+    // transmitted has no tail to pay.
+    double tail_mj = 0.0;
+    if (user.rrc_promoted) {
+      tail_mj = slot_tail_energy_mj(*ctx.radio, user.rrc_idle_s, ctx.params.tau_s);
+    }
+    costs.idle_cost[i] = v_weight * tail_mj;
+    // Active-slot energy mirrors the transmitter's accounting: under Eq. 5 a
+    // transmission slot costs P(sig)*phi*delta only; under continuous-time
+    // Eq. 4 it additionally pays DCH power for the post-transfer residue,
+    // i.e. Pd*tau + phi*delta*(P - Pd/v).
+    double energy_per_unit = ctx.power->energy_per_kb(user.signal_dbm) * ctx.params.delta_kb;
+    costs.active_base[i] = 0.0;
+    if (ctx.radio->continuous_tail) {
+      costs.active_base[i] = v_weight * ctx.radio->p_dch_mw * ctx.params.tau_s;
+      const double v_kbps = ctx.throughput->throughput_kbps(user.signal_dbm);
+      energy_per_unit -= ctx.radio->p_dch_mw / v_kbps * ctx.params.delta_kb;
+    }
+    const double playback_per_unit = ctx.params.delta_kb / user.bitrate_kbps;
+    costs.slope[i] = v_weight * energy_per_unit - queues.value(i) * playback_per_unit;
+  }
+  return costs;
+}
+
+Allocation solve_min_cost_dp(const EmaSlotCosts& costs,
+                             std::span<const std::int64_t> caps,
+                             std::int64_t capacity_units) {
+  const std::size_t n = caps.size();
+  require(costs.idle_cost.size() == n && costs.slope.size() == n &&
+              costs.active_base.size() == n,
+          "cost/cap size mismatch");
+  require(capacity_units >= 0, "capacity must be non-negative");
+  Allocation alloc = Allocation::zeros(n);
+  if (n == 0) return alloc;
+
+  std::int64_t cap_sum = 0;
+  for (std::int64_t c : caps) {
+    require(c >= 0, "caps must be non-negative");
+    cap_sum += c;
+  }
+  const std::int64_t m_max = std::min(capacity_units, cap_sum);
+  const auto width = static_cast<std::size_t>(m_max) + 1;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(width, kInf);
+  std::vector<double> cur(width, kInf);
+  // g(i, M): best phi_i when the first i+1 users received M units in total.
+  std::vector<std::int32_t> choice(n * width, 0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cap = static_cast<std::int64_t>(caps[i]);
+    const double idle = costs.idle_cost[i];
+    const double base = costs.active_base[i];
+    const double slope = costs.slope[i];
+    std::int32_t* g = &choice[i * width];
+    for (std::size_t m = 0; m < width; ++m) {
+      // phi = 0 branch.
+      double best = prev[m] + idle;
+      std::int32_t best_phi = 0;
+      // phi >= 1 branches.
+      const auto phi_max = std::min<std::int64_t>(cap, static_cast<std::int64_t>(m));
+      for (std::int64_t phi = 1; phi <= phi_max; ++phi) {
+        const double candidate = prev[m - static_cast<std::size_t>(phi)] + base +
+                                 slope * static_cast<double>(phi);
+        if (candidate < best) {
+          best = candidate;
+          best_phi = static_cast<std::int32_t>(phi);
+        }
+      }
+      cur[m] = best;
+      g[m] = best_phi;
+    }
+    std::swap(prev, cur);
+  }
+
+  // D_N = argmin_M a[N][M], then backtrack (Algorithm 2 steps 15-18).
+  std::size_t m = 0;
+  for (std::size_t candidate = 1; candidate < width; ++candidate) {
+    if (prev[candidate] < prev[m]) m = candidate;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const std::int32_t phi = choice[i * width + m];
+    alloc.units[i] = phi;
+    m -= static_cast<std::size_t>(phi);
+  }
+  return alloc;
+}
+
+EmaScheduler::EmaScheduler(EmaConfig config) : config_(config) {
+  require(config_.v_weight > 0.0, "V must be positive");
+}
+
+void EmaScheduler::reset(std::size_t users) { queues_.reset(users); }
+
+Allocation EmaScheduler::allocate(const SlotContext& ctx) {
+  require(queues_.size() == ctx.user_count(),
+          "EMA not reset for this user count");
+  const EmaSlotCosts costs = compute_ema_slot_costs(ctx, queues_, config_.v_weight);
+  std::vector<std::int64_t> caps;
+  caps.reserve(ctx.user_count());
+  for (const auto& user : ctx.users) caps.push_back(user.alloc_cap_units);
+  Allocation alloc = solve_slot(costs, caps, ctx.capacity_units);
+
+  // Eq. 16 queue update with the decided allocation; frozen once a session
+  // has no content left (it can never receive again, so the queue carries no
+  // scheduling signal).
+  for (std::size_t i = 0; i < ctx.user_count(); ++i) {
+    const UserSlotInfo& user = ctx.users[i];
+    if (!user.needs_data) continue;
+    const double kb = std::min(ctx.params.units_to_kb(alloc.units[i]), user.remaining_kb);
+    queues_.update(i, ctx.params.tau_s, kb / user.bitrate_kbps);
+  }
+  return alloc;
+}
+
+Allocation EmaScheduler::solve_slot(const EmaSlotCosts& costs,
+                                    std::span<const std::int64_t> caps,
+                                    std::int64_t capacity_units) const {
+  return solve_min_cost_dp(costs, caps, capacity_units);
+}
+
+}  // namespace jstream

@@ -1,0 +1,95 @@
+// EMA — Energy Minimization Algorithm (Algorithm 2, Section V).
+//
+// Minimizes the average energy PE subject to the rebuffering bound PC <= Omega
+// (Eq. 13-14) via Lyapunov drift-plus-penalty: each slot solves
+//
+//   min sum_i f(i, phi_i),
+//   f(i, phi) = V * E_i(n) + PC_i(n) * (tau - t_i(n)),   t_i = delta*phi/p_i
+//
+// subject to constraints (1) and (2), where E_i is the Eq. 3 transmission
+// energy for phi >= 1 and the Eq. 4 tail increment for phi = 0, and PC_i is
+// the Eq. 16 virtual rebuffering queue. V trades energy against rebuffering
+// (Theorem 1: PE <= E* + B/V, PC <= (B + V*E*)/eps).
+//
+// The per-slot problem is a grouped knapsack; `solve_min_cost_dp` is the
+// paper's exact O(N * M * phi_max) dynamic program (Algorithm 2 steps 3-18).
+// EmaFastScheduler in ema_fast.hpp solves the same slot problem with a
+// slope-greedy heuristic (ablation; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/lyapunov.hpp"
+#include "gateway/scheduler.hpp"
+
+namespace jstream {
+
+/// EMA configuration.
+struct EmaConfig {
+  /// Lyapunov penalty weight V (1/mJ scale). Larger V favors energy saving
+  /// over rebuffering (Section V). The default keeps the average rebuffering
+  /// near the default strategy's level on the paper scenario (beta ~ 1); use
+  /// calibrate_v_for_rebuffer to target a specific bound.
+  double v_weight = 0.05;
+};
+
+/// Per-user costs of the slot problem, with the common PC_i*tau term dropped
+/// (it does not affect the argmin). The cost of transmitting is linear in phi
+/// under both tail-accounting semantics (see radio/rrc.hpp):
+///   cost(0)        = idle_cost[i] = V * E_tail_slot(i)
+///   cost(phi >= 1) = active_base[i] + slope[i]*phi
+/// with Eq. 5 accounting: active_base = 0,
+///   slope = V*P(sig_i)*delta - PC_i*delta/p_i;
+/// with continuous-time Eq. 4: active_base = V*Pd*tau,
+///   slope = V*delta*(P(sig_i) - Pd/v(sig_i)) - PC_i*delta/p_i.
+struct EmaSlotCosts {
+  std::vector<double> idle_cost;
+  std::vector<double> active_base;
+  std::vector<double> slope;
+};
+
+/// Evaluates the reduced per-user cost of allocating `phi` units.
+[[nodiscard]] inline double ema_cost(const EmaSlotCosts& costs, std::size_t user,
+                                     std::int64_t phi) noexcept {
+  return phi == 0 ? costs.idle_cost[user]
+                  : costs.active_base[user] + costs.slope[user] * static_cast<double>(phi);
+}
+
+/// Builds the slot costs from the cross-layer snapshot and the current queues.
+[[nodiscard]] EmaSlotCosts compute_ema_slot_costs(const SlotContext& ctx,
+                                                  const LyapunovQueues& queues,
+                                                  double v_weight);
+
+/// Exact minimizer of sum_i cost(i, phi_i) s.t. phi_i in [0, caps[i]] and
+/// sum phi_i <= capacity_units (Algorithm 2's DP with backtracking).
+[[nodiscard]] Allocation solve_min_cost_dp(const EmaSlotCosts& costs,
+                                           std::span<const std::int64_t> caps,
+                                           std::int64_t capacity_units);
+
+/// Algorithm 2 of the paper, with the exact DP slot solver.
+class EmaScheduler : public Scheduler {
+ public:
+  explicit EmaScheduler(EmaConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "ema"; }
+  void reset(std::size_t users) override;
+  [[nodiscard]] Allocation allocate(const SlotContext& ctx) override;
+
+  [[nodiscard]] const LyapunovQueues& queues() const noexcept { return queues_; }
+  [[nodiscard]] const EmaConfig& config() const noexcept { return config_; }
+
+ protected:
+  /// Slot-problem solver; EmaFastScheduler overrides with the greedy solver.
+  [[nodiscard]] virtual Allocation solve_slot(const EmaSlotCosts& costs,
+                                              std::span<const std::int64_t> caps,
+                                              std::int64_t capacity_units) const;
+
+ private:
+  EmaConfig config_;
+  LyapunovQueues queues_;
+};
+
+}  // namespace jstream

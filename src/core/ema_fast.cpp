@@ -1,0 +1,78 @@
+#include "core/ema_fast.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
+                                 std::span<const std::int64_t> caps,
+                                 std::int64_t capacity_units) {
+  const std::size_t n = caps.size();
+  require(costs.idle_cost.size() == n && costs.slope.size() == n &&
+              costs.active_base.size() == n,
+          "cost/cap size mismatch");
+  require(capacity_units >= 0, "capacity must be non-negative");
+  Allocation alloc = Allocation::zeros(n);
+
+  // Unconstrained per-user optimum: cost is idle at 0, slope*phi on [1, cap],
+  // so the minimum sits at one of {0, 1, cap}.
+  struct Want {
+    std::size_t user = 0;
+    std::int64_t phi = 0;
+    double gain = 0.0;  ///< idle_cost - slope*phi: improvement over staying idle
+  };
+  std::vector<Want> wants;
+  wants.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (caps[i] <= 0) continue;
+    const std::int64_t phi = costs.slope[i] < 0.0 ? caps[i] : 1;
+    const double gain = costs.idle_cost[i] - ema_cost(costs, i, phi);
+    if (gain > 0.0) wants.push_back({i, phi, gain});
+  }
+
+  // Largest improvement per occupied unit first.
+  std::sort(wants.begin(), wants.end(), [](const Want& a, const Want& b) {
+    return a.gain / static_cast<double>(a.phi) > b.gain / static_cast<double>(b.phi);
+  });
+
+  std::int64_t remaining = capacity_units;
+  for (const Want& want : wants) {
+    if (remaining <= 0) break;
+    std::int64_t phi = std::min(want.phi, remaining);
+    if (phi < want.phi) {
+      // Budget binds: shrinking is only an improvement when the shrunk
+      // choice still beats idling.
+      const double gain = costs.idle_cost[want.user] - ema_cost(costs, want.user, phi);
+      if (gain <= 0.0) continue;
+    }
+    alloc.units[want.user] = phi;
+    remaining -= phi;
+  }
+
+  // Backfill: spend leftover capacity on already-active users with negative
+  // slopes (each extra unit is a strict improvement), most negative first.
+  if (remaining > 0) {
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alloc.units[i] > 0 && alloc.units[i] < caps[i] && costs.slope[i] < 0.0) {
+        active.push_back(i);
+      }
+    }
+    std::sort(active.begin(), active.end(), [&](std::size_t a, std::size_t b) {
+      return costs.slope[a] < costs.slope[b];
+    });
+    for (std::size_t i : active) {
+      if (remaining <= 0) break;
+      const std::int64_t extra = std::min(caps[i] - alloc.units[i], remaining);
+      alloc.units[i] += extra;
+      remaining -= extra;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace jstream

@@ -1,0 +1,43 @@
+#include "core/energy_threshold.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+double slot_energy_estimate_mj(const EnergyThresholdSpec& spec,
+                               const ThroughputModel& throughput,
+                               const PowerModel& power, double signal_dbm) {
+  const double v = throughput.throughput_kbps(signal_dbm);
+  const double p = power.energy_per_kb(signal_dbm);
+  return 0.5 * (p * v * spec.tau_s + spec.tau_s * spec.tail_power_mw);
+}
+
+double signal_threshold_dbm(const EnergyThresholdSpec& spec,
+                            const ThroughputModel& throughput,
+                            const PowerModel& power) {
+  require(spec.budget_mj >= 0.0, "energy budget must be non-negative");
+  require(spec.min_dbm < spec.max_dbm, "signal range is empty");
+  require(spec.tau_s > 0.0, "slot length must be positive");
+
+  const auto cost = [&](double sig) {
+    return slot_energy_estimate_mj(spec, throughput, power, sig);
+  };
+  // Slot cost decreases as the signal strengthens (Eq. 24 fits).
+  if (cost(spec.min_dbm) <= spec.budget_mj) return spec.min_dbm;
+  if (cost(spec.max_dbm) > spec.budget_mj) {
+    return spec.max_dbm + 1.0;  // budget infeasible at any signal strength
+  }
+  double lo = spec.min_dbm;  // cost(lo) > budget
+  double hi = spec.max_dbm;  // cost(hi) <= budget
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cost(mid) <= spec.budget_mj) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace jstream

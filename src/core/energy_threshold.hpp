@@ -1,0 +1,46 @@
+// Eq. 12: conversion of a per-user-slot energy budget Phi into a signal
+// strength admission threshold phi.
+//
+// The paper estimates the energy of serving a user in one slot as the mean of
+// the full-rate transmission energy and the tail energy:
+//
+//   Phi = 1/2 * [ P(phi) * v(phi) * tau + tau * P_tail ]
+//
+// With the Eq. 24 fits, P(sig)*v(sig) decreases as the signal strengthens, so
+// the slot cost is monotonically decreasing in RSSI and the budget maps to a
+// unique minimum admissible signal strength. The solver below only assumes
+// that monotonicity (bisection), so alternative link fits keep working.
+#pragma once
+
+#include "radio/link_model.hpp"
+
+namespace jstream {
+
+/// Inputs of the Eq. 12 conversion.
+struct EnergyThresholdSpec {
+  double budget_mj = 0.0;       ///< Phi: admissible energy per user-slot
+  double tau_s = 1.0;           ///< slot length
+  /// P_tail: the expected energy of one slot inside the RRC tail. The paper
+  /// leaves this term unspecified; RTMA defaults it to the radio profile's
+  /// tail-window average power (543.7 mW for the paper's 3G parameters).
+  double tail_power_mw = 543.7;
+  double min_dbm = -110.0;      ///< search range
+  double max_dbm = -50.0;
+};
+
+/// Estimated energy (mJ) of serving one user at full rate for a slot at the
+/// given signal strength, per Eq. 12's cost expression.
+[[nodiscard]] double slot_energy_estimate_mj(const EnergyThresholdSpec& spec,
+                                             const ThroughputModel& throughput,
+                                             const PowerModel& power,
+                                             double signal_dbm);
+
+/// Solves Eq. 12 for phi: the weakest signal strength whose estimated slot
+/// energy still fits in the budget. Returns:
+///   - spec.min_dbm when even the weakest signal fits (no user is filtered);
+///   - a value > spec.max_dbm when no signal fits (every user is filtered).
+[[nodiscard]] double signal_threshold_dbm(const EnergyThresholdSpec& spec,
+                                          const ThroughputModel& throughput,
+                                          const PowerModel& power);
+
+}  // namespace jstream

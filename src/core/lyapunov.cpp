@@ -1,0 +1,39 @@
+#include "core/lyapunov.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+LyapunovQueues::LyapunovQueues(std::size_t users) : queues_(users, 0.0) {}
+
+void LyapunovQueues::reset(std::size_t users) { queues_.assign(users, 0.0); }
+
+void LyapunovQueues::update(std::size_t user, double tau_s, double shard_playback_s) {
+  require(user < queues_.size(), "unknown queue");
+  require(tau_s > 0.0, "slot length must be positive");
+  require(shard_playback_s >= 0.0, "shard playback time must be non-negative");
+  queues_[user] += tau_s - shard_playback_s;
+}
+
+double LyapunovQueues::value(std::size_t user) const {
+  require(user < queues_.size(), "unknown queue");
+  return queues_[user];
+}
+
+double LyapunovQueues::lyapunov_function() const noexcept {
+  double sum = 0.0;
+  for (double q : queues_) sum += q * q;
+  return 0.5 * sum;
+}
+
+double lyapunov_drift_bound(double tau_s, std::span<const double> t_max_s) {
+  require(tau_s > 0.0, "slot length must be positive");
+  double b = 0.0;
+  for (double t_max : t_max_s) {
+    require(t_max >= 0.0, "t_max must be non-negative");
+    b += tau_s * tau_s + t_max * t_max;
+  }
+  return 0.5 * b;
+}
+
+}  // namespace jstream

@@ -1,0 +1,47 @@
+// Virtual rebuffering-time queues for the Lyapunov optimization in EMA
+// (Section V).
+//
+// Each user carries a (possibly negative) queue PC_i with the recursion
+// Eq. 16:   PC_i(n+1) = PC_i(n) + tau - t_i(n),
+// where t_i(n) is the playback time delivered in slot n. A negative queue
+// means the client buffer holds surplus data; a positive queue accumulates
+// rebuffering pressure. The Lyapunov function is L(n) = 1/2 * sum PC_i^2
+// (Eq. 17) and the drift bound constant is B = 1/2 * sum (tau^2 + t_max^2)
+// (Eq. 18).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jstream {
+
+/// The PC_i virtual queues of Eq. 16.
+class LyapunovQueues {
+ public:
+  explicit LyapunovQueues(std::size_t users = 0);
+
+  /// Reinitializes all queues to zero for `users` users.
+  void reset(std::size_t users);
+
+  /// Applies Eq. 16 for one user: PC_i += tau - shard_playback_s.
+  void update(std::size_t user, double tau_s, double shard_playback_s);
+
+  /// PC_i(n).
+  [[nodiscard]] double value(std::size_t user) const;
+
+  /// L(n) = 1/2 * sum PC_i^2 (Eq. 17).
+  [[nodiscard]] double lyapunov_function() const noexcept;
+
+  [[nodiscard]] std::span<const double> values() const noexcept { return queues_; }
+  [[nodiscard]] std::size_t size() const noexcept { return queues_.size(); }
+
+ private:
+  std::vector<double> queues_;
+};
+
+/// Drift bound constant B = 1/2 * sum_i (tau^2 + t_max_i^2), where t_max_i is
+/// the maximum playback time one slot's shard can carry for user i (Eq. 18).
+[[nodiscard]] double lyapunov_drift_bound(double tau_s, std::span<const double> t_max_s);
+
+}  // namespace jstream

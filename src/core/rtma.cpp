@@ -1,0 +1,84 @@
+#include "core/rtma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/energy_threshold.hpp"
+
+namespace jstream {
+
+RtmaScheduler::RtmaScheduler(RtmaConfig config) : config_(config) {
+  require(config_.energy_budget_mj > 0.0, "energy budget must be positive");
+  require(config_.min_dbm < config_.max_dbm, "signal range is empty");
+}
+
+void RtmaScheduler::reset(std::size_t /*users*/) {
+  last_threshold_dbm_ = -std::numeric_limits<double>::infinity();
+}
+
+void RtmaScheduler::set_energy_budget(double budget_mj) {
+  require(budget_mj > 0.0, "energy budget must be positive");
+  config_.energy_budget_mj = budget_mj;
+}
+
+Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
+  const std::size_t n = ctx.user_count();
+  Allocation alloc = Allocation::zeros(n);
+
+  // Eq. 12: energy budget -> admission threshold (steps 6 of Algorithm 1).
+  double threshold = -std::numeric_limits<double>::infinity();
+  if (std::isfinite(config_.energy_budget_mj)) {
+    EnergyThresholdSpec spec;
+    spec.budget_mj = config_.energy_budget_mj;
+    spec.tau_s = ctx.params.tau_s;
+    // P_tail defaults to the tail-window average power (Eq. 12's "tail energy
+    // in a slot"); see RadioProfile::mean_tail_power_mw.
+    spec.tail_power_mw =
+        std::isnan(config_.tail_power_mw)
+            ? (ctx.radio != nullptr ? ctx.radio->mean_tail_power_mw()
+                                    : paper_3g_profile().mean_tail_power_mw())
+            : config_.tail_power_mw;
+    spec.min_dbm = config_.min_dbm;
+    spec.max_dbm = config_.max_dbm;
+    threshold = signal_threshold_dbm(spec, *ctx.throughput, *ctx.power);
+  }
+  last_threshold_dbm_ = threshold;
+
+  // Steps 1-3: sort by required data rate ascending; compute per-slot needs.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ctx.users[a].bitrate_kbps < ctx.users[b].bitrate_kbps;
+  });
+  std::vector<std::int64_t> need(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    need[i] = ctx.params.need_units(ctx.users[i].bitrate_kbps);
+  }
+
+  // Steps 4-15: iterative passes; each pass grants each eligible user at most
+  // its need, so early users cannot seize the whole base station.
+  std::int64_t remaining = ctx.capacity_units;
+  bool progressed = true;
+  while (remaining > 0 && progressed) {
+    progressed = false;
+    for (std::size_t idx : order) {
+      if (remaining <= 0) break;
+      const UserSlotInfo& user = ctx.users[idx];
+      if (user.signal_dbm < threshold) continue;  // Eq. 12 admission filter
+      const std::int64_t sup =
+          std::min(user.alloc_cap_units - alloc.units[idx], remaining);
+      if (sup <= 0) continue;
+      const std::int64_t grant = std::min(need[idx], sup);
+      if (grant <= 0) continue;
+      alloc.units[idx] += grant;
+      remaining -= grant;
+      progressed = true;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace jstream

@@ -1,0 +1,51 @@
+#include "gateway/data_receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+DataReceiver::DataReceiver(std::size_t users, double backhaul_kbps)
+    : queues_kb_(users, 0.0),
+      backhaul_kbps_(backhaul_kbps),
+      slot_budget_kb_(std::numeric_limits<double>::infinity()) {
+  require(users > 0, "receiver needs at least one flow");
+  require(backhaul_kbps_ > 0.0, "backhaul rate must be positive");
+}
+
+void DataReceiver::begin_slot(double tau_s) {
+  require(tau_s > 0.0, "slot length must be positive");
+  slot_budget_kb_ = std::isinf(backhaul_kbps_)
+                        ? std::numeric_limits<double>::infinity()
+                        : backhaul_kbps_ * tau_s;
+}
+
+double DataReceiver::fetch_from_origin(std::size_t user, double kb) {
+  require(user < queues_kb_.size(), "unknown flow");
+  require(kb >= 0.0, "fetch size must be non-negative");
+  const double granted = std::min(kb, slot_budget_kb_);
+  if (!std::isinf(slot_budget_kb_)) slot_budget_kb_ -= granted;
+  queues_kb_[user] += granted;
+  return granted;
+}
+
+void DataReceiver::drain(std::size_t user, double kb) {
+  require(user < queues_kb_.size(), "unknown flow");
+  require(kb >= 0.0, "drain size must be non-negative");
+  // Tolerate floating-point rounding at the tail of a session.
+  require(queues_kb_[user] >= kb - 1e-9, "draining more than buffered");
+  queues_kb_[user] = std::max(queues_kb_[user] - kb, 0.0);
+}
+
+double DataReceiver::buffered_kb(std::size_t user) const {
+  require(user < queues_kb_.size(), "unknown flow");
+  return queues_kb_[user];
+}
+
+void DataReceiver::pass_through_other_traffic(double kb) noexcept {
+  other_traffic_kb_ += kb;
+}
+
+}  // namespace jstream

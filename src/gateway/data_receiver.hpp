@@ -1,0 +1,56 @@
+// Data Receiver component (Section III-A).
+//
+// Buffers downlink streaming data fetched from origin servers before the
+// Scheduler releases it toward users, and applies resource slicing: only
+// video flows enter scheduled queues, other traffic is passed through and
+// merely counted. A finite backhaul rate can be configured to model a
+// constrained gateway-to-origin path (infinite by default, matching the
+// paper's evaluation where the radio link is the bottleneck).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace jstream {
+
+/// Per-flow downlink staging queue at the gateway.
+class DataReceiver {
+ public:
+  /// `users` video flows; `backhaul_kbps` caps the total origin fetch rate
+  /// per second of simulated time (infinity by default).
+  explicit DataReceiver(std::size_t users,
+                        double backhaul_kbps = std::numeric_limits<double>::infinity());
+
+  /// Fetches up to `kb` of user `user`'s content from the origin into the
+  /// staging queue, subject to this slot's remaining backhaul budget.
+  /// Returns the amount actually fetched.
+  double fetch_from_origin(std::size_t user, double kb);
+
+  /// Removes `kb` from user `user`'s queue for transmission. Throws when the
+  /// queue holds less than `kb`.
+  void drain(std::size_t user, double kb);
+
+  /// Buffered KB for a flow.
+  [[nodiscard]] double buffered_kb(std::size_t user) const;
+
+  /// Resets the per-slot backhaul budget; call once per slot.
+  void begin_slot(double tau_s);
+
+  /// Records non-video downlink traffic bypassing the scheduler (resource
+  /// slicing); only accounted, never queued.
+  void pass_through_other_traffic(double kb) noexcept;
+
+  /// Total non-video KB passed through so far.
+  [[nodiscard]] double other_traffic_kb() const noexcept { return other_traffic_kb_; }
+
+  [[nodiscard]] std::size_t user_count() const noexcept { return queues_kb_.size(); }
+
+ private:
+  std::vector<double> queues_kb_;
+  double backhaul_kbps_;
+  double slot_budget_kb_;
+  double other_traffic_kb_ = 0.0;
+};
+
+}  // namespace jstream

@@ -1,0 +1,70 @@
+#include "gateway/data_transmitter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+SlotOutcome DataTransmitter::apply(const SlotContext& ctx, const Allocation& allocation,
+                                   std::span<UserEndpoint> endpoints,
+                                   DataReceiver& receiver) const {
+  require(endpoints.size() == ctx.users.size(), "endpoint/context size mismatch");
+  std::vector<std::int64_t> caps;
+  caps.reserve(ctx.users.size());
+  for (const auto& u : ctx.users) caps.push_back(u.alloc_cap_units);
+  require_feasible(allocation, caps, ctx.capacity_units);
+
+  const std::size_t n = endpoints.size();
+  SlotOutcome outcome;
+  outcome.units.assign(n, 0);
+  outcome.kb.assign(n, 0.0);
+  outcome.trans_mj.assign(n, 0.0);
+  outcome.tail_mj.assign(n, 0.0);
+  outcome.rebuffer_s.assign(n, 0.0);
+  outcome.need_kb.assign(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    UserEndpoint& endpoint = endpoints[i];
+    const UserSlotInfo& info = ctx.users[i];
+    const std::int64_t phi = allocation.units[i];
+
+    // Rebuffering (Eq. 8) depends only on the occupancy at slot start; the
+    // shard delivered this slot becomes usable next slot. Sessions that have
+    // not arrived yet neither stall nor demand data.
+    outcome.rebuffer_s[i] = info.arrived ? endpoint.buffer.rebuffer_s() : 0.0;
+    outcome.need_kb[i] =
+        info.arrived ? std::min(ctx.params.tau_s * info.bitrate_kbps, info.remaining_kb)
+                     : 0.0;
+
+    double kb = 0.0;
+    double active_s = 0.0;
+    if (phi > 0) {
+      // The final shard of a session may be partial; it still occupies a full
+      // data unit on the air interface (constraint accounting), but only the
+      // real bytes cost energy and reach the client.
+      kb = std::min(ctx.params.units_to_kb(phi), info.remaining_kb);
+      const double fetched = receiver.fetch_from_origin(i, kb);
+      receiver.drain(i, fetched);
+      kb = fetched;
+      outcome.trans_mj[i] = ctx.power->energy_per_kb(info.signal_dbm) * kb;
+      endpoint.delivered_kb += kb;
+      // Convert bytes to playback time on the content timeline so that
+      // delivering the whole file yields exactly M_i even for VBR sessions.
+      const double playback_s = endpoint.session.advance_playback(
+          endpoint.content_time_s, kb);
+      endpoint.content_time_s += playback_s;
+      endpoint.buffer.deliver(playback_s);
+      // The transfer occupies d/v seconds of the slot at link rate; the
+      // remainder is tail residue charged by the RRC machine.
+      active_s = std::min(
+          kb / ctx.throughput->throughput_kbps(info.signal_dbm), ctx.params.tau_s);
+    }
+    outcome.units[i] = phi;
+    outcome.kb[i] = kb;
+    outcome.tail_mj[i] = endpoint.rrc.advance_slot(active_s, ctx.params.tau_s);
+  }
+  return outcome;
+}
+
+}  // namespace jstream

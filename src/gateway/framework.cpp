@@ -1,0 +1,32 @@
+#include "gateway/framework.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+Framework::Framework(InfoCollector collector, std::unique_ptr<Scheduler> scheduler,
+                     SchedulingMode mode, std::size_t users, double backhaul_kbps)
+    : collector_(std::move(collector)),
+      scheduler_(std::move(scheduler)),
+      mode_(mode),
+      receiver_(users, backhaul_kbps) {
+  require(scheduler_ != nullptr, "framework needs a scheduler");
+  scheduler_->reset(users);
+}
+
+SlotOutcome Framework::run_slot(std::int64_t slot, std::span<UserEndpoint> endpoints,
+                                const BaseStation& bs) {
+  require(endpoints.size() == receiver_.user_count(),
+          "endpoint count differs from receiver flows");
+  receiver_.begin_slot(collector_.params().tau_s);
+  for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
+
+  last_ctx_ = collector_.collect(slot, endpoints, bs);
+  last_alloc_ = scheduler_->allocate(last_ctx_);
+  SlotOutcome outcome = transmitter_.apply(last_ctx_, last_alloc_, endpoints, receiver_);
+
+  for (auto& endpoint : endpoints) endpoint.buffer.end_slot();
+  return outcome;
+}
+
+}  // namespace jstream

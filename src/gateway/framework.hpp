@@ -1,0 +1,67 @@
+// The streaming-optimization framework facade (Figure 1 of the paper).
+//
+// Wires the four components — Data Receiver, Information Collector,
+// Scheduler, Data Transmitter — and runs them in the paper's per-slot order:
+//
+//   1. receiver.begin_slot        (reset backhaul budget)
+//   2. buffer.begin_slot per user (Eq. 7: fold in the previous shard)
+//   3. collector.collect          (cross-layer snapshot -> SlotContext)
+//   4. scheduler.allocate         (RTM or EM mode decision)
+//   5. transmitter.apply          (validate + execute, energy accounting)
+//   6. buffer.end_slot per user   (advance playback)
+//
+// The operating mode (RTM vs EM) is simply which Scheduler is installed; the
+// factory in src/baselines and the algorithms in src/core provide them.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "gateway/data_receiver.hpp"
+#include "gateway/data_transmitter.hpp"
+#include "gateway/info_collector.hpp"
+#include "gateway/scheduler.hpp"
+#include "net/base_station.hpp"
+
+namespace jstream {
+
+/// Scheduler operating mode (Section III-A).
+enum class SchedulingMode {
+  kRebufferMinimization,  ///< RTM: min PC s.t. PE <= Phi
+  kEnergyMinimization,    ///< EM:  min PE s.t. PC <= Omega
+  kBaseline,              ///< comparison policies
+};
+
+/// Gateway framework instance for one base station.
+class Framework {
+ public:
+  /// Takes ownership of the scheduler. `users` sizes the receiver queues.
+  Framework(InfoCollector collector, std::unique_ptr<Scheduler> scheduler,
+            SchedulingMode mode, std::size_t users,
+            double backhaul_kbps = std::numeric_limits<double>::infinity());
+
+  /// Runs one slot over all endpoints; returns per-user outcomes. Buffers'
+  /// begin/end_slot are handled internally.
+  [[nodiscard]] SlotOutcome run_slot(std::int64_t slot, std::span<UserEndpoint> endpoints,
+                                     const BaseStation& bs);
+
+  /// Also exposes the context/allocation of the last slot for inspection.
+  [[nodiscard]] const SlotContext& last_context() const noexcept { return last_ctx_; }
+  [[nodiscard]] const Allocation& last_allocation() const noexcept { return last_alloc_; }
+
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] SchedulingMode mode() const noexcept { return mode_; }
+  [[nodiscard]] DataReceiver& receiver() noexcept { return receiver_; }
+  [[nodiscard]] const InfoCollector& collector() const noexcept { return collector_; }
+
+ private:
+  InfoCollector collector_;
+  std::unique_ptr<Scheduler> scheduler_;
+  SchedulingMode mode_;
+  DataReceiver receiver_;
+  DataTransmitter transmitter_;
+  SlotContext last_ctx_;
+  Allocation last_alloc_;
+};
+
+}  // namespace jstream

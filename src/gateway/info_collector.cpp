@@ -1,0 +1,58 @@
+#include "gateway/info_collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+InfoCollector::InfoCollector(SlotParams params, LinkModel link, RadioProfile radio)
+    : params_(params), link_(std::move(link)), radio_(radio) {
+  require(params_.tau_s > 0.0, "slot length must be positive");
+  require(params_.delta_kb > 0.0, "frame size must be positive");
+  require(link_.throughput != nullptr && link_.power != nullptr,
+          "link model must be complete");
+  validate(radio_);
+}
+
+SlotContext InfoCollector::collect(std::int64_t slot, std::span<UserEndpoint> endpoints,
+                                   const BaseStation& bs) const {
+  require(slot >= 0, "slot must be non-negative");
+  SlotContext ctx;
+  ctx.slot = slot;
+  ctx.params = params_;
+  ctx.capacity_units = bs.capacity_units(slot, params_);
+  ctx.throughput = link_.throughput.get();
+  ctx.power = link_.power.get();
+  ctx.radio = &radio_;
+  ctx.users.reserve(endpoints.size());
+  for (auto& endpoint : endpoints) {
+    UserSlotInfo info;
+    info.arrived = endpoint.arrived(slot);
+    info.signal_dbm = endpoint.signal->signal_dbm(slot);
+    // The rate the scheduler must sustain is that of the content at the
+    // delivery frontier (identical to the wall-clock rate for CBR sessions).
+    info.bitrate_kbps = endpoint.session.bitrate_at_time(endpoint.content_time_s);
+    info.remaining_kb = endpoint.remaining_kb();
+    info.needs_data = info.arrived && info.remaining_kb > 0.0;
+    info.link_units =
+        params_.link_units(link_.throughput->throughput_kbps(info.signal_dbm));
+    const auto remaining_units = static_cast<std::int64_t>(
+        std::ceil(info.remaining_kb / params_.delta_kb));
+    info.alloc_cap_units =
+        info.arrived ? std::max<std::int64_t>(
+                           0, std::min(info.link_units, remaining_units))
+                     : 0;
+    info.buffer_s = endpoint.buffer.occupancy_s();
+    info.elapsed_play_s = endpoint.buffer.elapsed_s();
+    info.total_play_s = endpoint.buffer.total_s();
+    info.rrc_idle_s = endpoint.rrc.idle_time_s();
+    info.rrc_promoted = !endpoint.rrc.never_transmitted();
+    info.playback_done = endpoint.buffer.playback_finished();
+    ctx.users.push_back(info);
+  }
+  return ctx;
+}
+
+}  // namespace jstream

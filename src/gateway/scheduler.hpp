@@ -1,0 +1,33 @@
+// The Scheduler component interface (Section III-A).
+//
+// A scheduler decides, once per slot, how many data units each user receives.
+// Implementations may keep state across slots (virtual queues, burst phases)
+// but must produce allocations satisfying constraints (1) and (2); the
+// DataTransmitter validates every allocation before applying it.
+#pragma once
+
+#include <string>
+
+#include "gateway/slot_context.hpp"
+#include "net/allocation.hpp"
+
+namespace jstream {
+
+/// Per-slot data allocation policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Stable identifier used in reports and the factory ("rtma", "ema", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Clears internal state for a fresh run over `users` users.
+  virtual void reset(std::size_t users) = 0;
+
+  /// Computes phi_i(n) for every user. Must satisfy:
+  ///   0 <= phi_i <= ctx.users[i].alloc_cap_units      (constraint (1))
+  ///   sum phi_i <= ctx.capacity_units                 (constraint (2))
+  [[nodiscard]] virtual Allocation allocate(const SlotContext& ctx) = 0;
+};
+
+}  // namespace jstream

@@ -1,0 +1,48 @@
+// Scheduler input: everything the Information Collector knows about one slot.
+//
+// This is the cross-layer interface of the paper — required video data rates
+// (application layer), RSSI (physical layer), RRC idle timers (RRC layer) and
+// base-station capacity (network layer) are delivered to the Scheduler as one
+// coherent snapshot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transmission.hpp"
+#include "radio/link_model.hpp"
+#include "radio/radio_profile.hpp"
+
+namespace jstream {
+
+/// Cross-layer view of one user in one slot.
+struct UserSlotInfo {
+  bool arrived = true;          ///< session has started (see UserEndpoint::start_slot)
+  bool needs_data = false;      ///< content remains to be delivered
+  double signal_dbm = 0.0;      ///< sig_i(n)
+  double bitrate_kbps = 0.0;    ///< p_i(n)
+  std::int64_t link_units = 0;  ///< constraint (1) cap: floor(tau*v(sig)/delta)
+  std::int64_t alloc_cap_units = 0;  ///< min(link cap, units of remaining content)
+  double remaining_kb = 0.0;    ///< content not yet delivered
+  double buffer_s = 0.0;        ///< r_i(n): client buffer occupancy, seconds
+  double elapsed_play_s = 0.0;  ///< m_i(n)
+  double total_play_s = 0.0;    ///< M_i
+  double rrc_idle_s = 0.0;      ///< time since last transmission
+  bool rrc_promoted = false;    ///< radio has transmitted at least once
+  bool playback_done = false;   ///< client finished playing the whole session
+};
+
+/// Immutable per-slot snapshot handed to Scheduler::allocate.
+struct SlotContext {
+  std::int64_t slot = 0;
+  SlotParams params;
+  std::int64_t capacity_units = 0;  ///< constraint (2) cap for this slot
+  std::vector<UserSlotInfo> users;
+  const ThroughputModel* throughput = nullptr;
+  const PowerModel* power = nullptr;
+  const RadioProfile* radio = nullptr;
+
+  [[nodiscard]] std::size_t user_count() const noexcept { return users.size(); }
+};
+
+}  // namespace jstream

@@ -1,0 +1,51 @@
+// Per-user simulation state bundled for the gateway framework: the radio
+// channel, the streaming session, the client playback buffer, and the RRC
+// machine that accounts tail energy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "media/playback_buffer.hpp"
+#include "media/video_session.hpp"
+#include "radio/rrc.hpp"
+#include "radio/signal_model.hpp"
+
+namespace jstream {
+
+/// One mobile user as seen by the gateway.
+struct UserEndpoint {
+  std::unique_ptr<SignalModel> signal;
+  VideoSession session;
+  PlaybackBuffer buffer;
+  RrcStateMachine rrc;
+  double delivered_kb = 0.0;   ///< content pushed over the air so far
+  double content_time_s = 0.0; ///< playback position of the delivered prefix
+  std::int64_t start_slot = 0; ///< first slot this session exists (arrivals)
+
+  UserEndpoint(std::unique_ptr<SignalModel> signal_model, VideoSession video,
+               RadioProfile radio, double tau_s, std::int64_t session_start_slot = 0)
+      : signal(std::move(signal_model)),
+        session(std::move(video)),
+        buffer(session.total_playback_s(), tau_s),
+        rrc(radio),
+        start_slot(session_start_slot) {}
+
+  /// True once the session has started by `slot`.
+  [[nodiscard]] bool arrived(std::int64_t slot) const noexcept {
+    return slot >= start_slot;
+  }
+
+  /// Content still to be delivered, KB.
+  [[nodiscard]] double remaining_kb() const noexcept {
+    return session.size_kb() - delivered_kb;
+  }
+
+  /// True while the user still needs scheduling: content left to deliver or
+  /// playback still running.
+  [[nodiscard]] bool active() const noexcept {
+    return remaining_kb() > 0.0 || !buffer.playback_finished();
+  }
+};
+
+}  // namespace jstream

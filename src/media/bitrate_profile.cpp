@@ -1,0 +1,66 @@
+#include "media/bitrate_profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+ConstantBitrate::ConstantBitrate(double kbps) : kbps_(kbps) {
+  require(kbps > 0.0, "bitrate must be positive");
+}
+
+double ConstantBitrate::bitrate_kbps(std::int64_t slot) const {
+  require(slot >= 0, "slot must be non-negative");
+  return kbps_;
+}
+
+PiecewiseBitrate::PiecewiseBitrate(std::vector<std::int64_t> boundaries,
+                                   std::vector<double> rates)
+    : boundaries_(std::move(boundaries)), rates_(std::move(rates)) {
+  require(rates_.size() == boundaries_.size() + 1,
+          "piecewise bitrate needs one more rate than boundaries");
+  require(std::is_sorted(boundaries_.begin(), boundaries_.end()) &&
+              std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
+                  boundaries_.end(),
+          "piecewise boundaries must be strictly increasing");
+  for (double r : rates_) require(r > 0.0, "bitrate must be positive");
+}
+
+double PiecewiseBitrate::bitrate_kbps(std::int64_t slot) const {
+  require(slot >= 0, "slot must be non-negative");
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), slot);
+  return rates_[static_cast<std::size_t>(it - boundaries_.begin())];
+}
+
+double PiecewiseBitrate::max_bitrate_kbps() const {
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+RandomWalkBitrate::RandomWalkBitrate(Params params, Rng rng,
+                                     std::int64_t horizon_slots)
+    : params_(params) {
+  require(params_.min_kbps > 0.0 && params_.min_kbps < params_.max_kbps,
+          "random walk bitrate range is empty");
+  require(params_.step_kbps > 0.0, "step must be positive");
+  require(params_.hold_slots > 0, "hold period must be positive");
+  require(horizon_slots > 0, "horizon must be positive");
+  const auto periods =
+      static_cast<std::size_t>((horizon_slots + params_.hold_slots - 1) /
+                               params_.hold_slots);
+  levels_.reserve(periods);
+  double level = rng.uniform(params_.min_kbps, params_.max_kbps);
+  for (std::size_t k = 0; k < periods; ++k) {
+    levels_.push_back(level);
+    level = std::clamp(level + rng.uniform(-params_.step_kbps, params_.step_kbps),
+                       params_.min_kbps, params_.max_kbps);
+  }
+}
+
+double RandomWalkBitrate::bitrate_kbps(std::int64_t slot) const {
+  require(slot >= 0, "slot must be non-negative");
+  const auto period = static_cast<std::size_t>(slot / params_.hold_slots);
+  return levels_[std::min(period, levels_.size() - 1)];
+}
+
+}  // namespace jstream

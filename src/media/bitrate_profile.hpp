@@ -1,0 +1,76 @@
+// Required video data-rate processes p_i(n) (Section III-D).
+//
+// The paper models the bit rate as changing over time but constant within a
+// slot; its evaluation draws a constant per-user rate from U[300, 600] KB/s.
+// Piecewise and bounded-random-walk profiles cover the time-varying case
+// (e.g. VBR encodings or ABR ladder switches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace jstream {
+
+/// Required playback data rate of one video in KB/s per slot.
+class BitrateProfile {
+ public:
+  virtual ~BitrateProfile() = default;
+
+  /// p_i(n) in KB/s; must be positive.
+  [[nodiscard]] virtual double bitrate_kbps(std::int64_t slot) const = 0;
+
+  /// Upper bound over all slots (used for Lyapunov constant B's t_max).
+  [[nodiscard]] virtual double max_bitrate_kbps() const = 0;
+};
+
+/// Constant bitrate (the paper's evaluation setting).
+class ConstantBitrate final : public BitrateProfile {
+ public:
+  explicit ConstantBitrate(double kbps);
+  [[nodiscard]] double bitrate_kbps(std::int64_t slot) const override;
+  [[nodiscard]] double max_bitrate_kbps() const override { return kbps_; }
+
+ private:
+  double kbps_;
+};
+
+/// Piecewise-constant bitrate: segment k covers slots
+/// [boundaries[k-1], boundaries[k]) with rate rates[k]; the final rate extends
+/// to infinity. Models chapter/scene changes or ABR ladder switches.
+class PiecewiseBitrate final : public BitrateProfile {
+ public:
+  /// `boundaries` are strictly increasing slot indices; rates.size() must be
+  /// boundaries.size() + 1.
+  PiecewiseBitrate(std::vector<std::int64_t> boundaries, std::vector<double> rates);
+  [[nodiscard]] double bitrate_kbps(std::int64_t slot) const override;
+  [[nodiscard]] double max_bitrate_kbps() const override;
+
+ private:
+  std::vector<std::int64_t> boundaries_;
+  std::vector<double> rates_;
+};
+
+/// Bounded random walk re-sampled every `hold_slots`: models VBR content.
+/// Deterministic given the seed; the whole trajectory is precomputed lazily.
+class RandomWalkBitrate final : public BitrateProfile {
+ public:
+  struct Params {
+    double min_kbps = 300.0;
+    double max_kbps = 600.0;
+    double step_kbps = 50.0;   ///< max absolute change per hold period
+    std::int64_t hold_slots = 30;
+  };
+
+  RandomWalkBitrate(Params params, Rng rng, std::int64_t horizon_slots);
+  [[nodiscard]] double bitrate_kbps(std::int64_t slot) const override;
+  [[nodiscard]] double max_bitrate_kbps() const override { return params_.max_kbps; }
+
+ private:
+  Params params_;
+  std::vector<double> levels_;  ///< one value per hold period
+};
+
+}  // namespace jstream

@@ -1,0 +1,54 @@
+#include "media/playback_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+PlaybackBuffer::PlaybackBuffer(double total_playback_s, double tau_s)
+    : total_s_(total_playback_s), tau_s_(tau_s) {
+  require(total_s_ > 0.0, "total playback time must be positive");
+  require(tau_s_ > 0.0, "slot length must be positive");
+}
+
+void PlaybackBuffer::begin_slot() {
+  require(!in_slot_, "begin_slot called twice without end_slot");
+  // Eq. 7: r(n) = max(r(n-1) - tau, 0) + t(n-1).
+  occupancy_s_ = std::max(occupancy_s_ - tau_s_, 0.0) + pending_playback_s_;
+  pending_playback_s_ = 0.0;
+  in_slot_ = true;
+}
+
+double PlaybackBuffer::rebuffer_s() const {
+  require(in_slot_, "rebuffer_s is only valid inside a slot");
+  if (playback_finished()) return 0.0;  // Eq. 8, m(n) >= M branch
+  return std::max(tau_s_ - occupancy_s_, 0.0);
+}
+
+void PlaybackBuffer::deliver(double playback_seconds) {
+  require(in_slot_, "deliver is only valid inside a slot");
+  require(playback_seconds >= 0.0, "playback seconds must be non-negative");
+  pending_playback_s_ += playback_seconds;
+}
+
+void PlaybackBuffer::end_slot() {
+  require(in_slot_, "end_slot without begin_slot");
+  const double remaining = std::max(total_s_ - elapsed_s_, 0.0);
+  const double played = std::min({tau_s_, occupancy_s_, remaining});
+  if (played == remaining) {
+    elapsed_s_ = total_s_;  // land exactly on M_i; m + (M - m) may round below M
+  } else {
+    elapsed_s_ += played;
+  }
+  in_slot_ = false;
+}
+
+bool PlaybackBuffer::playback_finished() const noexcept {
+  // The delivered playback time sums hundreds of shards; accumulated rounding
+  // can leave the buffer empty with elapsed_s a few ULP short of M_i. Treat
+  // sub-microsecond residue as complete or such sessions would stall forever.
+  return elapsed_s_ >= total_s_ - kPlaybackCompletionEps_s;
+}
+
+}  // namespace jstream

@@ -1,0 +1,64 @@
+// Client playback-buffer model (Section III-D, Eqs. 7-8).
+//
+// Per-slot protocol, mirroring the paper's timing exactly:
+//
+//   1. begin_slot()    — computes the remaining occupancy
+//                        r(n) = max(r(n-1) - tau, 0) + t(n-1)   (Eq. 7),
+//                        where t(n-1) is the playback time of the shard
+//                        delivered in the previous slot (shards become usable
+//                        only in the slot after full reception).
+//   2. rebuffer_s()    — c(n) = max(tau - r(n), 0) while m(n) < M_i, else 0
+//                        (Eq. 8).
+//   3. deliver(t)      — records t(n) = d(n)/p(n) for the shard allocated in
+//                        this slot.
+//   4. end_slot()      — advances elapsed playback m by min(tau, r, M - m).
+#pragma once
+
+namespace jstream {
+
+/// Tolerance for declaring playback complete (seconds); absorbs the rounding
+/// of summing many shard durations.
+inline constexpr double kPlaybackCompletionEps_s = 1e-6;
+
+/// Mutable playback state of one streaming client.
+class PlaybackBuffer {
+ public:
+  /// `total_playback_s` is M_i; `tau_s` the slot length.
+  PlaybackBuffer(double total_playback_s, double tau_s);
+
+  /// Step 1: folds the previous slot's shard into the buffer (Eq. 7).
+  void begin_slot();
+
+  /// Step 2: rebuffering time of the current slot (Eq. 8). Only valid between
+  /// begin_slot() and end_slot().
+  [[nodiscard]] double rebuffer_s() const;
+
+  /// Step 3: registers the playback seconds carried by this slot's shard
+  /// (zero playback seconds is a valid no-transmission marker).
+  void deliver(double playback_seconds);
+
+  /// Step 4: plays out min(tau, r, M - m) seconds of content.
+  void end_slot();
+
+  /// r(n): playback seconds buffered at the beginning of the current slot.
+  [[nodiscard]] double occupancy_s() const noexcept { return occupancy_s_; }
+
+  /// m(n): elapsed playback time.
+  [[nodiscard]] double elapsed_s() const noexcept { return elapsed_s_; }
+
+  /// M_i: total playback time of the session.
+  [[nodiscard]] double total_s() const noexcept { return total_s_; }
+
+  /// True once m(n) >= M_i (playback complete; no further rebuffering).
+  [[nodiscard]] bool playback_finished() const noexcept;
+
+ private:
+  double total_s_;
+  double tau_s_;
+  double occupancy_s_ = 0.0;       ///< r(n), valid within a slot
+  double elapsed_s_ = 0.0;         ///< m(n)
+  double pending_playback_s_ = 0.0; ///< t(n) of the shard delivered this slot
+  bool in_slot_ = false;
+};
+
+}  // namespace jstream

@@ -1,0 +1,71 @@
+#include "media/video_session.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+/// Integrates the bitrate profile slot by slot until `size_kb` is consumed,
+/// returning the playback duration. For a constant profile this reduces to
+/// size / bitrate exactly.
+double integrate_playback_s(double size_kb, const BitrateProfile& profile,
+                            double tau_s) {
+  double remaining_kb = size_kb;
+  double duration_s = 0.0;
+  for (std::int64_t slot = 0; remaining_kb > 0.0; ++slot) {
+    const double rate = profile.bitrate_kbps(slot);
+    const double slot_kb = rate * tau_s;
+    if (slot_kb >= remaining_kb) {
+      duration_s += remaining_kb / rate;
+      return duration_s;
+    }
+    remaining_kb -= slot_kb;
+    duration_s += tau_s;
+  }
+  return duration_s;
+}
+
+}  // namespace
+
+VideoSession::VideoSession(double size_kb, std::shared_ptr<const BitrateProfile> bitrate,
+                           double tau_s)
+    : size_kb_(size_kb), bitrate_(std::move(bitrate)), tau_s_(tau_s) {
+  require(size_kb_ > 0.0, "video size must be positive");
+  require(bitrate_ != nullptr, "bitrate profile must not be null");
+  require(tau_s > 0.0, "slot length must be positive");
+  total_playback_s_ = integrate_playback_s(size_kb_, *bitrate_, tau_s);
+}
+
+double VideoSession::bitrate_kbps(std::int64_t slot) const {
+  return bitrate_->bitrate_kbps(slot);
+}
+
+double VideoSession::max_bitrate_kbps() const { return bitrate_->max_bitrate_kbps(); }
+
+double VideoSession::bitrate_at_time(double content_time_s) const {
+  require(content_time_s >= 0.0, "content time must be non-negative");
+  return bitrate_->bitrate_kbps(static_cast<std::int64_t>(content_time_s / tau_s_));
+}
+
+double VideoSession::advance_playback(double content_time_s, double kb) const {
+  require(content_time_s >= 0.0, "content time must be non-negative");
+  require(kb >= 0.0, "content amount must be non-negative");
+  double remaining_kb = kb;
+  double position_s = content_time_s;
+  while (remaining_kb > 0.0) {
+    const auto slot = static_cast<std::int64_t>(position_s / tau_s_);
+    const double rate = bitrate_->bitrate_kbps(slot);
+    const double slot_end_s = static_cast<double>(slot + 1) * tau_s_;
+    const double span_s = slot_end_s - position_s;
+    const double span_kb = rate * span_s;
+    if (span_kb >= remaining_kb) {
+      position_s += remaining_kb / rate;
+      break;
+    }
+    remaining_kb -= span_kb;
+    position_s = slot_end_s;
+  }
+  return position_s - content_time_s;
+}
+
+}  // namespace jstream

@@ -1,0 +1,53 @@
+// One user's video-on-demand session: total content size plus its required
+// data-rate profile. The total playback time M_i (Section III-D) follows from
+// integrating the bitrate profile until the content is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "media/bitrate_profile.hpp"
+
+namespace jstream {
+
+/// Immutable description of one streaming session.
+class VideoSession {
+ public:
+  /// `size_kb` is the full content size; `bitrate` the required-rate profile.
+  /// `tau_s` is the slot length used to integrate M_i for non-constant
+  /// profiles.
+  VideoSession(double size_kb, std::shared_ptr<const BitrateProfile> bitrate,
+               double tau_s = 1.0);
+
+  /// Content size in KB.
+  [[nodiscard]] double size_kb() const noexcept { return size_kb_; }
+
+  /// Required data rate p_i(n) for slot n, KB/s.
+  [[nodiscard]] double bitrate_kbps(std::int64_t slot) const;
+
+  /// Largest p_i over the session (for Lyapunov bounds and capacity checks).
+  [[nodiscard]] double max_bitrate_kbps() const;
+
+  /// M_i: total playback duration in seconds.
+  [[nodiscard]] double total_playback_s() const noexcept { return total_playback_s_; }
+
+  /// Required rate of the content at playback position `content_time_s`
+  /// (profiles are indexed on the content timeline in slot units).
+  [[nodiscard]] double bitrate_at_time(double content_time_s) const;
+
+  /// Playback seconds carried by `kb` of content starting at playback
+  /// position `content_time_s`. For constant-bitrate sessions this is exactly
+  /// kb / p; for VBR it integrates the profile so that delivering the whole
+  /// file always yields total_playback_s() (content-timeline consistency).
+  [[nodiscard]] double advance_playback(double content_time_s, double kb) const;
+
+  [[nodiscard]] const BitrateProfile& profile() const noexcept { return *bitrate_; }
+
+ private:
+  double size_kb_;
+  std::shared_ptr<const BitrateProfile> bitrate_;
+  double tau_s_;
+  double total_playback_s_;
+};
+
+}  // namespace jstream

@@ -1,0 +1,60 @@
+#include "net/allocation.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+std::int64_t Allocation::total_units() const noexcept {
+  std::int64_t total = 0;
+  for (std::int64_t u : units) total += u;
+  return total;
+}
+
+Allocation Allocation::zeros(std::size_t users) {
+  Allocation a;
+  a.units.assign(users, 0);
+  return a;
+}
+
+FeasibilityReport check_feasible(const Allocation& allocation,
+                                 std::span<const std::int64_t> link_unit_caps,
+                                 std::int64_t capacity_units) {
+  FeasibilityReport report;
+  if (allocation.units.size() != link_unit_caps.size()) {
+    report.feasible = false;
+    report.violation = "allocation size does not match user count";
+    return report;
+  }
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < allocation.units.size(); ++i) {
+    const std::int64_t phi = allocation.units[i];
+    if (phi < 0) {
+      report.feasible = false;
+      report.violation = "negative allocation for user " + std::to_string(i);
+      return report;
+    }
+    if (phi > link_unit_caps[i]) {
+      report.feasible = false;
+      report.violation = "constraint (1) violated for user " + std::to_string(i) + ": " +
+                         std::to_string(phi) + " > " + std::to_string(link_unit_caps[i]);
+      return report;
+    }
+    total += phi;
+  }
+  if (total > capacity_units) {
+    report.feasible = false;
+    report.violation = "constraint (2) violated: " + std::to_string(total) + " > " +
+                       std::to_string(capacity_units);
+  }
+  return report;
+}
+
+void require_feasible(const Allocation& allocation,
+                      std::span<const std::int64_t> link_unit_caps,
+                      std::int64_t capacity_units) {
+  const FeasibilityReport report =
+      check_feasible(allocation, link_unit_caps, capacity_units);
+  require(report.feasible, "infeasible allocation: " + report.violation);
+}
+
+}  // namespace jstream

@@ -1,0 +1,40 @@
+// Per-slot data-unit allocations and feasibility checking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jstream {
+
+/// Result of one scheduler invocation: phi_i(n) data units per user.
+struct Allocation {
+  std::vector<std::int64_t> units;  ///< one entry per user, non-negative
+
+  [[nodiscard]] std::int64_t total_units() const noexcept;
+  [[nodiscard]] std::size_t user_count() const noexcept { return units.size(); }
+
+  /// Zeroed allocation for `users` users.
+  [[nodiscard]] static Allocation zeros(std::size_t users);
+};
+
+/// Outcome of validating an allocation against constraints (1) and (2).
+struct FeasibilityReport {
+  bool feasible = true;
+  std::string violation;  ///< human-readable description of the first violation
+};
+
+/// Checks an allocation against the per-user link bounds (constraint (1)) and
+/// the base-station capacity in units (constraint (2)). `link_unit_caps` must
+/// have one entry per user.
+[[nodiscard]] FeasibilityReport check_feasible(const Allocation& allocation,
+                                               std::span<const std::int64_t> link_unit_caps,
+                                               std::int64_t capacity_units);
+
+/// Throwing variant of check_feasible for use at module boundaries.
+void require_feasible(const Allocation& allocation,
+                      std::span<const std::int64_t> link_unit_caps,
+                      std::int64_t capacity_units);
+
+}  // namespace jstream

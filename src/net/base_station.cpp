@@ -1,0 +1,29 @@
+#include "net/base_station.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+BaseStation::BaseStation(double capacity_kbps) {
+  require(capacity_kbps > 0.0, "BS capacity must be positive");
+  profile_ = [capacity_kbps](std::int64_t) { return capacity_kbps; };
+}
+
+BaseStation::BaseStation(std::function<double(std::int64_t)> profile)
+    : profile_(std::move(profile)) {
+  require(static_cast<bool>(profile_), "capacity profile must be callable");
+}
+
+double BaseStation::capacity_kbps(std::int64_t slot) const {
+  require(slot >= 0, "slot must be non-negative");
+  const double capacity = profile_(slot);
+  require(capacity > 0.0, "capacity profile returned non-positive value");
+  return capacity;
+}
+
+std::int64_t BaseStation::capacity_units(std::int64_t slot,
+                                         const SlotParams& params) const {
+  return params.capacity_units(capacity_kbps(slot));
+}
+
+}  // namespace jstream

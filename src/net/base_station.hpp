@@ -1,0 +1,35 @@
+// Base-station serving capacity S(n) (Section III-B).
+//
+// The paper's evaluation uses a constant 20 MB/s; a time-varying profile is
+// supported so load changes at the BS (one of the unpredictability sources
+// the introduction cites) can be simulated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/transmission.hpp"
+
+namespace jstream {
+
+/// Downlink serving capacity of one base station.
+class BaseStation {
+ public:
+  /// Constant capacity in KB/s (paper default: 20 MB/s = 20000 KB/s).
+  explicit BaseStation(double capacity_kbps);
+
+  /// Time-varying capacity: `profile(slot)` must return KB/s > 0.
+  explicit BaseStation(std::function<double(std::int64_t)> profile);
+
+  /// S(n) in KB/s.
+  [[nodiscard]] double capacity_kbps(std::int64_t slot) const;
+
+  /// Constraint (2) bound in data units for the given slot grid.
+  [[nodiscard]] std::int64_t capacity_units(std::int64_t slot,
+                                            const SlotParams& params) const;
+
+ private:
+  std::function<double(std::int64_t)> profile_;
+};
+
+}  // namespace jstream

@@ -1,0 +1,48 @@
+// Slotted transmission parameters (Section III-B).
+//
+// Time is slotted (length tau); the physical layer moves data in fixed-size
+// frames of delta KB, so per-slot allocations are integer unit counts phi:
+// d_i(n) = phi_i(n) * delta (Definition 1). The paper does not publish delta;
+// the library default is 100 KB (see DESIGN.md).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace jstream {
+
+/// Slot length and frame size shared by every module.
+struct SlotParams {
+  double tau_s = 1.0;      ///< slot duration, seconds
+  double delta_kb = 100.0; ///< frame / data-unit size, KB
+
+  /// Constraint (1) bound: units one user's link supports in a slot,
+  /// floor(tau * v / delta).
+  [[nodiscard]] std::int64_t link_units(double throughput_kbps) const noexcept {
+    return static_cast<std::int64_t>(std::floor(tau_s * throughput_kbps / delta_kb));
+  }
+
+  /// Constraint (2) bound: units the base station supports in a slot,
+  /// floor(tau * S / delta).
+  [[nodiscard]] std::int64_t capacity_units(double capacity_kbps) const noexcept {
+    return static_cast<std::int64_t>(std::floor(tau_s * capacity_kbps / delta_kb));
+  }
+
+  /// RTMA's per-slot need (Algorithm 1 step 3): ceil(tau * p / delta).
+  [[nodiscard]] std::int64_t need_units(double bitrate_kbps) const noexcept {
+    return static_cast<std::int64_t>(std::ceil(tau_s * bitrate_kbps / delta_kb));
+  }
+
+  /// Bytes-to-playback-time conversion helper: seconds of playback carried by
+  /// `units` data units at `bitrate_kbps` (t_i(n) = d_i(n) / p_i(n)).
+  [[nodiscard]] double playback_seconds(std::int64_t units, double bitrate_kbps) const noexcept {
+    return static_cast<double>(units) * delta_kb / bitrate_kbps;
+  }
+
+  /// KB carried by `units` data units.
+  [[nodiscard]] double units_to_kb(std::int64_t units) const noexcept {
+    return static_cast<double>(units) * delta_kb;
+  }
+};
+
+}  // namespace jstream

@@ -1,0 +1,47 @@
+#include "radio/link_model.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+LinearThroughputModel::LinearThroughputModel(double slope, double intercept)
+    : slope_(slope), intercept_(intercept) {
+  require(slope_ > 0.0, "throughput slope must be positive");
+}
+
+double LinearThroughputModel::throughput_kbps(double signal_dbm) const {
+  const double v = slope_ * signal_dbm + intercept_;
+  require(v > 0.0, "throughput fit is non-positive at this signal strength");
+  return v;
+}
+
+double LinearThroughputModel::signal_for_throughput(double kbps) const {
+  return (kbps - intercept_) / slope_;
+}
+
+FittedPowerModel::FittedPowerModel(std::shared_ptr<const ThroughputModel> throughput,
+                                   double offset, double scale)
+    : throughput_(std::move(throughput)), offset_(offset), scale_(scale) {
+  require(throughput_ != nullptr, "power model needs a throughput model");
+  require(scale_ > 0.0, "power scale must be positive");
+}
+
+double FittedPowerModel::energy_per_kb(double signal_dbm) const {
+  const double v = throughput_->throughput_kbps(signal_dbm);
+  const double p = offset_ + scale_ / v;
+  require(p > 0.0, "power fit is non-positive at this signal strength");
+  return p;
+}
+
+double FittedPowerModel::full_rate_power_mw(double signal_dbm) const {
+  const double v = throughput_->throughput_kbps(signal_dbm);
+  return energy_per_kb(signal_dbm) * v;  // mJ/KB * KB/s = mJ/s = mW
+}
+
+LinkModel make_paper_link_model() {
+  auto throughput = std::make_shared<const LinearThroughputModel>();
+  auto power = std::make_shared<const FittedPowerModel>(throughput);
+  return LinkModel{throughput, power};
+}
+
+}  // namespace jstream

@@ -1,0 +1,58 @@
+#include "radio/rrc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+double tail_energy_mj(const RadioProfile& profile, double t_s) {
+  require(t_s >= 0.0, "idle time must be non-negative");
+  const double in_dch = std::min(t_s, profile.t1_s);
+  const double in_fach = std::clamp(t_s - profile.t1_s, 0.0, profile.t2_s);
+  return profile.p_dch_mw * in_dch + profile.p_fach_mw * in_fach;
+}
+
+double slot_tail_energy_mj(const RadioProfile& profile, double idle_start_s,
+                           double tau_s) {
+  require(tau_s >= 0.0, "slot length must be non-negative");
+  return tail_energy_mj(profile, idle_start_s + tau_s) -
+         tail_energy_mj(profile, idle_start_s);
+}
+
+RrcStateMachine::RrcStateMachine(RadioProfile profile) : profile_(profile) {
+  validate(profile_);
+}
+
+double RrcStateMachine::advance_slot(double active_s, double tau_s) {
+  require(tau_s > 0.0, "slot length must be positive");
+  require(active_s >= 0.0, "active time must be non-negative");
+  if (active_s > 0.0) {
+    never_transmitted_ = false;
+    if (!profile_.continuous_tail) {
+      // Eq. 5 semantics: a transmission slot carries no tail energy; the tail
+      // clock starts at the slot boundary.
+      idle_s_ = 0.0;
+      return 0.0;
+    }
+    // Continuous-time Eq. 4: a fresh tail begins when the transfer ends; its
+    // first tau - active seconds fall inside this slot.
+    const double residue = std::max(tau_s - active_s, 0.0);
+    idle_s_ = residue;
+    return slot_tail_energy_mj(profile_, 0.0, residue);
+  }
+  if (never_transmitted_) return 0.0;  // radio was never promoted
+  const double energy = slot_tail_energy_mj(profile_, idle_s_, tau_s);
+  idle_s_ += tau_s;
+  return energy;
+}
+
+RrcState RrcStateMachine::state() const noexcept {
+  if (never_transmitted_) return RrcState::kIdle;
+  if (idle_s_ < profile_.t1_s) return RrcState::kDch;
+  if (profile_.kind == RrcKind::kTwoStateLte) return RrcState::kIdle;
+  if (idle_s_ < profile_.t1_s + profile_.t2_s) return RrcState::kFach;
+  return RrcState::kIdle;
+}
+
+}  // namespace jstream

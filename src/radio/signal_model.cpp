@@ -1,0 +1,77 @@
+#include "radio/signal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+ConstantSignalModel::ConstantSignalModel(double dbm) : dbm_(dbm) {
+  require(dbm <= 0.0, "RSSI must be non-positive dBm");
+}
+
+double ConstantSignalModel::signal_dbm(std::int64_t /*slot*/) { return dbm_; }
+
+SineSignalModel::SineSignalModel(SineSignalParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  require(params_.min_dbm < params_.max_dbm, "sine signal range is empty");
+  require(params_.period_slots > 0.0, "sine period must be positive");
+  require(params_.noise_stddev_db >= 0.0, "noise stddev must be non-negative");
+  last_value_ = 0.5 * (params_.min_dbm + params_.max_dbm);
+}
+
+double SineSignalModel::signal_dbm(std::int64_t slot) {
+  require(slot >= 0, "slot must be non-negative");
+  // Slots must be visited in order for noise reproducibility: a random stream
+  // has no random access. Repeated queries for the same slot are allowed.
+  if (slot < next_slot_ - 1) {
+    throw Error("SineSignalModel queried out of order");
+  }
+  if (slot == next_slot_ - 1) return last_value_;
+  for (; next_slot_ <= slot; ++next_slot_) {
+    const double mid = 0.5 * (params_.min_dbm + params_.max_dbm);
+    const double amplitude = 0.5 * (params_.max_dbm - params_.min_dbm);
+    const double angle = 2.0 * std::numbers::pi *
+                             static_cast<double>(next_slot_) / params_.period_slots +
+                         params_.phase_radians;
+    const double noise =
+        params_.noise_stddev_db > 0.0 ? rng_.gaussian(0.0, params_.noise_stddev_db) : 0.0;
+    last_value_ = std::clamp(mid + amplitude * std::sin(angle) + noise, params_.min_dbm,
+                             params_.max_dbm);
+  }
+  return last_value_;
+}
+
+TraceSignalModel::TraceSignalModel(std::vector<double> trace_dbm)
+    : trace_(std::move(trace_dbm)) {
+  require(!trace_.empty(), "signal trace must not be empty");
+}
+
+double TraceSignalModel::signal_dbm(std::int64_t slot) {
+  require(slot >= 0, "slot must be non-negative");
+  return trace_[static_cast<std::size_t>(slot) % trace_.size()];
+}
+
+GaussMarkovSignalModel::GaussMarkovSignalModel(Params params, Rng rng)
+    : params_(params), rng_(rng), value_(params.mean_dbm) {
+  require(params_.rho >= 0.0 && params_.rho < 1.0, "rho must be in [0,1)");
+  require(params_.min_dbm < params_.max_dbm, "signal range is empty");
+}
+
+double GaussMarkovSignalModel::signal_dbm(std::int64_t slot) {
+  require(slot >= 0, "slot must be non-negative");
+  if (slot < next_slot_ - 1) {
+    throw Error("GaussMarkovSignalModel queried out of order");
+  }
+  if (slot == next_slot_ - 1) return value_;
+  for (; next_slot_ <= slot; ++next_slot_) {
+    const double noise = rng_.gaussian(0.0, params_.noise_stddev_db);
+    value_ = params_.mean_dbm + params_.rho * (value_ - params_.mean_dbm) + noise;
+    value_ = std::clamp(value_, params_.min_dbm, params_.max_dbm);
+  }
+  return value_;
+}
+
+}  // namespace jstream

@@ -1,0 +1,56 @@
+#include "sim/catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+std::vector<ScenarioPreset> scenario_catalog() {
+  return {
+      {"paper", "Section VI defaults: 3G RRC, sine RSSI, CBR 300-600 KB/s"},
+      {"lte", "paper workload on the LTE two-state RRC profile"},
+      {"vbr", "variable-bitrate content (bounded random walk)"},
+      {"churn", "sessions arrive over the first 600 slots"},
+      {"wave", "base-station capacity oscillates +-30% (period 900 slots)"},
+      {"gauss-markov", "AR(1) channel instead of the sine process"},
+      {"stress", "churn + VBR + capacity wave combined"},
+  };
+}
+
+ScenarioConfig make_catalog_scenario(const std::string& name, std::size_t users,
+                                     std::uint64_t seed) {
+  ScenarioConfig config = paper_scenario(users, seed);
+  if (name == "paper") return config;
+  if (name == "lte") {
+    config.radio = lte_profile();
+    return config;
+  }
+  if (name == "vbr") {
+    config.vbr = true;
+    return config;
+  }
+  if (name == "churn") {
+    config.arrival_spread_slots = 600;
+    return config;
+  }
+  if (name == "wave") {
+    config.capacity_kind = CapacityKind::kSine;
+    config.capacity_wave_fraction = 0.3;
+    config.capacity_wave_period = 900.0;
+    return config;
+  }
+  if (name == "gauss-markov") {
+    config.signal_kind = SignalKind::kGaussMarkov;
+    return config;
+  }
+  if (name == "stress") {
+    config.arrival_spread_slots = 600;
+    config.vbr = true;
+    config.capacity_kind = CapacityKind::kSine;
+    config.capacity_wave_fraction = 0.3;
+    config.capacity_wave_period = 900.0;
+    return config;
+  }
+  throw Error("unknown scenario preset: " + name);
+}
+
+}  // namespace jstream

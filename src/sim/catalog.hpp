@@ -1,0 +1,35 @@
+// Named scenario presets: one-line access to the evaluation settings the
+// repository ships (the paper's, plus the extension scenarios). Used by the
+// CLI example and handy for downstream experimentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace jstream {
+
+/// One catalog entry.
+struct ScenarioPreset {
+  std::string name;
+  std::string description;
+};
+
+/// All preset names with one-line descriptions.
+[[nodiscard]] std::vector<ScenarioPreset> scenario_catalog();
+
+/// Builds a preset by name (see scenario_catalog()):
+///   "paper"        — Section VI defaults (3G, sine RSSI, CBR)
+///   "lte"          — paper workload on the LTE RRC profile
+///   "vbr"          — variable-bitrate content
+///   "churn"        — sessions arrive over the first 600 slots
+///   "wave"         — base-station capacity oscillates +-30%
+///   "gauss-markov" — AR(1) channel instead of the sine
+///   "stress"       — churn + VBR + capacity wave combined
+/// Throws jstream::Error for unknown names.
+[[nodiscard]] ScenarioConfig make_catalog_scenario(const std::string& name,
+                                                   std::size_t users = 40,
+                                                   std::uint64_t seed = 42);
+
+}  // namespace jstream

@@ -1,0 +1,21 @@
+#include "sim/forecast.hpp"
+
+#include "common/error.hpp"
+
+namespace jstream {
+
+std::vector<std::vector<double>> make_signal_forecast(const ScenarioConfig& config,
+                                                      std::int64_t slots) {
+  require(slots > 0, "forecast needs at least one slot");
+  std::vector<UserEndpoint> endpoints = build_endpoints(config);
+  std::vector<std::vector<double>> forecast(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    forecast[i].reserve(static_cast<std::size_t>(slots));
+    for (std::int64_t slot = 0; slot < slots; ++slot) {
+      forecast[i].push_back(endpoints[i].signal->signal_dbm(slot));
+    }
+  }
+  return forecast;
+}
+
+}  // namespace jstream

@@ -1,0 +1,19 @@
+// Perfect-prediction helpers: extract the deterministic signal trajectories a
+// scenario will produce, for oracle-assisted schedulers (core/lookahead.hpp)
+// and offline analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace jstream {
+
+/// Per-user signal forecasts for `slots` slots, replayed deterministically
+/// from the scenario seed (identical to what the simulator will feed the same
+/// population).
+[[nodiscard]] std::vector<std::vector<double>> make_signal_forecast(
+    const ScenarioConfig& config, std::int64_t slots);
+
+}  // namespace jstream

@@ -1,0 +1,120 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace jstream {
+
+double RunMetrics::total_energy_mj() const noexcept {
+  return total_trans_mj() + total_tail_mj();
+}
+
+double RunMetrics::total_trans_mj() const noexcept {
+  double total = 0.0;
+  for (const auto& u : per_user) total += u.trans_mj;
+  return total;
+}
+
+double RunMetrics::total_tail_mj() const noexcept {
+  double total = 0.0;
+  for (const auto& u : per_user) total += u.tail_mj;
+  return total;
+}
+
+double RunMetrics::total_rebuffer_s() const noexcept {
+  double total = 0.0;
+  for (const auto& u : per_user) total += u.rebuffer_s;
+  return total;
+}
+
+double RunMetrics::avg_energy_per_user_slot_mj() const noexcept {
+  if (per_user.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& u : per_user) {
+    const auto slots = std::max<std::int64_t>(u.session_slots, 1);
+    sum += u.energy_mj() / static_cast<double>(slots);
+  }
+  return sum / static_cast<double>(per_user.size());
+}
+
+double RunMetrics::avg_tail_per_user_slot_mj() const noexcept {
+  if (per_user.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& u : per_user) {
+    const auto slots = std::max<std::int64_t>(u.session_slots, 1);
+    sum += u.tail_mj / static_cast<double>(slots);
+  }
+  return sum / static_cast<double>(per_user.size());
+}
+
+double RunMetrics::avg_rebuffer_per_user_slot_s() const noexcept {
+  if (per_user.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& u : per_user) {
+    const auto slots = std::max<std::int64_t>(u.session_slots, 1);
+    sum += u.rebuffer_s / static_cast<double>(slots);
+  }
+  return sum / static_cast<double>(per_user.size());
+}
+
+double RunMetrics::mean_fairness() const noexcept {
+  if (slot_fairness.empty()) return 1.0;
+  double sum = 0.0;
+  for (double f : slot_fairness) sum += f;
+  return sum / static_cast<double>(slot_fairness.size());
+}
+
+double RunMetrics::completion_rate() const noexcept {
+  if (per_user.empty()) return 0.0;
+  const auto done = std::count_if(per_user.begin(), per_user.end(),
+                                  [](const UserTotals& u) { return u.playback_finished; });
+  return static_cast<double>(done) / static_cast<double>(per_user.size());
+}
+
+MetricsCollector::MetricsCollector(std::size_t users, bool keep_series)
+    : keep_series_(keep_series) {
+  require(users > 0, "metrics need at least one user");
+  metrics_.per_user.resize(users);
+}
+
+void MetricsCollector::record_slot(const SlotContext& ctx, const SlotOutcome& outcome) {
+  const std::size_t n = metrics_.per_user.size();
+  require(ctx.user_count() == n && outcome.units.size() == n,
+          "slot record size mismatch");
+  ++metrics_.slots_run;
+
+  double slot_energy = 0.0;
+  std::vector<double> shares;
+  shares.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    UserTotals& user = metrics_.per_user[i];
+    const UserSlotInfo& info = ctx.users[i];
+    user.trans_mj += outcome.trans_mj[i];
+    user.tail_mj += outcome.tail_mj[i];
+    user.delivered_kb += outcome.kb[i];
+    if (outcome.units[i] > 0) ++user.tx_slots;
+    slot_energy += outcome.trans_mj[i] + outcome.tail_mj[i];
+
+    const bool in_playback = info.arrived && !info.playback_done;
+    if (in_playback) {
+      user.rebuffer_s += outcome.rebuffer_s[i];
+      ++user.session_slots;
+      if (keep_series_) metrics_.rebuffer_samples_s.push_back(outcome.rebuffer_s[i]);
+    } else if (info.playback_done) {
+      user.playback_finished = true;
+    }
+    if (outcome.need_kb[i] > 0.0) {
+      shares.push_back(outcome.kb[i] / outcome.need_kb[i]);
+    }
+  }
+  if (keep_series_) {
+    metrics_.slot_energy_mj.push_back(slot_energy);
+    if (!shares.empty()) metrics_.slot_fairness.push_back(jain_index(shares));
+  }
+}
+
+RunMetrics MetricsCollector::finish() { return std::move(metrics_); }
+
+}  // namespace jstream

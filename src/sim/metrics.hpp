@@ -1,0 +1,80 @@
+// Metric collection for simulation runs: the paper's PE (Eq. 6), PC (Eq. 9),
+// the Jain fairness index over per-slot shares F_i = d_i / d_need(i)
+// (Section VI-A), and the transmission/tail energy split of Fig. 5b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gateway/data_transmitter.hpp"
+#include "gateway/slot_context.hpp"
+
+namespace jstream {
+
+/// Aggregates for one user over a whole run.
+struct UserTotals {
+  double trans_mj = 0.0;
+  double tail_mj = 0.0;
+  double rebuffer_s = 0.0;
+  double delivered_kb = 0.0;
+  std::int64_t session_slots = 0;  ///< Gamma_i: slots until playback finished
+  std::int64_t tx_slots = 0;       ///< slots in which this user transmitted
+  bool playback_finished = false;
+
+  [[nodiscard]] double energy_mj() const noexcept { return trans_mj + tail_mj; }
+};
+
+/// Results of one simulation run.
+struct RunMetrics {
+  std::int64_t slots_run = 0;
+  std::vector<UserTotals> per_user;
+
+  // Per-slot series (kept when MetricsCollector is constructed with
+  // keep_series = true).
+  std::vector<double> slot_fairness;       ///< Jain index over needy users
+  std::vector<double> slot_energy_mj;      ///< total energy across users
+  std::vector<double> rebuffer_samples_s;  ///< c_i(n) for users mid-playback
+
+  /// Sum of E_i(n) over all users and slots, mJ.
+  [[nodiscard]] double total_energy_mj() const noexcept;
+  [[nodiscard]] double total_trans_mj() const noexcept;
+  [[nodiscard]] double total_tail_mj() const noexcept;
+
+  /// Sum of c_i(n) over all users and slots, seconds.
+  [[nodiscard]] double total_rebuffer_s() const noexcept;
+
+  /// PE analogue normalized per session slot: mean over users of
+  /// (total energy of user i) / Gamma_i.
+  [[nodiscard]] double avg_energy_per_user_slot_mj() const noexcept;
+
+  /// Tail-energy component of the same average (Fig. 5b's black bar).
+  [[nodiscard]] double avg_tail_per_user_slot_mj() const noexcept;
+
+  /// PC analogue: mean over users of (total rebuffering of i) / Gamma_i.
+  [[nodiscard]] double avg_rebuffer_per_user_slot_s() const noexcept;
+
+  /// Mean per-slot Jain fairness index.
+  [[nodiscard]] double mean_fairness() const noexcept;
+
+  /// Fraction of users whose playback completed within the horizon.
+  [[nodiscard]] double completion_rate() const noexcept;
+};
+
+/// Streams per-slot outcomes into RunMetrics.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(std::size_t users, bool keep_series = true);
+
+  /// Records one executed slot. `ctx` must be the context the slot ran with
+  /// and `outcome` the transmitter's result.
+  void record_slot(const SlotContext& ctx, const SlotOutcome& outcome);
+
+  /// Finalizes and returns the metrics (collector may not be reused after).
+  [[nodiscard]] RunMetrics finish();
+
+ private:
+  RunMetrics metrics_;
+  bool keep_series_;
+};
+
+}  // namespace jstream

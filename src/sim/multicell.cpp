@@ -1,0 +1,79 @@
+#include "sim/multicell.hpp"
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+
+MultiCellConfig MultiCellConfig::uniform(const ScenarioConfig& base,
+                                         std::size_t cell_count) {
+  require(cell_count > 0, "deployment needs at least one cell");
+  MultiCellConfig config;
+  config.cells.reserve(cell_count);
+  for (std::size_t cell = 0; cell < cell_count; ++cell) {
+    ScenarioConfig scenario = base;
+    scenario.seed = base.seed + cell;
+    config.cells.push_back(std::move(scenario));
+  }
+  return config;
+}
+
+std::size_t MultiCellResult::total_users() const noexcept {
+  std::size_t total = 0;
+  for (const auto& cell : per_cell) total += cell.per_user.size();
+  return total;
+}
+
+double MultiCellResult::total_energy_mj() const noexcept {
+  double total = 0.0;
+  for (const auto& cell : per_cell) total += cell.total_energy_mj();
+  return total;
+}
+
+double MultiCellResult::total_rebuffer_s() const noexcept {
+  double total = 0.0;
+  for (const auto& cell : per_cell) total += cell.total_rebuffer_s();
+  return total;
+}
+
+double MultiCellResult::avg_energy_per_user_slot_mj() const noexcept {
+  const std::size_t users = total_users();
+  if (users == 0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& cell : per_cell) {
+    weighted += cell.avg_energy_per_user_slot_mj() *
+                static_cast<double>(cell.per_user.size());
+  }
+  return weighted / static_cast<double>(users);
+}
+
+double MultiCellResult::avg_rebuffer_per_user_slot_s() const noexcept {
+  const std::size_t users = total_users();
+  if (users == 0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& cell : per_cell) {
+    weighted += cell.avg_rebuffer_per_user_slot_s() *
+                static_cast<double>(cell.per_user.size());
+  }
+  return weighted / static_cast<double>(users);
+}
+
+MultiCellResult simulate_multicell(const MultiCellConfig& config,
+                                   const std::string& scheduler_name,
+                                   const SchedulerOptions& options,
+                                   std::size_t threads) {
+  require(!config.cells.empty(), "deployment needs at least one cell");
+  for (const auto& cell : config.cells) validate(cell);
+  ThreadPool pool(threads);
+  MultiCellResult result;
+  result.per_cell = parallel_map(pool, config.cells.size(), [&](std::size_t cell) {
+    // Each cell gets its own scheduler instance: framework state must not
+    // leak between base stations.
+    return simulate(config.cells[cell], make_scheduler(scheduler_name, options),
+                    /*keep_series=*/false);
+  });
+  return result;
+}
+
+}  // namespace jstream

@@ -1,0 +1,178 @@
+#include "sim/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+#include "radio/rrc.hpp"
+
+namespace jstream {
+namespace {
+
+struct UserPlan {
+  std::vector<std::int64_t> unit_deadline;  ///< non-decreasing (content order)
+  std::vector<double> unit_kb;              ///< delta, except a partial tail unit
+  std::set<std::size_t> unassigned;         ///< unit indices still pending
+  std::vector<std::int64_t> tx_slots;       ///< slots with at least one unit
+  std::int64_t start_slot = 0;
+};
+
+}  // namespace
+
+double OracleResult::avg_energy_per_user_slot_mj(
+    const std::vector<double>& session_playback_s) const {
+  require(session_playback_s.size() == per_user_trans_mj.size(),
+          "session duration count mismatch");
+  if (per_user_trans_mj.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < per_user_trans_mj.size(); ++i) {
+    const double slots = std::max(session_playback_s[i], 1.0);
+    sum += (per_user_trans_mj[i] + per_user_tail_mj[i]) / slots;
+  }
+  return sum / static_cast<double>(per_user_trans_mj.size());
+}
+
+OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec& spec) {
+  validate(config);
+  require(spec.startup_slots >= 0, "startup allowance must be non-negative");
+  std::vector<UserEndpoint> endpoints = build_endpoints(config);
+  const std::size_t n_users = endpoints.size();
+  const double tau = config.slot.tau_s;
+  const double delta = config.slot.delta_kb;
+
+  // Unit deadlines from the content timeline: a unit must arrive before the
+  // slot in which its first byte plays (startup allowance included).
+  std::vector<UserPlan> plans(n_users);
+  std::int64_t horizon = 1;
+  for (std::size_t i = 0; i < n_users; ++i) {
+    UserPlan& plan = plans[i];
+    plan.start_slot = endpoints[i].start_slot;
+    const VideoSession& session = endpoints[i].session;
+    double remaining_kb = session.size_kb();
+    double content_time = 0.0;
+    while (remaining_kb > 0.0) {
+      const double kb = std::min(delta, remaining_kb);
+      const std::int64_t deadline =
+          plan.start_slot + spec.startup_slots +
+          static_cast<std::int64_t>(content_time / tau);
+      plan.unit_deadline.push_back(deadline);
+      plan.unit_kb.push_back(kb);
+      content_time += session.advance_playback(content_time, kb);
+      remaining_kb -= kb;
+    }
+    for (std::size_t u = 0; u < plan.unit_kb.size(); ++u) plan.unassigned.insert(u);
+    if (!plan.unit_deadline.empty()) {
+      horizon = std::max(horizon, plan.unit_deadline.back() + 1);
+    }
+  }
+
+  // Record signals and per-slot bounds over the horizon.
+  const auto horizon_sz = static_cast<std::size_t>(horizon);
+  std::vector<std::vector<double>> price(n_users);   // mJ/KB per slot
+  std::vector<std::vector<std::int64_t>> link(n_users);
+  for (std::size_t i = 0; i < n_users; ++i) {
+    price[i].resize(horizon_sz);
+    link[i].resize(horizon_sz);
+    for (std::int64_t slot = 0; slot < horizon; ++slot) {
+      const double sig = endpoints[i].signal->signal_dbm(slot);
+      price[i][static_cast<std::size_t>(slot)] =
+          config.link.power->energy_per_kb(sig);
+      link[i][static_cast<std::size_t>(slot)] =
+          config.slot.link_units(config.link.throughput->throughput_kbps(sig));
+    }
+  }
+  const auto capacity = capacity_profile(config);
+  std::vector<std::int64_t> capacity_left(horizon_sz);
+  for (std::int64_t slot = 0; slot < horizon; ++slot) {
+    capacity_left[static_cast<std::size_t>(slot)] =
+        config.slot.capacity_units(capacity(slot));
+  }
+
+  // Cheapest-(user, slot) first assignment.
+  struct Pair {
+    double price;
+    std::uint32_t user;
+    std::int64_t slot;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(n_users * horizon_sz);
+  for (std::size_t i = 0; i < n_users; ++i) {
+    const std::int64_t last_deadline = plans[i].unit_deadline.back();
+    for (std::int64_t slot = plans[i].start_slot; slot <= last_deadline; ++slot) {
+      pairs.push_back({price[i][static_cast<std::size_t>(slot)],
+                       static_cast<std::uint32_t>(i), slot});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.price < b.price; });
+
+  OracleResult result;
+  result.horizon_slots = horizon;
+  result.per_user_trans_mj.assign(n_users, 0.0);
+  result.per_user_tail_mj.assign(n_users, 0.0);
+
+  for (const Pair& pair : pairs) {
+    UserPlan& plan = plans[pair.user];
+    if (plan.unassigned.empty()) continue;
+    const auto slot_sz = static_cast<std::size_t>(pair.slot);
+    std::int64_t room =
+        std::min(link[pair.user][slot_sz], capacity_left[slot_sz]);
+    if (room <= 0) continue;
+    // First pending unit whose deadline admits this slot: deadlines are
+    // non-decreasing in the unit index, so binary-search the index floor.
+    const auto& deadlines = plan.unit_deadline;
+    const auto first_ok_index = static_cast<std::size_t>(
+        std::lower_bound(deadlines.begin(), deadlines.end(), pair.slot) -
+        deadlines.begin());
+    auto it = plan.unassigned.lower_bound(first_ok_index);
+    bool used = false;
+    while (room > 0 && it != plan.unassigned.end()) {
+      const std::size_t unit = *it;
+      result.per_user_trans_mj[pair.user] += pair.price * plan.unit_kb[unit];
+      it = plan.unassigned.erase(it);
+      --room;
+      --capacity_left[slot_sz];
+      used = true;
+    }
+    if (used) plan.tx_slots.push_back(pair.slot);
+  }
+
+  // Feasibility and Eq. 4 tails from the realized gaps. Stranded units (no
+  // room anywhere in their window — the online schedulers stall on these) are
+  // priced at their window's cheapest rate to keep the byte bill complete.
+  for (std::size_t i = 0; i < n_users; ++i) {
+    UserPlan& plan = plans[i];
+    if (!plan.unassigned.empty()) {
+      result.feasible = false;
+      for (std::size_t unit : plan.unassigned) {
+        double best_price = std::numeric_limits<double>::infinity();
+        for (std::int64_t slot = plan.start_slot; slot <= plan.unit_deadline[unit];
+             ++slot) {
+          best_price = std::min(best_price, price[i][static_cast<std::size_t>(slot)]);
+        }
+        result.per_user_trans_mj[i] += best_price * plan.unit_kb[unit];
+        ++result.stranded_units;
+      }
+    }
+    if (plan.tx_slots.empty()) continue;
+    std::sort(plan.tx_slots.begin(), plan.tx_slots.end());
+    for (std::size_t k = 1; k < plan.tx_slots.size(); ++k) {
+      const std::int64_t gap = plan.tx_slots[k] - plan.tx_slots[k - 1] - 1;
+      if (gap > 0) {
+        result.per_user_tail_mj[i] +=
+            tail_energy_mj(config.radio, static_cast<double>(gap) * tau);
+      }
+    }
+    // Trailing tail after the final transmission.
+    result.per_user_tail_mj[i] += config.radio.max_tail_energy_mj();
+  }
+  for (std::size_t i = 0; i < n_users; ++i) {
+    result.total_trans_mj += result.per_user_trans_mj[i];
+    result.total_tail_mj += result.per_user_tail_mj[i];
+  }
+  return result;
+}
+
+}  // namespace jstream

@@ -1,0 +1,48 @@
+#include "sim/replication.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/sweep.hpp"
+
+namespace jstream {
+
+double ReplicatedMetric::ci95_halfwidth() const noexcept {
+  if (summary.count < 2) return 0.0;
+  return 1.96 * summary.stddev / std::sqrt(static_cast<double>(summary.count));
+}
+
+ReplicationResult replicate_experiment(const ExperimentSpec& spec,
+                                       std::size_t replications, std::size_t threads) {
+  require(replications >= 1, "need at least one replication");
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(replications);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    ExperimentSpec replica = spec;
+    replica.scenario.seed = spec.scenario.seed + rep;
+    specs.push_back(std::move(replica));
+  }
+
+  ReplicationResult result;
+  result.runs = run_sweep(specs, threads, /*keep_series=*/true);
+
+  const auto collect = [&](auto getter) {
+    std::vector<double> values;
+    values.reserve(result.runs.size());
+    for (const RunMetrics& run : result.runs) values.push_back(getter(run));
+    return summarize(values);
+  };
+  result.pe_mj.summary =
+      collect([](const RunMetrics& m) { return m.avg_energy_per_user_slot_mj(); });
+  result.pc_s.summary =
+      collect([](const RunMetrics& m) { return m.avg_rebuffer_per_user_slot_s(); });
+  result.fairness.summary =
+      collect([](const RunMetrics& m) { return m.mean_fairness(); });
+  result.total_energy_mj.summary =
+      collect([](const RunMetrics& m) { return m.total_energy_mj(); });
+  result.total_rebuffer_s.summary =
+      collect([](const RunMetrics& m) { return m.total_rebuffer_s(); });
+  return result;
+}
+
+}  // namespace jstream

@@ -1,0 +1,39 @@
+// Multi-seed replication: runs one experiment across R seeds and reports the
+// distribution of each headline metric. Single-seed figures can mislead in a
+// stochastic simulation; the bench binaries accept --reps to wrap their
+// points in this harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace jstream {
+
+/// Distribution of one run-level metric across replications.
+struct ReplicatedMetric {
+  Summary summary;
+
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+};
+
+/// Replication results for the headline metrics.
+struct ReplicationResult {
+  std::vector<RunMetrics> runs;  ///< one per seed, in seed order
+  ReplicatedMetric pe_mj;        ///< avg energy per user-slot
+  ReplicatedMetric pc_s;         ///< avg rebuffering per user-slot
+  ReplicatedMetric fairness;     ///< mean Jain index
+  ReplicatedMetric total_energy_mj;
+  ReplicatedMetric total_rebuffer_s;
+};
+
+/// Runs `spec` with seeds spec.scenario.seed + 0 .. replications-1 (parallel
+/// over `threads` workers) and aggregates. Requires replications >= 1.
+[[nodiscard]] ReplicationResult replicate_experiment(const ExperimentSpec& spec,
+                                                     std::size_t replications,
+                                                     std::size_t threads = 0);
+
+}  // namespace jstream

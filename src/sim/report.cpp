@@ -1,0 +1,76 @@
+#include "sim/report.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace jstream {
+
+std::string summarize_run(const std::string& label, const RunMetrics& metrics) {
+  std::ostringstream out;
+  out << label << ": " << metrics.slots_run << " slots, "
+      << format_double(100.0 * metrics.completion_rate(), 1) << "% sessions complete; "
+      << "PE " << format_double(metrics.avg_energy_per_user_slot_mj(), 1)
+      << " mJ/user-slot (tail "
+      << format_double(metrics.avg_tail_per_user_slot_mj(), 1) << "), PC "
+      << format_double(1000.0 * metrics.avg_rebuffer_per_user_slot_s(), 1)
+      << " ms/user-slot, fairness "
+      << format_double(metrics.mean_fairness(), 3) << "; totals: "
+      << format_double(metrics.total_energy_mj() / 1e6, 2) << " kJ, "
+      << format_double(metrics.total_rebuffer_s(), 0) << " s stalled.";
+  return out.str();
+}
+
+std::string render_report(const std::string& label, const RunMetrics& metrics) {
+  std::ostringstream out;
+  out << summarize_run(label, metrics) << "\n\n";
+  Table table("per-user totals",
+              {"user", "delivered (MB)", "trans (J)", "tail (J)", "stalls (s)",
+               "tx slots", "session slots", "done"});
+  for (std::size_t i = 0; i < metrics.per_user.size(); ++i) {
+    const UserTotals& user = metrics.per_user[i];
+    table.row({std::to_string(i), format_double(user.delivered_kb / 1000.0, 1),
+               format_double(user.trans_mj / 1000.0, 2),
+               format_double(user.tail_mj / 1000.0, 2),
+               format_double(user.rebuffer_s, 1), std::to_string(user.tx_slots),
+               std::to_string(user.session_slots),
+               user.playback_finished ? "yes" : "no"});
+  }
+  out << table.render();
+  return out.str();
+}
+
+void export_run_csv(const std::string& directory, const std::string& prefix,
+                    const RunMetrics& metrics) {
+  std::filesystem::create_directories(directory);
+  {
+    CsvWriter users(directory + "/" + prefix + "_users.csv",
+                    {"user", "delivered_kb", "trans_mj", "tail_mj", "rebuffer_s",
+                     "tx_slots", "session_slots", "playback_finished"});
+    for (std::size_t i = 0; i < metrics.per_user.size(); ++i) {
+      const UserTotals& user = metrics.per_user[i];
+      users.row(std::vector<std::string>{
+          std::to_string(i), format_double(user.delivered_kb, 3),
+          format_double(user.trans_mj, 3), format_double(user.tail_mj, 3),
+          format_double(user.rebuffer_s, 3), std::to_string(user.tx_slots),
+          std::to_string(user.session_slots),
+          user.playback_finished ? "1" : "0"});
+    }
+  }
+  if (!metrics.slot_energy_mj.empty()) {
+    CsvWriter slots(directory + "/" + prefix + "_slots.csv",
+                    {"slot", "energy_mj", "fairness"});
+    for (std::size_t n = 0; n < metrics.slot_energy_mj.size(); ++n) {
+      const std::string fairness =
+          n < metrics.slot_fairness.size()
+              ? format_double(metrics.slot_fairness[n], 5)
+              : "";
+      slots.row(std::vector<std::string>{
+          std::to_string(n), format_double(metrics.slot_energy_mj[n], 3), fairness});
+    }
+  }
+}
+
+}  // namespace jstream

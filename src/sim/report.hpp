@@ -1,0 +1,28 @@
+// Result reporting: turn RunMetrics into human-readable summaries and CSV
+// exports. Shared by the examples and usable by downstream tooling.
+#pragma once
+
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+
+namespace jstream {
+
+/// One-paragraph headline summary of a run (PE, PC, fairness, completion).
+[[nodiscard]] std::string summarize_run(const std::string& label,
+                                        const RunMetrics& metrics);
+
+/// Full text report: headline plus a per-user table (delivered, energy split,
+/// stalls, session length).
+[[nodiscard]] std::string render_report(const std::string& label,
+                                        const RunMetrics& metrics);
+
+/// Exports a run into `directory`:
+///   <prefix>_users.csv  — one row per user (totals)
+///   <prefix>_slots.csv  — per-slot series (when the run kept them)
+/// Creates the directory if needed; throws jstream::Error on I/O failure.
+void export_run_csv(const std::string& directory, const std::string& prefix,
+                    const RunMetrics& metrics);
+
+}  // namespace jstream

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "net/base_station.hpp"
+
+namespace jstream {
+
+Simulator::Simulator(ScenarioConfig config, std::unique_ptr<Scheduler> scheduler,
+                     SchedulingMode mode)
+    : config_(std::move(config)), scheduler_(std::move(scheduler)), mode_(mode) {
+  validate(config_);
+  require(scheduler_ != nullptr, "simulator needs a scheduler");
+}
+
+RunMetrics Simulator::run(bool keep_series) {
+  std::vector<UserEndpoint> endpoints = build_endpoints(config_);
+  const BaseStation bs(capacity_profile(config_));
+  InfoCollector collector(config_.slot, config_.link, config_.radio);
+  const double backhaul = config_.backhaul_kbps > 0.0
+                              ? config_.backhaul_kbps
+                              : std::numeric_limits<double>::infinity();
+  Framework framework(std::move(collector), std::move(scheduler_), mode_,
+                      config_.users, backhaul);
+  MetricsCollector metrics(config_.users, keep_series);
+
+  // After the last session ends, run a few more slots so outstanding RRC
+  // tails are charged (Eq. 4 energy does not vanish when content runs out).
+  const auto tail_flush_slots = static_cast<std::int64_t>(
+      std::ceil(config_.radio.tail_duration_s() / config_.slot.tau_s)) + 1;
+  std::int64_t idle_streak = 0;
+
+  for (std::int64_t slot = 0; slot < config_.max_slots; ++slot) {
+    const SlotOutcome outcome = framework.run_slot(slot, endpoints, bs);
+    metrics.record_slot(framework.last_context(), outcome);
+
+    if (!config_.early_stop) continue;
+    const bool all_done =
+        std::all_of(endpoints.begin(), endpoints.end(),
+                    [](const UserEndpoint& e) { return !e.active(); });
+    idle_streak = all_done ? idle_streak + 1 : 0;
+    if (idle_streak >= tail_flush_slots) break;
+  }
+  return metrics.finish();
+}
+
+RunMetrics simulate(const ScenarioConfig& config, std::unique_ptr<Scheduler> scheduler,
+                    bool keep_series) {
+  Simulator simulator(config, std::move(scheduler));
+  return simulator.run(keep_series);
+}
+
+}  // namespace jstream

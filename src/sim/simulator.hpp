@@ -1,0 +1,40 @@
+// The slotted simulation engine: builds a scenario's endpoints, wires the
+// gateway framework around a scheduler, and runs the per-slot loop while
+// streaming outcomes into a MetricsCollector.
+#pragma once
+
+#include <memory>
+
+#include "gateway/framework.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+
+namespace jstream {
+
+/// Runs one scheduler over one scenario.
+class Simulator {
+ public:
+  /// Takes ownership of the scheduler. `mode` is recorded on the framework
+  /// for introspection; it does not alter behaviour.
+  Simulator(ScenarioConfig config, std::unique_ptr<Scheduler> scheduler,
+            SchedulingMode mode = SchedulingMode::kBaseline);
+
+  /// Runs to completion: until max_slots, or (with early_stop) until every
+  /// session has finished and the RRC tails have been flushed. `keep_series`
+  /// controls whether per-slot series are retained in the result.
+  [[nodiscard]] RunMetrics run(bool keep_series = true);
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+
+ private:
+  ScenarioConfig config_;
+  std::unique_ptr<Scheduler> scheduler_;
+  SchedulingMode mode_;
+};
+
+/// Convenience wrapper: build, run, and return metrics in one call.
+[[nodiscard]] RunMetrics simulate(const ScenarioConfig& config,
+                                  std::unique_ptr<Scheduler> scheduler,
+                                  bool keep_series = true);
+
+}  // namespace jstream

@@ -1,0 +1,15 @@
+#include "sim/sweep.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace jstream {
+
+std::vector<RunMetrics> run_sweep(std::span<const ExperimentSpec> specs,
+                                  std::size_t threads, bool keep_series) {
+  ThreadPool pool(threads);
+  return parallel_map(pool, specs.size(), [&](std::size_t i) {
+    return run_experiment(specs[i], keep_series);
+  });
+}
+
+}  // namespace jstream

@@ -1,0 +1,18 @@
+// Parallel execution of experiment batches. Each ExperimentSpec is an
+// independent simulation, so sweeps scale linearly with available cores.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace jstream {
+
+/// Runs every spec (order-preserving results) on a thread pool with `threads`
+/// workers (0 = hardware concurrency). `keep_series` as in run_experiment.
+[[nodiscard]] std::vector<RunMetrics> run_sweep(std::span<const ExperimentSpec> specs,
+                                                std::size_t threads = 0,
+                                                bool keep_series = false);
+
+}  // namespace jstream

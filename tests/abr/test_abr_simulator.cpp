@@ -1,0 +1,88 @@
+#include "abr/abr_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+AbrScenarioConfig small_abr(std::uint64_t seed = 9) {
+  AbrScenarioConfig config;
+  config.base = paper_scenario(5, seed);
+  config.base.max_slots = 3000;
+  config.duration_min_s = 40.0;
+  config.duration_max_s = 80.0;
+  return config;
+}
+
+TEST(AbrSimulator, CompletesEverySession) {
+  const AbrRunMetrics metrics = simulate_abr(small_abr(), make_scheduler("default"));
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+  EXPECT_GT(metrics.total_energy_mj(), 0.0);
+  EXPECT_LT(metrics.slots_run, 3000);
+  for (const auto& user : metrics.per_user) {
+    EXPECT_GE(user.qoe.mean_quality_kbps(user.duration_s), 300.0 - 1e-6);
+    EXPECT_LE(user.qoe.mean_quality_kbps(user.duration_s), 600.0 + 1e-6);
+  }
+}
+
+TEST(AbrSimulator, DeterministicPerSeed) {
+  const AbrRunMetrics a = simulate_abr(small_abr(5), make_scheduler("default"));
+  const AbrRunMetrics b = simulate_abr(small_abr(5), make_scheduler("default"));
+  EXPECT_DOUBLE_EQ(a.total_energy_mj(), b.total_energy_mj());
+  EXPECT_DOUBLE_EQ(a.mean_qoe_score(), b.mean_qoe_score());
+}
+
+TEST(AbrSimulator, BufferBasedBeatsLowestFixedOnQuality) {
+  AbrScenarioConfig adaptive = small_abr();
+  adaptive.selector = "buffer-based";
+  AbrScenarioConfig floor_quality = small_abr();
+  floor_quality.selector = "fixed";
+  const AbrRunMetrics a = simulate_abr(adaptive, make_scheduler("default"));
+  const AbrRunMetrics b = simulate_abr(floor_quality, make_scheduler("default"));
+  // With ample capacity the adaptive client climbs the ladder.
+  EXPECT_GT(a.mean_quality_kbps(), b.mean_quality_kbps());
+  EXPECT_NEAR(b.mean_quality_kbps(), 300.0, 1e-6);
+}
+
+TEST(AbrSimulator, RateBasedStaysWithinEstimatedThroughput) {
+  AbrScenarioConfig config = small_abr();
+  config.selector = "rate-based";
+  const AbrRunMetrics metrics = simulate_abr(config, make_scheduler("default"));
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+}
+
+TEST(AbrSimulator, WorksWithEveryFactoryScheduler) {
+  for (const std::string& name : scheduler_names()) {
+    const AbrRunMetrics metrics = simulate_abr(small_abr(3), make_scheduler(name));
+    EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0) << name;
+  }
+}
+
+TEST(AbrSimulator, ContentionPushesQualityDown) {
+  AbrScenarioConfig roomy = small_abr(21);
+  AbrScenarioConfig squeezed = small_abr(21);
+  squeezed.base.capacity_kbps = 1600.0;  // 5 users x ~320 KB/s
+  const AbrRunMetrics a = simulate_abr(roomy, make_scheduler("default"));
+  const AbrRunMetrics b = simulate_abr(squeezed, make_scheduler("default"));
+  EXPECT_LT(b.mean_quality_kbps(), a.mean_quality_kbps());
+}
+
+TEST(AbrSimulator, RejectsBadConfiguration) {
+  AbrScenarioConfig config = small_abr();
+  config.duration_min_s = 0.0;
+  EXPECT_THROW((void)simulate_abr(config, make_scheduler("default")), Error);
+  config = small_abr();
+  config.segment_s = 0.0;
+  EXPECT_THROW((void)simulate_abr(config, make_scheduler("default")), Error);
+  config = small_abr();
+  EXPECT_THROW((void)simulate_abr(config, nullptr), Error);
+  config = small_abr();
+  config.ladder_kbps = {600.0, 300.0};
+  EXPECT_THROW((void)simulate_abr(config, make_scheduler("default")), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,45 @@
+#include "abr/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(QualityLadder, BasicAccess) {
+  const QualityLadder ladder({300.0, 450.0, 600.0});
+  EXPECT_EQ(ladder.levels(), 3u);
+  EXPECT_DOUBLE_EQ(ladder.rate_kbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(ladder.rate_kbps(2), 600.0);
+  EXPECT_DOUBLE_EQ(ladder.min_rate_kbps(), 300.0);
+  EXPECT_DOUBLE_EQ(ladder.max_rate_kbps(), 600.0);
+}
+
+TEST(QualityLadder, LevelForRate) {
+  const QualityLadder ladder({300.0, 450.0, 600.0});
+  EXPECT_EQ(ladder.level_for_rate(100.0), 0u);   // below everything -> lowest
+  EXPECT_EQ(ladder.level_for_rate(300.0), 0u);
+  EXPECT_EQ(ladder.level_for_rate(449.0), 0u);
+  EXPECT_EQ(ladder.level_for_rate(450.0), 1u);
+  EXPECT_EQ(ladder.level_for_rate(10000.0), 2u);
+}
+
+TEST(QualityLadder, RejectsMalformedLadders) {
+  EXPECT_THROW(QualityLadder({}), Error);
+  EXPECT_THROW(QualityLadder({-1.0, 300.0}), Error);
+  EXPECT_THROW(QualityLadder({300.0, 300.0}), Error);
+  EXPECT_THROW(QualityLadder({600.0, 300.0}), Error);
+  const QualityLadder ladder({300.0});
+  EXPECT_THROW((void)ladder.rate_kbps(1), Error);
+}
+
+TEST(QualityLadder, PaperRangePreset) {
+  const QualityLadder ladder = paper_range_ladder();
+  EXPECT_EQ(ladder.levels(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.min_rate_kbps(), 300.0);
+  EXPECT_DOUBLE_EQ(ladder.max_rate_kbps(), 600.0);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,67 @@
+#include "abr/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+const QualityLadder kLadder({300.0, 375.0, 450.0, 525.0, 600.0});
+
+AbrDecisionInput input(double buffer_s, double throughput = 0.0,
+                       std::size_t last = 0) {
+  AbrDecisionInput in;
+  in.buffer_s = buffer_s;
+  in.throughput_kbps = throughput;
+  in.last_level = last;
+  return in;
+}
+
+TEST(FixedQualitySelector, AlwaysSameLevelAndClamped) {
+  FixedQualitySelector low(0);
+  FixedQualitySelector over(99);
+  EXPECT_EQ(low.select(input(0.0), kLadder), 0u);
+  EXPECT_EQ(low.select(input(100.0), kLadder), 0u);
+  EXPECT_EQ(over.select(input(0.0), kLadder), 4u);
+}
+
+TEST(BufferBasedSelector, MapsBufferToLevels) {
+  BufferBasedSelector bba(8.0, 40.0);
+  EXPECT_EQ(bba.select(input(0.0), kLadder), 0u);
+  EXPECT_EQ(bba.select(input(8.0), kLadder), 0u);
+  EXPECT_EQ(bba.select(input(40.0), kLadder), 4u);
+  EXPECT_EQ(bba.select(input(100.0), kLadder), 4u);
+  // Midpoint of the cushion maps to the middle of the ladder.
+  EXPECT_EQ(bba.select(input(24.0), kLadder), 2u);
+}
+
+TEST(BufferBasedSelector, MonotoneInBuffer) {
+  BufferBasedSelector bba;
+  std::size_t prev = 0;
+  for (double buffer = 0.0; buffer <= 60.0; buffer += 2.0) {
+    const std::size_t level = bba.select(input(buffer), kLadder);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(RateBasedSelector, PicksSustainableLevel) {
+  RateBasedSelector rate(0.8);
+  // 0.8 * 700 = 560 -> highest level at or below 560 is 525 (index 3).
+  EXPECT_EQ(rate.select(input(0.0, 700.0), kLadder), 3u);
+  EXPECT_EQ(rate.select(input(0.0, 10000.0), kLadder), 4u);
+  EXPECT_EQ(rate.select(input(0.0, 100.0), kLadder), 0u);
+}
+
+TEST(Selectors, FactoryAndValidation) {
+  EXPECT_EQ(make_quality_selector("fixed")->name(), "fixed");
+  EXPECT_EQ(make_quality_selector("buffer-based")->name(), "buffer-based");
+  EXPECT_EQ(make_quality_selector("rate-based")->name(), "rate-based");
+  EXPECT_THROW((void)make_quality_selector("bogus"), Error);
+  EXPECT_THROW(BufferBasedSelector(10.0, 5.0), Error);
+  EXPECT_THROW(RateBasedSelector(0.0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

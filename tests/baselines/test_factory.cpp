@@ -1,0 +1,53 @@
+#include "baselines/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/ema_fast.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(Factory, CreatesEveryRegisteredScheduler) {
+  for (const std::string& name : scheduler_names()) {
+    const auto scheduler = make_scheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->name(), name);
+  }
+}
+
+TEST(Factory, RejectsUnknownName) {
+  EXPECT_THROW((void)make_scheduler("bogus"), Error);
+  EXPECT_THROW((void)make_scheduler(""), Error);
+}
+
+TEST(Factory, ForwardsRtmaOptions) {
+  SchedulerOptions options;
+  options.rtma.energy_budget_mj = 900.0;
+  const auto scheduler = make_scheduler("rtma", options);
+  const auto* rtma = dynamic_cast<const RtmaScheduler*>(scheduler.get());
+  ASSERT_NE(rtma, nullptr);
+  EXPECT_DOUBLE_EQ(rtma->config().energy_budget_mj, 900.0);
+}
+
+TEST(Factory, ForwardsEmaOptions) {
+  SchedulerOptions options;
+  options.ema.v_weight = 0.42;
+  const auto scheduler = make_scheduler("ema-fast", options);
+  const auto* ema = dynamic_cast<const EmaFastScheduler*>(scheduler.get());
+  ASSERT_NE(ema, nullptr);
+  EXPECT_DOUBLE_EQ(ema->config().v_weight, 0.42);
+}
+
+TEST(Factory, SchedulerNamesAreUniqueAndComplete) {
+  const auto names = scheduler_names();
+  EXPECT_EQ(names.size(), 9u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jstream

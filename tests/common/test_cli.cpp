@@ -1,0 +1,108 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+Cli make() {
+  Cli cli("prog", "test");
+  cli.add_flag("users", "40", "number of users");
+  cli.add_flag("rate", "1.5", "a rate");
+  cli.add_flag("verbose", "false", "flag");
+  cli.add_flag("name", "abc", "a string");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  Cli cli = make();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("users"), 40);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_string("name"), "abc");
+  EXPECT_FALSE(cli.provided("users"));
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  Cli cli = make();
+  const char* argv[] = {"prog", "--users", "20", "--rate=2.25", "--verbose=true"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.get_int("users"), 20);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.25);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_TRUE(cli.provided("users"));
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli = make();
+  const char* argv[] = {"prog", "--help"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.help().find("--users"), std::string::npos);
+}
+
+TEST(Cli, BareBooleanSwitches) {
+  // Flags whose default is true/false act as switches: `--verbose` alone
+  // means true, whether trailing or followed by another flag.
+  Cli cli = make();
+  const char* argv[] = {"prog", "--verbose", "--users", "10"};
+  cli.parse(4, argv);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("users"), 10);
+
+  Cli trailing = make();
+  const char* argv2[] = {"prog", "--verbose"};
+  trailing.parse(2, argv2);
+  EXPECT_TRUE(trailing.get_bool("verbose"));
+
+  // Explicit values still work.
+  Cli explicit_value = make();
+  const char* argv3[] = {"prog", "--verbose", "false"};
+  explicit_value.parse(3, argv3);
+  EXPECT_FALSE(explicit_value.get_bool("verbose"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli = make();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli = make();
+  const char* argv[] = {"prog", "--users"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  Cli cli = make();
+  const char* argv[] = {"prog", "--users", "12abc"};
+  cli.parse(3, argv);
+  EXPECT_THROW((void)cli.get_int("users"), Error);
+  const char* argv2[] = {"prog", "--rate", "fast"};
+  Cli cli2 = make();
+  cli2.parse(3, argv2);
+  EXPECT_THROW((void)cli2.get_double("rate"), Error);
+}
+
+TEST(Cli, RejectsDuplicateDeclaration) {
+  Cli cli("prog", "test");
+  cli.add_flag("x", "1", "");
+  EXPECT_THROW(cli.add_flag("x", "2", ""), Error);
+}
+
+TEST(EnvInt, FallsBackOnUnsetOrGarbage) {
+  EXPECT_EQ(env_int("JSTREAM_DEFINITELY_UNSET_VAR", 7), 7);
+  ::setenv("JSTREAM_TEST_ENV_INT", "123", 1);
+  EXPECT_EQ(env_int("JSTREAM_TEST_ENV_INT", 7), 123);
+  ::setenv("JSTREAM_TEST_ENV_INT", "12x", 1);
+  EXPECT_EQ(env_int("JSTREAM_TEST_ENV_INT", 7), 7);
+  ::unsetenv("JSTREAM_TEST_ENV_INT");
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CsvEscape, PlainCellUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(CsvEscape, QuotesCommasAndNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("jstream_csv_test1.csv");
+  {
+    CsvWriter writer(path, {"a", "b"});
+    writer.row(std::vector<std::string>{"1", "x"});
+    writer.row(std::vector<double>{2.5, 3.0});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1,x\n2.5,3\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = temp_path("jstream_csv_test2.csv");
+  CsvWriter writer(path, {"a", "b"});
+  EXPECT_THROW(writer.row(std::vector<std::string>{"only-one"}), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, RejectsEmptyHeaderAndBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}), Error);
+  const std::string path = temp_path("jstream_csv_test3.csv");
+  EXPECT_THROW(CsvWriter(path, {}), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, DoubleRoundTripPrecision) {
+  const std::string path = temp_path("jstream_csv_test4.csv");
+  {
+    CsvWriter writer(path, {"v"});
+    writer.row(std::vector<double>{0.1234567890123456789});
+  }
+  const std::string text = slurp(path);
+  const double parsed = std::stod(text.substr(text.find('\n') + 1));
+  EXPECT_DOUBLE_EQ(parsed, 0.1234567890123456789);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace jstream

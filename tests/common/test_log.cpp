@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jstream {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EmittingBelowLevelIsSafeNoop) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Nothing to assert on stderr here; the contract is simply "does not
+  // crash or throw at any level".
+  EXPECT_NO_THROW(log_debug("hidden"));
+  EXPECT_NO_THROW(log_info("hidden"));
+  EXPECT_NO_THROW(log_warn("hidden"));
+  EXPECT_NO_THROW(log_error("hidden"));
+}
+
+TEST(Log, DefaultLevelSuppressesInfo) {
+  // The library default is kWarn so simulations stay quiet.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(log_level()));
+}
+
+}  // namespace
+}  // namespace jstream

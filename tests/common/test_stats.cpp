@@ -1,0 +1,112 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(Percentile, ExactValuesOnSmallSample) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW((void)percentile({}, 0.5), Error);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, 1.5), Error);
+  EXPECT_THROW((void)percentile(v, -0.1), Error);
+}
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(EmpiricalCdf, EndsAtOneAndIsMonotone) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i % 37));
+  const auto cdf = empirical_cdf(v, 20);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(EmpiricalCdf, DownsamplesToRequestedPoints) {
+  std::vector<double> v(1000, 1.0);
+  EXPECT_EQ(empirical_cdf(v, 10).size(), 10u);
+  EXPECT_EQ(empirical_cdf(v, 5000).size(), 1000u);
+}
+
+TEST(FractionAtMost, CountsInclusive) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most({}, 1.0), 0.0);
+}
+
+TEST(JainIndex, KnownValues) {
+  // Equal shares -> 1.
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{2.0, 2.0, 2.0}), 1.0);
+  // One user takes everything among n -> 1/n.
+  EXPECT_NEAR(jain_index(std::vector<double>{1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndex, BoundedBetweenOneOverNAndOne) {
+  Summary dummy;  // silence unused warnings pattern
+  (void)dummy;
+  const std::vector<double> shares{0.1, 0.9, 0.4, 0.0, 1.3};
+  const double j = jain_index(shares);
+  EXPECT_GE(j, 1.0 / static_cast<double>(shares.size()));
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(RunningStat, MatchesBatchStatistics) {
+  const std::vector<double> v{1.5, 2.5, 3.5, 10.0, -4.0};
+  RunningStat rs;
+  for (double x : v) rs.add(x);
+  const Summary s = summarize(v);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+}
+
+TEST(RunningStat, ZeroVarianceForSingleton) {
+  RunningStat rs;
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,49 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table("t", {"name", "value"});
+  table.row({"a", "1"});
+  table.row({"long-name", "22"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("== t =="), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  // Header line pads "name" to the widest cell.
+  EXPECT_NE(text.find("name       value"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelperFormats) {
+  Table table("t", {"x", "y", "z"});
+  table.row("row1", {1.23456, 7.0}, 2);
+  const std::string text = table.render();
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("7.00"), std::string::npos);
+}
+
+TEST(Table, RejectsWidthMismatchAndEmptyHeader) {
+  Table table("t", {"a", "b"});
+  EXPECT_THROW(table.row({"only-one"}), Error);
+  EXPECT_THROW(Table("t", {}), Error);
+}
+
+TEST(Table, RuleSeparatesHeaderFromBody) {
+  Table table("", {"a"});
+  table.row({"v"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jstream

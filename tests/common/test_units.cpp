@@ -1,0 +1,27 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jstream {
+namespace {
+
+TEST(Units, MbKbRoundTrip) {
+  EXPECT_DOUBLE_EQ(mb_to_kb(350.0), 350000.0);
+  EXPECT_DOUBLE_EQ(kb_to_mb(350000.0), 350.0);
+  EXPECT_DOUBLE_EQ(kb_to_mb(mb_to_kb(123.456)), 123.456);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(mj_to_j(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(j_to_mj(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(mw_to_w(732.83), 0.73283);
+}
+
+TEST(Units, ConstexprUsable) {
+  static_assert(mb_to_kb(1.0) == 1000.0);
+  static_assert(mj_to_j(1000.0) == 1.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace jstream

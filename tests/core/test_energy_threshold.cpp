@@ -1,0 +1,87 @@
+#include "core/energy_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "radio/radio_profile.hpp"
+
+namespace jstream {
+namespace {
+
+class EnergyThresholdTest : public ::testing::Test {
+ protected:
+  LinkModel link_ = make_paper_link_model();
+  EnergyThresholdSpec spec_{};  // budget set per test
+};
+
+TEST_F(EnergyThresholdTest, SlotEnergyEstimateMatchesEq12) {
+  // Phi-cost at sig: 1/2 [P(sig) v(sig) tau + tau Ptail];
+  // P*v = -0.167 v + 1560 mW.
+  spec_.tail_power_mw = 732.83;
+  const double sig = -80.0;
+  const double v = 65.8 * sig + 7567.0;
+  const double expected = 0.5 * ((-0.167 * v + 1560.0) + 732.83);
+  EXPECT_NEAR(slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power, sig),
+              expected, 1e-9);
+}
+
+TEST_F(EnergyThresholdTest, CostDecreasesWithSignal) {
+  double prev = slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power, -110.0);
+  for (double sig = -105.0; sig <= -50.0; sig += 5.0) {
+    const double cur = slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power, sig);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_F(EnergyThresholdTest, GenerousBudgetAdmitsEveryone) {
+  spec_.budget_mj = slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power,
+                                            spec_.min_dbm) + 1.0;
+  EXPECT_DOUBLE_EQ(signal_threshold_dbm(spec_, *link_.throughput, *link_.power),
+                   spec_.min_dbm);
+}
+
+TEST_F(EnergyThresholdTest, ImpossibleBudgetAdmitsNobody) {
+  spec_.budget_mj = slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power,
+                                            spec_.max_dbm) - 1.0;
+  EXPECT_GT(signal_threshold_dbm(spec_, *link_.throughput, *link_.power),
+            spec_.max_dbm);
+}
+
+TEST_F(EnergyThresholdTest, ThresholdSolvesEq12Exactly) {
+  // Pick the cost at -85 dBm as the budget: the threshold must be -85.
+  const double target = -85.0;
+  spec_.budget_mj =
+      slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power, target);
+  const double phi = signal_threshold_dbm(spec_, *link_.throughput, *link_.power);
+  EXPECT_NEAR(phi, target, 1e-6);
+  // At the threshold the budget is satisfied; just below it is not.
+  EXPECT_LE(slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power, phi),
+            spec_.budget_mj + 1e-9);
+  EXPECT_GT(slot_energy_estimate_mj(spec_, *link_.throughput, *link_.power, phi - 0.01),
+            spec_.budget_mj);
+}
+
+TEST_F(EnergyThresholdTest, ThresholdMonotoneInBudget) {
+  double prev_threshold = 100.0;
+  for (double budget : {800.0, 900.0, 1000.0, 1100.0}) {
+    spec_.budget_mj = budget;
+    const double phi = signal_threshold_dbm(spec_, *link_.throughput, *link_.power);
+    EXPECT_LT(phi, prev_threshold);  // bigger budget -> weaker admissible signal
+    prev_threshold = phi;
+  }
+}
+
+TEST_F(EnergyThresholdTest, RejectsInvalidSpec) {
+  spec_.budget_mj = -1.0;
+  EXPECT_THROW((void)signal_threshold_dbm(spec_, *link_.throughput, *link_.power),
+               Error);
+  spec_.budget_mj = 100.0;
+  spec_.min_dbm = -50.0;
+  spec_.max_dbm = -110.0;
+  EXPECT_THROW((void)signal_threshold_dbm(spec_, *link_.throughput, *link_.power),
+               Error);
+}
+
+}  // namespace
+}  // namespace jstream

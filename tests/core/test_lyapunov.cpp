@@ -1,0 +1,66 @@
+#include "core/lyapunov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(LyapunovQueues, StartAtZero) {
+  const LyapunovQueues queues(3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(queues.value(i), 0.0);
+  EXPECT_DOUBLE_EQ(queues.lyapunov_function(), 0.0);
+}
+
+TEST(LyapunovQueues, UpdateFollowsEq16) {
+  LyapunovQueues queues(2);
+  // Idle slot: PC += tau.
+  queues.update(0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(queues.value(0), 1.0);
+  // Shard worth 3 s of playback: PC += 1 - 3 = -2 (negative = surplus).
+  queues.update(0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(queues.value(0), -1.0);
+  EXPECT_DOUBLE_EQ(queues.value(1), 0.0);
+}
+
+TEST(LyapunovQueues, LyapunovFunctionIsHalfSumOfSquares) {
+  LyapunovQueues queues(2);
+  queues.update(0, 1.0, 0.0);  // PC0 = 1
+  queues.update(0, 1.0, 0.0);  // PC0 = 2
+  queues.update(1, 1.0, 4.0);  // PC1 = -3
+  EXPECT_DOUBLE_EQ(queues.lyapunov_function(), 0.5 * (4.0 + 9.0));
+}
+
+TEST(LyapunovQueues, ResetClearsAndResizes) {
+  LyapunovQueues queues(1);
+  queues.update(0, 1.0, 0.0);
+  queues.reset(4);
+  EXPECT_EQ(queues.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(queues.value(i), 0.0);
+}
+
+TEST(LyapunovQueues, RejectsBadArguments) {
+  LyapunovQueues queues(2);
+  EXPECT_THROW(queues.update(5, 1.0, 0.0), Error);
+  EXPECT_THROW(queues.update(0, 0.0, 0.0), Error);
+  EXPECT_THROW(queues.update(0, 1.0, -1.0), Error);
+  EXPECT_THROW((void)queues.value(9), Error);
+}
+
+TEST(LyapunovDriftBound, MatchesEq18) {
+  // B = 1/2 sum (tau^2 + t_max^2).
+  const std::vector<double> t_max{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(lyapunov_drift_bound(1.0, t_max), 0.5 * (1.0 + 4.0 + 1.0 + 9.0));
+}
+
+TEST(LyapunovDriftBound, RejectsBadInputs) {
+  const std::vector<double> neg{-1.0};
+  EXPECT_THROW((void)lyapunov_drift_bound(0.0, neg), Error);
+  EXPECT_THROW((void)lyapunov_drift_bound(1.0, neg), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,77 @@
+// Gateway behaviour for sessions that arrive mid-run (dynamic user traffic).
+#include <gtest/gtest.h>
+
+#include "baselines/default_scheduler.hpp"
+#include "gateway/framework.hpp"
+#include "test_helpers.hpp"
+
+namespace jstream {
+namespace {
+
+using testing::make_collector;
+using testing::make_endpoint;
+
+TEST(Arrivals, EndpointArrivalPredicate) {
+  UserEndpoint endpoint = make_endpoint(-70.0, 400.0, 1000.0);
+  endpoint.start_slot = 5;
+  EXPECT_FALSE(endpoint.arrived(0));
+  EXPECT_FALSE(endpoint.arrived(4));
+  EXPECT_TRUE(endpoint.arrived(5));
+  EXPECT_TRUE(endpoint.arrived(100));
+}
+
+TEST(Arrivals, CollectorZerosCapBeforeArrival) {
+  std::vector<UserEndpoint> endpoints;
+  endpoints.push_back(make_endpoint(-70.0, 400.0, 1000.0));
+  endpoints[0].start_slot = 3;
+  const InfoCollector collector = make_collector();
+  const BaseStation bs(20000.0);
+  for (auto& e : endpoints) e.buffer.begin_slot();
+  const SlotContext early = collector.collect(0, endpoints, bs);
+  EXPECT_FALSE(early.users[0].arrived);
+  EXPECT_FALSE(early.users[0].needs_data);
+  EXPECT_EQ(early.users[0].alloc_cap_units, 0);
+  const SlotContext later = collector.collect(3, endpoints, bs);
+  EXPECT_TRUE(later.users[0].arrived);
+  EXPECT_GT(later.users[0].alloc_cap_units, 0);
+  for (auto& e : endpoints) e.buffer.end_slot();
+}
+
+TEST(Arrivals, NoRebufferChargedBeforeArrival) {
+  std::vector<UserEndpoint> endpoints;
+  endpoints.push_back(make_endpoint(-70.0, 400.0, 800.0));
+  endpoints[0].start_slot = 4;
+  const BaseStation bs(20000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kBaseline, 1);
+  double pre_arrival_rebuffer = 0.0;
+  double post_arrival_rebuffer = 0.0;
+  for (std::int64_t slot = 0; slot < 10; ++slot) {
+    const SlotOutcome outcome = framework.run_slot(slot, endpoints, bs);
+    if (slot < 4) {
+      pre_arrival_rebuffer += outcome.rebuffer_s[0];
+      EXPECT_EQ(outcome.units[0], 0);
+    } else {
+      post_arrival_rebuffer += outcome.rebuffer_s[0];
+    }
+  }
+  EXPECT_DOUBLE_EQ(pre_arrival_rebuffer, 0.0);
+  // The arrival slot itself is a cold start: exactly one stall slot, then the
+  // strong link fills the buffer.
+  EXPECT_GE(post_arrival_rebuffer, 1.0);
+  EXPECT_TRUE(endpoints[0].buffer.playback_finished());
+}
+
+TEST(Arrivals, NeedIsZeroBeforeArrival) {
+  std::vector<UserEndpoint> endpoints;
+  endpoints.push_back(make_endpoint(-70.0, 400.0, 800.0));
+  endpoints[0].start_slot = 2;
+  const BaseStation bs(20000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kBaseline, 1);
+  const SlotOutcome outcome = framework.run_slot(0, endpoints, bs);
+  EXPECT_DOUBLE_EQ(outcome.need_kb[0], 0.0);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,73 @@
+#include "gateway/data_receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(DataReceiver, FetchAndDrainRoundTrip) {
+  DataReceiver receiver(2);
+  receiver.begin_slot(1.0);
+  EXPECT_DOUBLE_EQ(receiver.fetch_from_origin(0, 500.0), 500.0);
+  EXPECT_DOUBLE_EQ(receiver.buffered_kb(0), 500.0);
+  receiver.drain(0, 200.0);
+  EXPECT_DOUBLE_EQ(receiver.buffered_kb(0), 300.0);
+  EXPECT_DOUBLE_EQ(receiver.buffered_kb(1), 0.0);
+}
+
+TEST(DataReceiver, UnlimitedBackhaulByDefault) {
+  DataReceiver receiver(1);
+  receiver.begin_slot(1.0);
+  EXPECT_DOUBLE_EQ(receiver.fetch_from_origin(0, 1e9), 1e9);
+}
+
+TEST(DataReceiver, FiniteBackhaulCapsPerSlot) {
+  DataReceiver receiver(2, /*backhaul_kbps=*/1000.0);
+  receiver.begin_slot(1.0);
+  EXPECT_DOUBLE_EQ(receiver.fetch_from_origin(0, 800.0), 800.0);
+  // Only 200 KB of budget left this slot, shared across flows.
+  EXPECT_DOUBLE_EQ(receiver.fetch_from_origin(1, 800.0), 200.0);
+  // Budget refreshes next slot.
+  receiver.begin_slot(1.0);
+  EXPECT_DOUBLE_EQ(receiver.fetch_from_origin(1, 800.0), 800.0);
+}
+
+TEST(DataReceiver, BackhaulScalesWithSlotLength) {
+  DataReceiver receiver(1, 1000.0);
+  receiver.begin_slot(2.0);
+  EXPECT_DOUBLE_EQ(receiver.fetch_from_origin(0, 5000.0), 2000.0);
+}
+
+TEST(DataReceiver, DrainRejectsOverdraw) {
+  DataReceiver receiver(1);
+  receiver.begin_slot(1.0);
+  (void)receiver.fetch_from_origin(0, 100.0);
+  EXPECT_THROW(receiver.drain(0, 200.0), Error);
+  // Sub-nanobyte rounding is tolerated.
+  EXPECT_NO_THROW(receiver.drain(0, 100.0 + 1e-10));
+  EXPECT_DOUBLE_EQ(receiver.buffered_kb(0), 0.0);
+}
+
+TEST(DataReceiver, TracksOtherTrafficWithoutQueueing) {
+  DataReceiver receiver(1);
+  receiver.pass_through_other_traffic(123.0);
+  receiver.pass_through_other_traffic(77.0);
+  EXPECT_DOUBLE_EQ(receiver.other_traffic_kb(), 200.0);
+  EXPECT_DOUBLE_EQ(receiver.buffered_kb(0), 0.0);
+}
+
+TEST(DataReceiver, RejectsInvalidArguments) {
+  EXPECT_THROW(DataReceiver(0), Error);
+  EXPECT_THROW(DataReceiver(1, 0.0), Error);
+  DataReceiver receiver(1);
+  receiver.begin_slot(1.0);
+  EXPECT_THROW((void)receiver.fetch_from_origin(5, 1.0), Error);
+  EXPECT_THROW(receiver.drain(5, 1.0), Error);
+  EXPECT_THROW((void)receiver.buffered_kb(5), Error);
+  EXPECT_THROW(receiver.begin_slot(0.0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

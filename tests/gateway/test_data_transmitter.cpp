@@ -1,0 +1,128 @@
+#include "gateway/data_transmitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/base_station.hpp"
+#include "test_helpers.hpp"
+
+namespace jstream {
+namespace {
+
+using testing::make_collector;
+using testing::make_endpoints;
+
+struct TransmitterFixture {
+  std::vector<UserEndpoint> endpoints = make_endpoints({-80.0, -110.0}, 400.0, 50000.0);
+  InfoCollector collector = make_collector();
+  BaseStation bs{20000.0};
+  DataReceiver receiver{2};
+  DataTransmitter transmitter;
+
+  SlotContext begin(std::int64_t slot) {
+    receiver.begin_slot(1.0);
+    for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
+    return collector.collect(slot, endpoints, bs);
+  }
+
+  void end() {
+    for (auto& endpoint : endpoints) endpoint.buffer.end_slot();
+  }
+};
+
+TEST(DataTransmitter, AppliesAllocationWithEq3Energy) {
+  TransmitterFixture fx;
+  const SlotContext ctx = fx.begin(0);
+  Allocation alloc = Allocation::zeros(2);
+  alloc.units = {5, 2};
+  const SlotOutcome outcome = fx.transmitter.apply(ctx, alloc, fx.endpoints, fx.receiver);
+  fx.end();
+
+  // d = phi * delta; E = P(sig) * d (Eq. 3).
+  EXPECT_DOUBLE_EQ(outcome.kb[0], 500.0);
+  EXPECT_DOUBLE_EQ(outcome.kb[1], 200.0);
+  const double p0 = -0.167 + 1560.0 / 2303.0;  // P(-80)
+  const double p1 = -0.167 + 1560.0 / 329.0;   // P(-110)
+  EXPECT_NEAR(outcome.trans_mj[0], p0 * 500.0, 1e-9);
+  EXPECT_NEAR(outcome.trans_mj[1], p1 * 200.0, 1e-9);
+  // Eq. 5: transmitting slot carries no tail energy.
+  EXPECT_DOUBLE_EQ(outcome.tail_mj[0], 0.0);
+  EXPECT_DOUBLE_EQ(outcome.energy_mj(0), outcome.trans_mj[0]);
+  EXPECT_DOUBLE_EQ(fx.endpoints[0].delivered_kb, 500.0);
+}
+
+TEST(DataTransmitter, IdleUserPaysTailOnceRadioPromoted) {
+  TransmitterFixture fx;
+  // Slot 0: user 0 transmits; slot 1: both idle.
+  Allocation alloc = Allocation::zeros(2);
+  alloc.units = {1, 0};
+  (void)fx.transmitter.apply(fx.begin(0), alloc, fx.endpoints, fx.receiver);
+  fx.end();
+  const SlotOutcome outcome =
+      fx.transmitter.apply(fx.begin(1), Allocation::zeros(2), fx.endpoints, fx.receiver);
+  fx.end();
+  EXPECT_NEAR(outcome.tail_mj[0], 732.83, 1e-6);  // first tail second in DCH
+  EXPECT_DOUBLE_EQ(outcome.tail_mj[1], 0.0);      // user 1 never transmitted
+}
+
+TEST(DataTransmitter, RebufferMatchesEq8ColdStart) {
+  TransmitterFixture fx;
+  Allocation alloc = Allocation::zeros(2);
+  alloc.units = {5, 0};
+  const SlotOutcome outcome = fx.transmitter.apply(fx.begin(0), alloc, fx.endpoints, fx.receiver);
+  fx.end();
+  // Both buffers are empty at the start of slot 0 regardless of allocation.
+  EXPECT_DOUBLE_EQ(outcome.rebuffer_s[0], 1.0);
+  EXPECT_DOUBLE_EQ(outcome.rebuffer_s[1], 1.0);
+}
+
+TEST(DataTransmitter, NeedIsTauTimesBitrateCappedByRemaining) {
+  TransmitterFixture fx;
+  fx.endpoints[1].delivered_kb = 49900.0;  // only 100 KB left
+  const SlotContext ctx = fx.begin(0);
+  const SlotOutcome outcome =
+      fx.transmitter.apply(ctx, Allocation::zeros(2), fx.endpoints, fx.receiver);
+  fx.end();
+  EXPECT_DOUBLE_EQ(outcome.need_kb[0], 400.0);
+  EXPECT_DOUBLE_EQ(outcome.need_kb[1], 100.0);
+}
+
+TEST(DataTransmitter, FinalShardIsPartial) {
+  TransmitterFixture fx;
+  fx.endpoints[0].delivered_kb = 49950.0;  // 50 KB left, cap = 1 unit
+  const SlotContext ctx = fx.begin(0);
+  Allocation alloc = Allocation::zeros(2);
+  alloc.units = {1, 0};
+  const SlotOutcome outcome = fx.transmitter.apply(ctx, alloc, fx.endpoints, fx.receiver);
+  fx.end();
+  EXPECT_DOUBLE_EQ(outcome.kb[0], 50.0);
+  EXPECT_DOUBLE_EQ(fx.endpoints[0].remaining_kb(), 0.0);
+}
+
+TEST(DataTransmitter, DeliveredPlaybackSecondsReachBuffer) {
+  TransmitterFixture fx;
+  const SlotContext ctx = fx.begin(0);
+  Allocation alloc = Allocation::zeros(2);
+  alloc.units = {4, 0};  // 400 KB at 400 KB/s = 1 s of playback
+  (void)fx.transmitter.apply(ctx, alloc, fx.endpoints, fx.receiver);
+  fx.end();
+  for (auto& endpoint : fx.endpoints) endpoint.buffer.begin_slot();
+  EXPECT_DOUBLE_EQ(fx.endpoints[0].buffer.occupancy_s(), 1.0);
+  for (auto& endpoint : fx.endpoints) endpoint.buffer.end_slot();
+}
+
+TEST(DataTransmitter, RejectsInfeasibleAllocations) {
+  TransmitterFixture fx;
+  const SlotContext ctx = fx.begin(0);
+  Allocation over_link = Allocation::zeros(2);
+  over_link.units = {9999, 0};
+  EXPECT_THROW((void)fx.transmitter.apply(ctx, over_link, fx.endpoints, fx.receiver),
+               Error);
+  Allocation size_mismatch = Allocation::zeros(3);
+  EXPECT_THROW(
+      (void)fx.transmitter.apply(ctx, size_mismatch, fx.endpoints, fx.receiver), Error);
+  fx.end();
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,72 @@
+#include "gateway/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/default_scheduler.hpp"
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace jstream {
+namespace {
+
+using testing::make_collector;
+using testing::make_endpoints;
+
+TEST(Framework, RunsSlotsEndToEnd) {
+  auto endpoints = make_endpoints({-70.0, -90.0}, 400.0, 2000.0);
+  const BaseStation bs(20000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kBaseline, endpoints.size());
+  double delivered = 0.0;
+  for (std::int64_t slot = 0; slot < 10; ++slot) {
+    const SlotOutcome outcome = framework.run_slot(slot, endpoints, bs);
+    for (double kb : outcome.kb) delivered += kb;
+  }
+  // 2 x 2000 KB of content, links far faster than that.
+  EXPECT_DOUBLE_EQ(delivered, 4000.0);
+  EXPECT_DOUBLE_EQ(endpoints[0].remaining_kb(), 0.0);
+  EXPECT_DOUBLE_EQ(endpoints[1].remaining_kb(), 0.0);
+}
+
+TEST(Framework, LastContextAndAllocationExposed) {
+  auto endpoints = make_endpoints({-70.0});
+  const BaseStation bs(20000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kBaseline, 1);
+  (void)framework.run_slot(0, endpoints, bs);
+  EXPECT_EQ(framework.last_context().slot, 0);
+  EXPECT_EQ(framework.last_allocation().user_count(), 1u);
+  EXPECT_GT(framework.last_allocation().total_units(), 0);
+}
+
+TEST(Framework, PlaybackAdvancesAcrossSlots) {
+  auto endpoints = make_endpoints({-70.0}, 400.0, 800.0);  // 2 s of content
+  const BaseStation bs(20000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kBaseline, 1);
+  for (std::int64_t slot = 0; slot < 5; ++slot) {
+    (void)framework.run_slot(slot, endpoints, bs);
+  }
+  EXPECT_TRUE(endpoints[0].buffer.playback_finished());
+  EXPECT_FALSE(endpoints[0].active());
+}
+
+TEST(Framework, ModeIsRecorded) {
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kEnergyMinimization, 1);
+  EXPECT_EQ(framework.mode(), SchedulingMode::kEnergyMinimization);
+  EXPECT_EQ(framework.scheduler().name(), "default");
+}
+
+TEST(Framework, RejectsNullSchedulerAndWrongPopulation) {
+  EXPECT_THROW(Framework(make_collector(), nullptr, SchedulingMode::kBaseline, 1),
+               Error);
+  auto endpoints = make_endpoints({-70.0, -80.0});
+  const BaseStation bs(20000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kBaseline, 3);
+  EXPECT_THROW((void)framework.run_slot(0, endpoints, bs), Error);
+}
+
+}  // namespace
+}  // namespace jstream

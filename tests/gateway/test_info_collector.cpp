@@ -1,0 +1,94 @@
+#include "gateway/info_collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace jstream {
+namespace {
+
+using testing::make_collector;
+using testing::make_endpoint;
+using testing::make_endpoints;
+
+TEST(InfoCollector, SnapshotsCrossLayerState) {
+  auto endpoints = make_endpoints({-80.0, -110.0}, 400.0, 50000.0);
+  const InfoCollector collector = make_collector();
+  const BaseStation bs(20000.0);
+
+  for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
+  const SlotContext ctx = collector.collect(0, endpoints, bs);
+  for (auto& endpoint : endpoints) endpoint.buffer.end_slot();
+
+  ASSERT_EQ(ctx.user_count(), 2u);
+  EXPECT_EQ(ctx.capacity_units, 200);
+  EXPECT_DOUBLE_EQ(ctx.users[0].signal_dbm, -80.0);
+  EXPECT_DOUBLE_EQ(ctx.users[0].bitrate_kbps, 400.0);
+  // v(-80) = 2303 KB/s -> 23 units; v(-110) = 329 -> 3 units.
+  EXPECT_EQ(ctx.users[0].link_units, 23);
+  EXPECT_EQ(ctx.users[1].link_units, 3);
+  EXPECT_TRUE(ctx.users[0].needs_data);
+  EXPECT_DOUBLE_EQ(ctx.users[0].remaining_kb, 50000.0);
+  EXPECT_FALSE(ctx.users[0].rrc_promoted);
+  EXPECT_FALSE(ctx.users[0].playback_done);
+  ASSERT_NE(ctx.throughput, nullptr);
+  ASSERT_NE(ctx.power, nullptr);
+  ASSERT_NE(ctx.radio, nullptr);
+}
+
+TEST(InfoCollector, AllocCapBoundedByRemainingContent) {
+  // 250 KB left -> ceil(250/100) = 3 units even though the link supports 23.
+  auto endpoints = make_endpoints({-80.0}, 400.0, 250.0);
+  const InfoCollector collector = make_collector();
+  const BaseStation bs(20000.0);
+  for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
+  const SlotContext ctx = collector.collect(0, endpoints, bs);
+  EXPECT_EQ(ctx.users[0].alloc_cap_units, 3);
+}
+
+TEST(InfoCollector, FinishedUserHasZeroCap) {
+  auto endpoints = make_endpoints({-80.0}, 400.0, 300.0);
+  endpoints[0].delivered_kb = 300.0;  // everything delivered
+  const InfoCollector collector = make_collector();
+  const BaseStation bs(20000.0);
+  for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
+  const SlotContext ctx = collector.collect(0, endpoints, bs);
+  EXPECT_FALSE(ctx.users[0].needs_data);
+  EXPECT_EQ(ctx.users[0].alloc_cap_units, 0);
+}
+
+TEST(InfoCollector, CarriesSlotParamsThrough) {
+  const SlotParams params{0.5, 50.0};
+  const InfoCollector collector = make_collector(params);
+  auto endpoints = make_endpoints({-80.0});
+  const BaseStation bs(20000.0);
+  for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
+  const SlotContext ctx = collector.collect(3, endpoints, bs);
+  EXPECT_DOUBLE_EQ(ctx.params.tau_s, 0.5);
+  EXPECT_DOUBLE_EQ(ctx.params.delta_kb, 50.0);
+  // capacity: floor(0.5 * 20000 / 50) = 200
+  EXPECT_EQ(ctx.capacity_units, 200);
+  EXPECT_EQ(ctx.slot, 3);
+}
+
+TEST(InfoCollector, RejectsInvalidConstruction) {
+  EXPECT_THROW(InfoCollector(SlotParams{0.0, 100.0}, make_paper_link_model(),
+                             paper_3g_profile()),
+               Error);
+  EXPECT_THROW(InfoCollector(SlotParams{1.0, 0.0}, make_paper_link_model(),
+                             paper_3g_profile()),
+               Error);
+  LinkModel incomplete;
+  EXPECT_THROW(InfoCollector(SlotParams{}, incomplete, paper_3g_profile()), Error);
+}
+
+TEST(InfoCollector, RejectsNegativeSlot) {
+  const InfoCollector collector = make_collector();
+  auto endpoints = make_endpoints({-80.0});
+  const BaseStation bs(20000.0);
+  EXPECT_THROW((void)collector.collect(-1, endpoints, bs), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,58 @@
+#include "gateway/user_endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace jstream {
+namespace {
+
+using testing::make_endpoint;
+
+TEST(UserEndpoint, FreshEndpointState) {
+  const UserEndpoint endpoint = make_endpoint(-70.0, 400.0, 2000.0);
+  EXPECT_DOUBLE_EQ(endpoint.delivered_kb, 0.0);
+  EXPECT_DOUBLE_EQ(endpoint.content_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(endpoint.remaining_kb(), 2000.0);
+  EXPECT_TRUE(endpoint.active());
+  EXPECT_EQ(endpoint.start_slot, 0);
+  EXPECT_TRUE(endpoint.arrived(0));
+}
+
+TEST(UserEndpoint, RemainingTracksDelivery) {
+  UserEndpoint endpoint = make_endpoint(-70.0, 400.0, 2000.0);
+  endpoint.delivered_kb = 1500.0;
+  EXPECT_DOUBLE_EQ(endpoint.remaining_kb(), 500.0);
+  EXPECT_TRUE(endpoint.active());
+}
+
+TEST(UserEndpoint, InactiveOnlyAfterDeliveryAndPlayback) {
+  UserEndpoint endpoint = make_endpoint(-70.0, 400.0, 800.0);  // 2 s of content
+  endpoint.delivered_kb = 800.0;
+  EXPECT_TRUE(endpoint.active());  // playback has not happened yet
+  endpoint.buffer.begin_slot();
+  endpoint.buffer.deliver(2.0);
+  endpoint.buffer.end_slot();
+  for (int slot = 0; slot < 3; ++slot) {
+    endpoint.buffer.begin_slot();
+    endpoint.buffer.end_slot();
+  }
+  EXPECT_TRUE(endpoint.buffer.playback_finished());
+  EXPECT_FALSE(endpoint.active());
+}
+
+TEST(UserEndpoint, SessionTotalsConsistent) {
+  const UserEndpoint endpoint = make_endpoint(-70.0, 500.0, 5000.0);
+  EXPECT_DOUBLE_EQ(endpoint.session.total_playback_s(), 10.0);
+  EXPECT_DOUBLE_EQ(endpoint.buffer.total_s(), 10.0);
+}
+
+TEST(UserEndpoint, ArrivalPredicateRespectsStartSlot) {
+  UserEndpoint endpoint = make_endpoint(-70.0, 400.0, 1000.0);
+  endpoint.start_slot = 10;
+  EXPECT_FALSE(endpoint.arrived(9));
+  EXPECT_TRUE(endpoint.arrived(10));
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,140 @@
+// Integration tests: scaled-down versions of the paper's headline results.
+// Each test runs complete simulations on a reduced population/content size
+// (for CI speed) and asserts the *ordering* the paper reports; the bench
+// binaries regenerate the full-scale figures.
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+/// Reduced paper scenario: the paper's full 40-user population (the fairness
+/// and competition effects need the base station loaded) with smaller videos
+/// so each run stays in the tens of milliseconds.
+ScenarioConfig reduced_paper_scenario(std::size_t users = 40, std::uint64_t seed = 42) {
+  ScenarioConfig config = paper_scenario(users, seed);
+  config.video_min_mb = 60.0;
+  config.video_max_mb = 120.0;
+  config.max_slots = 4000;
+  return config;
+}
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new ScenarioConfig(reduced_paper_scenario());
+    reference_ = new DefaultReference(run_default_reference(*scenario_));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete reference_;
+    scenario_ = nullptr;
+    reference_ = nullptr;
+  }
+
+  static RunMetrics run(const std::string& name, const SchedulerOptions& options = {}) {
+    return run_experiment({name, name, *scenario_, options});
+  }
+
+  static const ScenarioConfig* scenario_;
+  static const DefaultReference* reference_;
+};
+
+const ScenarioConfig* PaperClaims::scenario_ = nullptr;
+const DefaultReference* PaperClaims::reference_ = nullptr;
+
+TEST_F(PaperClaims, Fig2RtmaIsFairerThanDefault) {
+  const RunMetrics default_run = run("default");
+  const RunMetrics rtma_run = run("rtma", rtma_options_for_alpha(1.0, *reference_));
+  EXPECT_GT(rtma_run.mean_fairness(), default_run.mean_fairness() + 0.1);
+}
+
+TEST_F(PaperClaims, Fig3RtmaReducesRebuffering) {
+  const RunMetrics default_run = run("default");
+  const RunMetrics rtma_run = run("rtma", rtma_options_for_alpha(1.0, *reference_));
+  EXPECT_LT(rtma_run.avg_rebuffer_per_user_slot_s(),
+            default_run.avg_rebuffer_per_user_slot_s());
+}
+
+TEST_F(PaperClaims, Fig4LooserEnergyBudgetBuysLessRebuffering) {
+  const RunMetrics tight = run("rtma", rtma_options_for_alpha(0.9, *reference_));
+  const RunMetrics loose = run("rtma", rtma_options_for_alpha(1.2, *reference_));
+  EXPECT_LE(loose.avg_rebuffer_per_user_slot_s(),
+            tight.avg_rebuffer_per_user_slot_s());
+}
+
+TEST_F(PaperClaims, Fig5RtmaEnergyWithinDefaultBudget) {
+  const RunMetrics default_run = run("default");
+  const RunMetrics rtma_run = run("rtma", rtma_options_for_alpha(1.0, *reference_));
+  // Phi = E_default (alpha = 1): RTMA must not exceed the default's energy.
+  EXPECT_LE(rtma_run.avg_energy_per_user_slot_mj(),
+            default_run.avg_energy_per_user_slot_mj() * 1.05);
+}
+
+TEST_F(PaperClaims, Fig7EmaUsesLessEnergyThanDefault) {
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  const RunMetrics ema_run = run("ema", options);
+  const RunMetrics default_run = run("default");
+  EXPECT_LT(ema_run.avg_energy_per_user_slot_mj(),
+            default_run.avg_energy_per_user_slot_mj());
+}
+
+TEST_F(PaperClaims, Fig9EmaBeatsSalsaOnEnergy) {
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  const RunMetrics ema_run = run("ema", options);
+  const RunMetrics salsa_run = run("salsa");
+  EXPECT_LT(ema_run.avg_energy_per_user_slot_mj(),
+            salsa_run.avg_energy_per_user_slot_mj());
+}
+
+TEST_F(PaperClaims, Fig9EmaBeatsEstreamerOnEnergy) {
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  const RunMetrics ema_run = run("ema", options);
+  const RunMetrics estreamer_run = run("estreamer");
+  EXPECT_LT(ema_run.avg_energy_per_user_slot_mj(),
+            estreamer_run.avg_energy_per_user_slot_mj());
+}
+
+TEST_F(PaperClaims, Fig10TradeoffDriftDirections) {
+  const RunMetrics default_run = run("default");
+  const RunMetrics rtma_run = run("rtma", rtma_options_for_alpha(1.0, *reference_));
+  SchedulerOptions ema_options;
+  ema_options.ema.v_weight = 0.05;
+  const RunMetrics ema_run = run("ema", ema_options);
+  // RTMA: less rebuffering at no more energy. EMA: less energy.
+  EXPECT_LT(rtma_run.total_rebuffer_s(), default_run.total_rebuffer_s());
+  EXPECT_LE(rtma_run.total_energy_mj(), default_run.total_energy_mj() * 1.05);
+  EXPECT_LT(ema_run.total_energy_mj(), default_run.total_energy_mj());
+}
+
+TEST_F(PaperClaims, EmaFastTracksExactEmaClosely) {
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  const RunMetrics exact = run("ema", options);
+  const RunMetrics fast = run("ema-fast", options);
+  EXPECT_NEAR(fast.total_energy_mj(), exact.total_energy_mj(),
+              0.10 * exact.total_energy_mj());
+}
+
+TEST_F(PaperClaims, LteProfileKeepsTheOrdering) {
+  // Section VI: similar results are expected on LTE (parameters-only change).
+  ScenarioConfig lte_scenario = reduced_paper_scenario();
+  lte_scenario.radio = lte_profile();
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  const RunMetrics ema_run =
+      run_experiment({"ema", "ema", lte_scenario, options});
+  const RunMetrics default_run =
+      run_experiment({"default", "default", lte_scenario, {}});
+  EXPECT_LT(ema_run.avg_energy_per_user_slot_mj(),
+            default_run.avg_energy_per_user_slot_mj());
+}
+
+}  // namespace
+}  // namespace jstream

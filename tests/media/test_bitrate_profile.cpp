@@ -1,0 +1,83 @@
+#include "media/bitrate_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(ConstantBitrate, SameEverywhere) {
+  const ConstantBitrate profile(450.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(0), 450.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(123456), 450.0);
+  EXPECT_DOUBLE_EQ(profile.max_bitrate_kbps(), 450.0);
+}
+
+TEST(ConstantBitrate, RejectsNonPositive) {
+  EXPECT_THROW(ConstantBitrate(0.0), Error);
+  EXPECT_THROW(ConstantBitrate(-10.0), Error);
+}
+
+TEST(PiecewiseBitrate, SegmentsAndFinalExtension) {
+  const PiecewiseBitrate profile({100, 200}, {300.0, 500.0, 400.0});
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(99), 300.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(100), 500.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(199), 500.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(200), 400.0);
+  EXPECT_DOUBLE_EQ(profile.bitrate_kbps(100000), 400.0);
+  EXPECT_DOUBLE_EQ(profile.max_bitrate_kbps(), 500.0);
+}
+
+TEST(PiecewiseBitrate, RejectsMalformedInput) {
+  EXPECT_THROW(PiecewiseBitrate({100}, {300.0}), Error);            // too few rates
+  EXPECT_THROW(PiecewiseBitrate({200, 100}, {1.0, 2.0, 3.0}), Error);  // not sorted
+  EXPECT_THROW(PiecewiseBitrate({100, 100}, {1.0, 2.0, 3.0}), Error);  // duplicate
+  EXPECT_THROW(PiecewiseBitrate({100}, {1.0, -2.0}), Error);        // negative rate
+}
+
+TEST(RandomWalkBitrate, StaysInBoundsAndHolds) {
+  RandomWalkBitrate::Params params;
+  params.hold_slots = 10;
+  const RandomWalkBitrate profile(params, Rng(5), 1000);
+  for (std::int64_t slot = 0; slot < 1000; ++slot) {
+    const double rate = profile.bitrate_kbps(slot);
+    EXPECT_GE(rate, params.min_kbps);
+    EXPECT_LE(rate, params.max_kbps);
+    // Constant within a hold period.
+    EXPECT_DOUBLE_EQ(rate, profile.bitrate_kbps((slot / 10) * 10));
+  }
+  EXPECT_DOUBLE_EQ(profile.max_bitrate_kbps(), params.max_kbps);
+}
+
+TEST(RandomWalkBitrate, StepBoundRespected) {
+  RandomWalkBitrate::Params params;
+  params.hold_slots = 5;
+  params.step_kbps = 20.0;
+  const RandomWalkBitrate profile(params, Rng(9), 500);
+  for (std::int64_t period = 1; period < 100; ++period) {
+    const double prev = profile.bitrate_kbps((period - 1) * 5);
+    const double cur = profile.bitrate_kbps(period * 5);
+    EXPECT_LE(std::abs(cur - prev), params.step_kbps + 1e-9);
+  }
+}
+
+TEST(RandomWalkBitrate, DeterministicForSameSeed) {
+  RandomWalkBitrate::Params params;
+  const RandomWalkBitrate a(params, Rng(3), 300);
+  const RandomWalkBitrate b(params, Rng(3), 300);
+  for (std::int64_t slot = 0; slot < 300; slot += 7) {
+    EXPECT_DOUBLE_EQ(a.bitrate_kbps(slot), b.bitrate_kbps(slot));
+  }
+}
+
+TEST(RandomWalkBitrate, RejectsBadParams) {
+  RandomWalkBitrate::Params params;
+  params.min_kbps = 600.0;
+  params.max_kbps = 300.0;
+  EXPECT_THROW(RandomWalkBitrate(params, Rng(1), 100), Error);
+}
+
+}  // namespace
+}  // namespace jstream

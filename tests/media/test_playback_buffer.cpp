@@ -1,0 +1,123 @@
+#include "media/playback_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(PlaybackBuffer, ColdStartStallsFullSlot) {
+  PlaybackBuffer buffer(100.0, 1.0);
+  buffer.begin_slot();
+  // r(0) = 0 -> c(0) = tau (Eq. 8).
+  EXPECT_DOUBLE_EQ(buffer.rebuffer_s(), 1.0);
+  buffer.end_slot();
+  EXPECT_DOUBLE_EQ(buffer.elapsed_s(), 0.0);
+}
+
+TEST(PlaybackBuffer, ShardUsableOnlyNextSlot) {
+  PlaybackBuffer buffer(100.0, 1.0);
+  buffer.begin_slot();
+  buffer.deliver(5.0);
+  // The shard delivered this slot does not rescue this slot's stall.
+  EXPECT_DOUBLE_EQ(buffer.rebuffer_s(), 1.0);
+  buffer.end_slot();
+  buffer.begin_slot();
+  // Eq. 7: r(1) = max(0 - 1, 0) + 5 = 5.
+  EXPECT_DOUBLE_EQ(buffer.occupancy_s(), 5.0);
+  EXPECT_DOUBLE_EQ(buffer.rebuffer_s(), 0.0);
+  buffer.end_slot();
+  EXPECT_DOUBLE_EQ(buffer.elapsed_s(), 1.0);
+}
+
+TEST(PlaybackBuffer, OccupancyRecursionEq7) {
+  PlaybackBuffer buffer(100.0, 1.0);
+  buffer.begin_slot();
+  buffer.deliver(2.5);
+  buffer.end_slot();
+  buffer.begin_slot();  // r = 2.5
+  EXPECT_DOUBLE_EQ(buffer.occupancy_s(), 2.5);
+  buffer.deliver(1.0);
+  buffer.end_slot();
+  buffer.begin_slot();  // r = max(2.5 - 1, 0) + 1.0 = 2.5
+  EXPECT_DOUBLE_EQ(buffer.occupancy_s(), 2.5);
+  buffer.end_slot();
+  buffer.begin_slot();  // r = 1.5
+  EXPECT_DOUBLE_EQ(buffer.occupancy_s(), 1.5);
+}
+
+TEST(PlaybackBuffer, PartialStallWhenOccupancyBelowTau) {
+  PlaybackBuffer buffer(100.0, 1.0);
+  buffer.begin_slot();
+  buffer.deliver(0.4);
+  buffer.end_slot();
+  buffer.begin_slot();
+  EXPECT_DOUBLE_EQ(buffer.occupancy_s(), 0.4);
+  EXPECT_NEAR(buffer.rebuffer_s(), 0.6, 1e-12);
+  buffer.end_slot();
+  EXPECT_NEAR(buffer.elapsed_s(), 0.4, 1e-12);
+}
+
+TEST(PlaybackBuffer, NoRebufferAfterPlaybackFinished) {
+  PlaybackBuffer buffer(2.0, 1.0);
+  buffer.begin_slot();
+  buffer.deliver(2.0);
+  buffer.end_slot();
+  buffer.begin_slot();
+  buffer.end_slot();  // plays 1 s
+  buffer.begin_slot();
+  buffer.end_slot();  // plays the second 1 s -> finished
+  EXPECT_TRUE(buffer.playback_finished());
+  buffer.begin_slot();
+  EXPECT_DOUBLE_EQ(buffer.rebuffer_s(), 0.0);  // Eq. 8's m >= M branch
+  buffer.end_slot();
+}
+
+TEST(PlaybackBuffer, ElapsedNeverExceedsTotal) {
+  PlaybackBuffer buffer(1.5, 1.0);
+  buffer.begin_slot();
+  buffer.deliver(10.0);
+  buffer.end_slot();
+  for (int i = 0; i < 5; ++i) {
+    buffer.begin_slot();
+    buffer.end_slot();
+  }
+  EXPECT_DOUBLE_EQ(buffer.elapsed_s(), 1.5);
+  EXPECT_TRUE(buffer.playback_finished());
+}
+
+TEST(PlaybackBuffer, ManySmallShardsFinishDespiteRounding) {
+  // Regression: summing hundreds of shard durations must not leave the
+  // session stuck a few ULP short of M (see kPlaybackCompletionEps_s).
+  const double bitrate = 437.3;
+  const double total_kb = 30000.0;
+  PlaybackBuffer buffer(total_kb / bitrate, 1.0);
+  double remaining_kb = total_kb;
+  for (int slot = 0; slot < 200 && !buffer.playback_finished(); ++slot) {
+    buffer.begin_slot();
+    const double kb = std::min(637.7, remaining_kb);
+    remaining_kb -= kb;
+    buffer.deliver(kb / bitrate);
+    buffer.end_slot();
+  }
+  EXPECT_TRUE(buffer.playback_finished());
+}
+
+TEST(PlaybackBuffer, EnforcesSlotProtocol) {
+  PlaybackBuffer buffer(10.0, 1.0);
+  EXPECT_THROW(buffer.end_slot(), Error);
+  EXPECT_THROW((void)buffer.rebuffer_s(), Error);
+  EXPECT_THROW(buffer.deliver(1.0), Error);
+  buffer.begin_slot();
+  EXPECT_THROW(buffer.begin_slot(), Error);
+  EXPECT_THROW(buffer.deliver(-1.0), Error);
+}
+
+TEST(PlaybackBuffer, RejectsInvalidConstruction) {
+  EXPECT_THROW(PlaybackBuffer(0.0, 1.0), Error);
+  EXPECT_THROW(PlaybackBuffer(10.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,88 @@
+#include "media/video_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(VideoSession, ConstantBitratePlaybackTimeIsSizeOverRate) {
+  const VideoSession session(mb_to_kb(350.0), std::make_shared<ConstantBitrate>(500.0));
+  EXPECT_NEAR(session.total_playback_s(), 350000.0 / 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(session.size_kb(), 350000.0);
+  EXPECT_DOUBLE_EQ(session.bitrate_kbps(42), 500.0);
+  EXPECT_DOUBLE_EQ(session.max_bitrate_kbps(), 500.0);
+}
+
+TEST(VideoSession, PaperSizeRangeGivesExpectedDurations) {
+  // 250 MB at 600 KB/s ~ 417 s; 500 MB at 300 KB/s ~ 1667 s.
+  const VideoSession fast(mb_to_kb(250.0), std::make_shared<ConstantBitrate>(600.0));
+  const VideoSession slow(mb_to_kb(500.0), std::make_shared<ConstantBitrate>(300.0));
+  EXPECT_NEAR(fast.total_playback_s(), 416.67, 0.01);
+  EXPECT_NEAR(slow.total_playback_s(), 1666.67, 0.01);
+}
+
+TEST(VideoSession, PiecewiseProfileIntegratesExactly) {
+  // 100 slots at 400 KB/s (40000 KB) then 200 KB/s for the rest.
+  auto profile = std::make_shared<PiecewiseBitrate>(
+      std::vector<std::int64_t>{100}, std::vector<double>{400.0, 200.0});
+  const VideoSession session(50000.0, profile, 1.0);
+  // 40000 KB in the first 100 s, remaining 10000 KB at 200 KB/s = 50 s.
+  EXPECT_NEAR(session.total_playback_s(), 150.0, 1e-9);
+}
+
+TEST(VideoSession, PartialFinalSlotHandled) {
+  const VideoSession session(1050.0, std::make_shared<ConstantBitrate>(100.0), 1.0);
+  EXPECT_NEAR(session.total_playback_s(), 10.5, 1e-9);
+}
+
+TEST(VideoSession, AdvancePlaybackMatchesConstantRate) {
+  const VideoSession session(10000.0, std::make_shared<ConstantBitrate>(500.0));
+  EXPECT_DOUBLE_EQ(session.advance_playback(0.0, 1000.0), 2.0);
+  EXPECT_DOUBLE_EQ(session.advance_playback(7.3, 250.0), 0.5);
+  EXPECT_DOUBLE_EQ(session.advance_playback(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(session.bitrate_at_time(3.7), 500.0);
+}
+
+TEST(VideoSession, AdvancePlaybackIntegratesAcrossRateChanges) {
+  // 400 KB/s for the first 2 content-slots, then 200 KB/s.
+  auto profile = std::make_shared<PiecewiseBitrate>(std::vector<std::int64_t>{2},
+                                                    std::vector<double>{400.0, 200.0});
+  const VideoSession session(2000.0, profile, 1.0);
+  // 800 KB covers the first 2 s exactly.
+  EXPECT_NEAR(session.advance_playback(0.0, 800.0), 2.0, 1e-12);
+  // Crossing the boundary: 400 KB at t=1.5 -> 0.5 s at 400 + 1 s at 200.
+  EXPECT_NEAR(session.advance_playback(1.5, 400.0), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(session.bitrate_at_time(1.9), 400.0);
+  EXPECT_DOUBLE_EQ(session.bitrate_at_time(2.0), 200.0);
+}
+
+TEST(VideoSession, DeliveringWholeFileYieldsTotalPlayback) {
+  auto profile = std::make_shared<PiecewiseBitrate>(
+      std::vector<std::int64_t>{50, 100}, std::vector<double>{350.0, 550.0, 420.0});
+  const VideoSession session(60000.0, profile, 1.0);
+  // Sum of arbitrary chunk advances equals M exactly (content-timeline
+  // consistency — the property VBR sessions rely on).
+  double position = 0.0;
+  double remaining = session.size_kb();
+  while (remaining > 0.0) {
+    const double kb = std::min(637.0, remaining);
+    position += session.advance_playback(position, kb);
+    remaining -= kb;
+  }
+  EXPECT_NEAR(position, session.total_playback_s(), 1e-6);
+}
+
+TEST(VideoSession, RejectsInvalidConstruction) {
+  EXPECT_THROW(VideoSession(0.0, std::make_shared<ConstantBitrate>(100.0)), Error);
+  EXPECT_THROW(VideoSession(100.0, nullptr), Error);
+  EXPECT_THROW(VideoSession(100.0, std::make_shared<ConstantBitrate>(100.0), 0.0),
+               Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,72 @@
+#include "net/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(Allocation, ZerosAndTotals) {
+  Allocation alloc = Allocation::zeros(4);
+  EXPECT_EQ(alloc.user_count(), 4u);
+  EXPECT_EQ(alloc.total_units(), 0);
+  alloc.units = {1, 2, 3, 4};
+  EXPECT_EQ(alloc.total_units(), 10);
+}
+
+TEST(CheckFeasible, AcceptsWithinBothConstraints) {
+  Allocation alloc;
+  alloc.units = {2, 3, 0};
+  const std::vector<std::int64_t> caps{5, 3, 1};
+  const FeasibilityReport report = check_feasible(alloc, caps, 10);
+  EXPECT_TRUE(report.feasible) << report.violation;
+}
+
+TEST(CheckFeasible, RejectsConstraint1Violation) {
+  Allocation alloc;
+  alloc.units = {6, 0};
+  const std::vector<std::int64_t> caps{5, 5};
+  const FeasibilityReport report = check_feasible(alloc, caps, 100);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("constraint (1)"), std::string::npos);
+}
+
+TEST(CheckFeasible, RejectsConstraint2Violation) {
+  Allocation alloc;
+  alloc.units = {5, 5};
+  const std::vector<std::int64_t> caps{5, 5};
+  const FeasibilityReport report = check_feasible(alloc, caps, 9);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("constraint (2)"), std::string::npos);
+}
+
+TEST(CheckFeasible, RejectsNegativeAndSizeMismatch) {
+  Allocation alloc;
+  alloc.units = {-1, 0};
+  const std::vector<std::int64_t> caps{5, 5};
+  EXPECT_FALSE(check_feasible(alloc, caps, 10).feasible);
+
+  const std::vector<std::int64_t> short_caps{5};
+  EXPECT_FALSE(check_feasible(alloc, short_caps, 10).feasible);
+}
+
+TEST(CheckFeasible, BoundaryExactlyAtCapsIsFeasible) {
+  Allocation alloc;
+  alloc.units = {5, 5};
+  const std::vector<std::int64_t> caps{5, 5};
+  EXPECT_TRUE(check_feasible(alloc, caps, 10).feasible);
+}
+
+TEST(RequireFeasible, ThrowsWithDescription) {
+  Allocation alloc;
+  alloc.units = {7};
+  const std::vector<std::int64_t> caps{5};
+  EXPECT_THROW(require_feasible(alloc, caps, 10), Error);
+  EXPECT_NO_THROW(require_feasible(Allocation::zeros(1), caps, 10));
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,38 @@
+#include "net/base_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(BaseStation, ConstantCapacity) {
+  const BaseStation bs(20000.0);
+  EXPECT_DOUBLE_EQ(bs.capacity_kbps(0), 20000.0);
+  EXPECT_DOUBLE_EQ(bs.capacity_kbps(9999), 20000.0);
+}
+
+TEST(BaseStation, CapacityUnitsUsesSlotParams) {
+  const BaseStation bs(20000.0);
+  EXPECT_EQ(bs.capacity_units(0, SlotParams{1.0, 100.0}), 200);
+  EXPECT_EQ(bs.capacity_units(0, SlotParams{1.0, 150.0}), 133);
+}
+
+TEST(BaseStation, TimeVaryingProfile) {
+  const BaseStation bs([](std::int64_t slot) { return slot % 2 == 0 ? 10000.0 : 20000.0; });
+  EXPECT_DOUBLE_EQ(bs.capacity_kbps(0), 10000.0);
+  EXPECT_DOUBLE_EQ(bs.capacity_kbps(1), 20000.0);
+}
+
+TEST(BaseStation, RejectsInvalidInputs) {
+  EXPECT_THROW(BaseStation(0.0), Error);
+  EXPECT_THROW(BaseStation(-5.0), Error);
+  const BaseStation bs(100.0);
+  EXPECT_THROW((void)bs.capacity_kbps(-1), Error);
+  const BaseStation broken([](std::int64_t) { return 0.0; });
+  EXPECT_THROW((void)broken.capacity_kbps(0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

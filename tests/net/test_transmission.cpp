@@ -1,0 +1,48 @@
+#include "net/transmission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jstream {
+namespace {
+
+TEST(SlotParams, LinkUnitsFloorsEq1) {
+  const SlotParams params{1.0, 100.0};
+  EXPECT_EQ(params.link_units(450.0), 4);   // floor(450/100)
+  EXPECT_EQ(params.link_units(499.9), 4);
+  EXPECT_EQ(params.link_units(500.0), 5);
+  EXPECT_EQ(params.link_units(99.0), 0);
+}
+
+TEST(SlotParams, CapacityUnitsFloorsEq2) {
+  const SlotParams params{1.0, 100.0};
+  EXPECT_EQ(params.capacity_units(20000.0), 200);
+  EXPECT_EQ(params.capacity_units(20050.0), 200);
+}
+
+TEST(SlotParams, NeedUnitsCeils) {
+  const SlotParams params{1.0, 100.0};
+  EXPECT_EQ(params.need_units(300.0), 3);
+  EXPECT_EQ(params.need_units(301.0), 4);
+  EXPECT_EQ(params.need_units(600.0), 6);
+}
+
+TEST(SlotParams, SlotLengthScalesBounds) {
+  const SlotParams params{2.0, 100.0};
+  EXPECT_EQ(params.link_units(450.0), 9);   // floor(2*450/100)
+  EXPECT_EQ(params.need_units(450.0), 9);
+}
+
+TEST(SlotParams, PlaybackSecondsIsUnitsDeltaOverBitrate) {
+  const SlotParams params{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(params.playback_seconds(5, 500.0), 1.0);
+  EXPECT_DOUBLE_EQ(params.playback_seconds(3, 300.0), 1.0);
+  EXPECT_DOUBLE_EQ(params.playback_seconds(0, 300.0), 0.0);
+}
+
+TEST(SlotParams, UnitsToKb) {
+  const SlotParams params{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(params.units_to_kb(7), 700.0);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,90 @@
+// Conservation properties of full simulation runs, for every scheduler:
+// bytes delivered equal the content size, playback completes exactly,
+// per-slot energy series sums to the per-user totals, and rebuffering
+// accounting is internally consistent.
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t seed) {
+  ScenarioConfig config = paper_scenario(5, seed);
+  config.video_min_mb = 8.0;
+  config.video_max_mb = 15.0;
+  config.max_slots = 3000;
+  return config;
+}
+
+class Conservation : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Conservation, BytesAndPlaybackConserved) {
+  const ScenarioConfig config = small_scenario(13);
+  const RunMetrics metrics = simulate(config, make_scheduler(GetParam()));
+  const auto endpoints = build_endpoints(config);
+  ASSERT_EQ(metrics.per_user.size(), endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    // Every byte of the session (and no more) crossed the air interface.
+    EXPECT_NEAR(metrics.per_user[i].delivered_kb, endpoints[i].session.size_kb(), 1e-6)
+        << GetParam() << " user " << i;
+    EXPECT_TRUE(metrics.per_user[i].playback_finished);
+  }
+}
+
+TEST_P(Conservation, SlotEnergySeriesSumsToTotals) {
+  const RunMetrics metrics = simulate(small_scenario(17), make_scheduler(GetParam()));
+  double series_sum = 0.0;
+  for (double mj : metrics.slot_energy_mj) series_sum += mj;
+  EXPECT_NEAR(series_sum, metrics.total_energy_mj(),
+              1e-6 * std::max(1.0, metrics.total_energy_mj()));
+}
+
+TEST_P(Conservation, RebufferSamplesSumToTotals) {
+  const RunMetrics metrics = simulate(small_scenario(19), make_scheduler(GetParam()));
+  double samples_sum = 0.0;
+  for (double s : metrics.rebuffer_samples_s) samples_sum += s;
+  EXPECT_NEAR(samples_sum, metrics.total_rebuffer_s(), 1e-9);
+}
+
+TEST_P(Conservation, EnergyIsNonNegativeAndTailBounded) {
+  const RunMetrics metrics = simulate(small_scenario(23), make_scheduler(GetParam()));
+  const RadioProfile radio = paper_3g_profile();
+  for (const auto& user : metrics.per_user) {
+    EXPECT_GE(user.trans_mj, 0.0);
+    EXPECT_GE(user.tail_mj, 0.0);
+    // Each tail period is bounded by Pd*T1 + Pf*T2; a user cannot pay more
+    // tail than one full tail per transmission gap, i.e. per tx slot + 1.
+    EXPECT_LE(user.tail_mj, radio.max_tail_energy_mj() *
+                                static_cast<double>(user.tx_slots + 1));
+  }
+}
+
+TEST_P(Conservation, SessionSlotsCoverPlaybackPlusStalls) {
+  const ScenarioConfig config = small_scenario(29);
+  const RunMetrics metrics = simulate(config, make_scheduler(GetParam()));
+  const auto endpoints = build_endpoints(config);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const double playback = endpoints[i].session.total_playback_s();
+    const double stalled = metrics.per_user[i].rebuffer_s;
+    const auto slots = static_cast<double>(metrics.per_user[i].session_slots);
+    // Gamma_i ~ playback + stalls (within a slot of rounding each way).
+    EXPECT_GE(slots + 2.0, playback + stalled) << GetParam() << " user " << i;
+    EXPECT_LE(slots, playback + stalled + 2.0) << GetParam() << " user " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, Conservation,
+                         ::testing::ValuesIn(scheduler_names()),
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,56 @@
+// Property: simulations are exactly reproducible from the scenario seed —
+// across reruns and regardless of other generators having been used — and
+// different seeds genuinely change the workload.
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t seed) {
+  ScenarioConfig config = paper_scenario(6, seed);
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 12.0;
+  config.max_slots = 2000;
+  return config;
+}
+
+class Determinism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Determinism, IdenticalRunsForIdenticalSeeds) {
+  const RunMetrics a = simulate(small_scenario(4242), make_scheduler(GetParam()));
+  const RunMetrics b = simulate(small_scenario(4242), make_scheduler(GetParam()));
+  EXPECT_EQ(a.slots_run, b.slots_run);
+  EXPECT_DOUBLE_EQ(a.total_energy_mj(), b.total_energy_mj());
+  EXPECT_DOUBLE_EQ(a.total_rebuffer_s(), b.total_rebuffer_s());
+  ASSERT_EQ(a.slot_energy_mj.size(), b.slot_energy_mj.size());
+  for (std::size_t i = 0; i < a.slot_energy_mj.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.slot_energy_mj[i], b.slot_energy_mj[i]) << "slot " << i;
+  }
+  for (std::size_t i = 0; i < a.per_user.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_user[i].trans_mj, b.per_user[i].trans_mj);
+    EXPECT_DOUBLE_EQ(a.per_user[i].rebuffer_s, b.per_user[i].rebuffer_s);
+    EXPECT_EQ(a.per_user[i].session_slots, b.per_user[i].session_slots);
+  }
+}
+
+TEST_P(Determinism, DifferentSeedsChangeTheRun) {
+  const RunMetrics a = simulate(small_scenario(1), make_scheduler(GetParam()));
+  const RunMetrics b = simulate(small_scenario(2), make_scheduler(GetParam()));
+  EXPECT_NE(a.total_energy_mj(), b.total_energy_mj());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, Determinism,
+                         ::testing::ValuesIn(scheduler_names()),
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace jstream

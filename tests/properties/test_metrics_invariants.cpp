@@ -1,0 +1,97 @@
+// Cross-invariants of RunMetrics over the full preset x scheduler grid:
+// metrics derived two different ways must agree, bounds implied by the model
+// must hold regardless of scenario features (arrivals, VBR, waves, LTE, ...).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/factory.hpp"
+#include "sim/catalog.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+using GridParam = std::tuple<std::string, std::string>;  // (preset, scheduler)
+
+class MetricsInvariants : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static RunMetrics run(const std::string& preset, const std::string& scheduler) {
+    ScenarioConfig config = make_catalog_scenario(preset, 5, 23);
+    config.video_min_mb = 6.0;
+    config.video_max_mb = 12.0;
+    config.max_slots = 3000;
+    if (config.arrival_spread_slots > 0) config.arrival_spread_slots = 300;
+    return simulate(config, make_scheduler(scheduler));
+  }
+};
+
+TEST_P(MetricsInvariants, AggregatesAgreeWithPerUserSums) {
+  const auto& [preset, scheduler] = GetParam();
+  const RunMetrics m = run(preset, scheduler);
+  double trans = 0.0;
+  double tail = 0.0;
+  double rebuffer = 0.0;
+  for (const auto& user : m.per_user) {
+    trans += user.trans_mj;
+    tail += user.tail_mj;
+    rebuffer += user.rebuffer_s;
+  }
+  EXPECT_DOUBLE_EQ(m.total_trans_mj(), trans);
+  EXPECT_DOUBLE_EQ(m.total_tail_mj(), tail);
+  EXPECT_DOUBLE_EQ(m.total_rebuffer_s(), rebuffer);
+  EXPECT_DOUBLE_EQ(m.total_energy_mj(), trans + tail);
+}
+
+TEST_P(MetricsInvariants, PhysicalBoundsHold) {
+  const auto& [preset, scheduler] = GetParam();
+  const RunMetrics m = run(preset, scheduler);
+  for (const auto& user : m.per_user) {
+    // Rebuffering cannot exceed one slot per session slot.
+    EXPECT_LE(user.rebuffer_s, static_cast<double>(user.session_slots) + 1e-9);
+    // A user cannot transmit in more slots than the run had.
+    EXPECT_LE(user.tx_slots, m.slots_run);
+    EXPECT_GE(user.delivered_kb, 0.0);
+  }
+  // Fairness stays within Jain bounds.
+  for (double f : m.slot_fairness) {
+    EXPECT_GE(f, 1.0 / static_cast<double>(m.per_user.size()) - 1e-9);
+    EXPECT_LE(f, 1.0 + 1e-9);
+  }
+  // Per-slot rebuffer samples are within [0, tau].
+  for (double c : m.rebuffer_samples_s) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(MetricsInvariants, EnergyPriceWithinModelRange) {
+  const auto& [preset, scheduler] = GetParam();
+  const RunMetrics m = run(preset, scheduler);
+  const LinkModel link = make_paper_link_model();
+  const double best = link.power->energy_per_kb(-50.0);
+  const double worst = link.power->energy_per_kb(-110.0);
+  for (const auto& user : m.per_user) {
+    if (user.delivered_kb <= 0.0) continue;
+    const double price = user.trans_mj / user.delivered_kb;
+    EXPECT_GE(price, best - 1e-9);
+    EXPECT_LE(price, worst + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetSchedulerGrid, MetricsInvariants,
+    ::testing::Combine(::testing::Values("paper", "lte", "vbr", "churn", "wave",
+                                         "gauss-markov", "stress"),
+                       ::testing::Values("default", "rtma", "ema-fast")),
+    [](const auto& suite_info) {
+      std::string name = std::get<0>(suite_info.param) + "_" +
+                         std::get<1>(suite_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace jstream

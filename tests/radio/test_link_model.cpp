@@ -1,0 +1,70 @@
+#include "radio/link_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(LinearThroughputModel, MatchesPaperFitEq24) {
+  const LinearThroughputModel model;
+  // v(sig) = 65.8 * sig + 7567 KB/s at the sweep endpoints.
+  EXPECT_NEAR(model.throughput_kbps(-110.0), 329.0, 1e-9);
+  EXPECT_NEAR(model.throughput_kbps(-50.0), 4277.0, 1e-9);
+  EXPECT_NEAR(model.throughput_kbps(-80.0), 2303.0, 1e-9);
+}
+
+TEST(LinearThroughputModel, InverseRoundTrips) {
+  const LinearThroughputModel model;
+  for (double sig : {-110.0, -93.5, -72.0, -50.0}) {
+    EXPECT_NEAR(model.signal_for_throughput(model.throughput_kbps(sig)), sig, 1e-9);
+  }
+}
+
+TEST(LinearThroughputModel, RejectsNonPositiveSlopeOrThroughput) {
+  EXPECT_THROW(LinearThroughputModel(-1.0, 100.0), Error);
+  const LinearThroughputModel model;
+  EXPECT_THROW((void)model.throughput_kbps(-200.0), Error);  // fit goes negative
+}
+
+TEST(FittedPowerModel, MatchesPaperFitEq24) {
+  const LinkModel link = make_paper_link_model();
+  // P(sig) = -0.167 + 1560 / v(sig) mJ/KB.
+  EXPECT_NEAR(link.power->energy_per_kb(-110.0), -0.167 + 1560.0 / 329.0, 1e-9);
+  EXPECT_NEAR(link.power->energy_per_kb(-50.0), -0.167 + 1560.0 / 4277.0, 1e-9);
+}
+
+TEST(FittedPowerModel, PerByteCostDecreasesWithSignal) {
+  const LinkModel link = make_paper_link_model();
+  double prev = link.power->energy_per_kb(-110.0);
+  for (double sig = -105.0; sig <= -50.0; sig += 5.0) {
+    const double cur = link.power->energy_per_kb(sig);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FittedPowerModel, FullRatePowerDecreasesWithSignal) {
+  // P(sig)*v(sig) = -0.167*v + 1560 mW: a weak-signal slot at full rate burns
+  // MORE instantaneous power than a strong-signal one (Eq. 12's premise).
+  auto throughput = std::make_shared<const LinearThroughputModel>();
+  const FittedPowerModel power(throughput);
+  EXPECT_GT(power.full_rate_power_mw(-110.0), power.full_rate_power_mw(-50.0));
+  EXPECT_NEAR(power.full_rate_power_mw(-110.0), -0.167 * 329.0 + 1560.0, 1e-9);
+}
+
+TEST(FittedPowerModel, RejectsNullAndBadScale) {
+  auto throughput = std::make_shared<const LinearThroughputModel>();
+  EXPECT_THROW(FittedPowerModel(nullptr), Error);
+  EXPECT_THROW(FittedPowerModel(throughput, -0.167, -5.0), Error);
+}
+
+TEST(MakePaperLinkModel, IsComplete) {
+  const LinkModel link = make_paper_link_model();
+  ASSERT_NE(link.throughput, nullptr);
+  ASSERT_NE(link.power, nullptr);
+}
+
+}  // namespace
+}  // namespace jstream

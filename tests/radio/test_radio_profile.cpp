@@ -1,0 +1,50 @@
+#include "radio/radio_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(RadioProfile, Paper3gMatchesSectionVI) {
+  const RadioProfile p = paper_3g_profile();
+  EXPECT_EQ(p.kind, RrcKind::kThreeState3G);
+  EXPECT_DOUBLE_EQ(p.p_dch_mw, 732.83);
+  EXPECT_DOUBLE_EQ(p.p_fach_mw, 388.88);
+  EXPECT_DOUBLE_EQ(p.t1_s, 3.29);
+  EXPECT_DOUBLE_EQ(p.t2_s, 4.02);
+  EXPECT_FALSE(p.continuous_tail);
+}
+
+TEST(RadioProfile, DerivedQuantities) {
+  const RadioProfile p = paper_3g_profile();
+  EXPECT_NEAR(p.tail_duration_s(), 7.31, 1e-9);
+  EXPECT_NEAR(p.max_tail_energy_mj(), 732.83 * 3.29 + 388.88 * 4.02, 1e-9);
+}
+
+TEST(RadioProfile, LteIsTwoState) {
+  const RadioProfile p = lte_profile();
+  EXPECT_EQ(p.kind, RrcKind::kTwoStateLte);
+  EXPECT_DOUBLE_EQ(p.t2_s, 0.0);
+  EXPECT_GT(p.p_dch_mw, 0.0);
+  EXPECT_NO_THROW(validate(p));
+}
+
+TEST(RadioProfile, ValidateRejectsNegativeParameters) {
+  RadioProfile p = paper_3g_profile();
+  p.p_dch_mw = -1.0;
+  EXPECT_THROW(validate(p), Error);
+  p = paper_3g_profile();
+  p.t1_s = -0.5;
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(RadioProfile, ValidateRejectsLteWithFachTimer) {
+  RadioProfile p = lte_profile();
+  p.t2_s = 2.0;
+  EXPECT_THROW(validate(p), Error);
+}
+
+}  // namespace
+}  // namespace jstream

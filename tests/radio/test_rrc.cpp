@@ -1,0 +1,139 @@
+#include "radio/rrc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(TailEnergy, PiecewiseValuesMatchEq4) {
+  const RadioProfile p = paper_3g_profile();
+  // Inside DCH window: Pd * t.
+  EXPECT_NEAR(tail_energy_mj(p, 1.0), 732.83, 1e-9);
+  EXPECT_NEAR(tail_energy_mj(p, 3.29), 732.83 * 3.29, 1e-9);
+  // Inside FACH window: Pd*T1 + Pf*(t - T1).
+  EXPECT_NEAR(tail_energy_mj(p, 5.0), 732.83 * 3.29 + 388.88 * (5.0 - 3.29), 1e-9);
+  // Saturated: Pd*T1 + Pf*T2.
+  EXPECT_NEAR(tail_energy_mj(p, 100.0), p.max_tail_energy_mj(), 1e-9);
+}
+
+TEST(TailEnergy, ContinuousAtBreakpoints) {
+  const RadioProfile p = paper_3g_profile();
+  const double eps = 1e-9;
+  EXPECT_NEAR(tail_energy_mj(p, p.t1_s - eps), tail_energy_mj(p, p.t1_s + eps), 1e-4);
+  const double t12 = p.t1_s + p.t2_s;
+  EXPECT_NEAR(tail_energy_mj(p, t12 - eps), tail_energy_mj(p, t12 + eps), 1e-4);
+}
+
+TEST(TailEnergy, MonotoneNonDecreasing) {
+  const RadioProfile p = paper_3g_profile();
+  double prev = 0.0;
+  for (double t = 0.0; t <= 12.0; t += 0.25) {
+    const double e = tail_energy_mj(p, t);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(TailEnergy, RejectsNegativeTime) {
+  EXPECT_THROW((void)tail_energy_mj(paper_3g_profile(), -1.0), Error);
+}
+
+TEST(SlotTailEnergy, IsTheDifferenceOfCumulative) {
+  const RadioProfile p = paper_3g_profile();
+  for (double start : {0.0, 2.0, 3.29, 6.0, 10.0}) {
+    EXPECT_NEAR(slot_tail_energy_mj(p, start, 1.0),
+                tail_energy_mj(p, start + 1.0) - tail_energy_mj(p, start), 1e-9);
+  }
+}
+
+TEST(RrcStateMachine, NoTailBeforeFirstTransmission) {
+  RrcStateMachine rrc(paper_3g_profile());
+  EXPECT_TRUE(rrc.never_transmitted());
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+  for (int slot = 0; slot < 5; ++slot) {
+    EXPECT_DOUBLE_EQ(rrc.advance_slot(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RrcStateMachine, SlotExclusiveSemanticsEq5) {
+  // Paper Eq. 5: a transmission slot carries no tail energy at all.
+  RrcStateMachine rrc(paper_3g_profile());
+  EXPECT_DOUBLE_EQ(rrc.advance_slot(0.2, 1.0), 0.0);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  EXPECT_DOUBLE_EQ(rrc.idle_time_s(), 0.0);
+}
+
+TEST(RrcStateMachine, IdleSlotsWalkDownTheTail) {
+  const RadioProfile p = paper_3g_profile();
+  RrcStateMachine rrc(p);
+  (void)rrc.advance_slot(1.0, 1.0);
+  double total = 0.0;
+  for (int slot = 0; slot < 20; ++slot) {
+    total += rrc.advance_slot(0.0, 1.0);
+  }
+  EXPECT_NEAR(total, p.max_tail_energy_mj(), 1e-9);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+TEST(RrcStateMachine, StateFollowsTimers) {
+  const RadioProfile p = paper_3g_profile();
+  RrcStateMachine rrc(p);
+  (void)rrc.advance_slot(1.0, 1.0);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  (void)rrc.advance_slot(0.0, 1.0);
+  (void)rrc.advance_slot(0.0, 1.0);
+  (void)rrc.advance_slot(0.0, 1.0);
+  (void)rrc.advance_slot(0.0, 1.0);  // idle = 4.0 > T1 = 3.29
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+  for (int i = 0; i < 4; ++i) (void)rrc.advance_slot(0.0, 1.0);  // idle = 8 > 7.31
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+TEST(RrcStateMachine, TransmissionResetsTailClock) {
+  RrcStateMachine rrc(paper_3g_profile());
+  (void)rrc.advance_slot(1.0, 1.0);
+  (void)rrc.advance_slot(0.0, 1.0);
+  (void)rrc.advance_slot(0.0, 1.0);
+  EXPECT_GT(rrc.idle_time_s(), 0.0);
+  (void)rrc.advance_slot(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(rrc.idle_time_s(), 0.0);
+}
+
+TEST(RrcStateMachine, ContinuousTailChargesInSlotResidue) {
+  RadioProfile p = paper_3g_profile();
+  p.continuous_tail = true;
+  RrcStateMachine rrc(p);
+  // 0.25 s active transfer -> 0.75 s of fresh DCH tail inside the slot.
+  EXPECT_NEAR(rrc.advance_slot(0.25, 1.0), 732.83 * 0.75, 1e-9);
+  EXPECT_NEAR(rrc.idle_time_s(), 0.75, 1e-12);
+  // The next idle slot continues the same tail from 0.75 s.
+  EXPECT_NEAR(rrc.advance_slot(0.0, 1.0), slot_tail_energy_mj(p, 0.75, 1.0), 1e-9);
+}
+
+TEST(RrcStateMachine, LteTwoStateSkipsFach) {
+  RrcStateMachine rrc(lte_profile());
+  (void)rrc.advance_slot(1.0, 1.0);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  for (int i = 0; i < 12; ++i) (void)rrc.advance_slot(0.0, 1.0);  // past 11.5 s
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+TEST(RrcStateMachine, LteTailIsConnectedPowerTimesTimer) {
+  const RadioProfile p = lte_profile();
+  RrcStateMachine rrc(p);
+  (void)rrc.advance_slot(1.0, 1.0);
+  double total = 0.0;
+  for (int i = 0; i < 20; ++i) total += rrc.advance_slot(0.0, 1.0);
+  EXPECT_NEAR(total, p.p_dch_mw * p.t1_s, 1e-9);
+}
+
+TEST(RrcStateMachine, RejectsInvalidSlotInputs) {
+  RrcStateMachine rrc(paper_3g_profile());
+  EXPECT_THROW((void)rrc.advance_slot(0.0, 0.0), Error);
+  EXPECT_THROW((void)rrc.advance_slot(-0.1, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,51 @@
+#include "sim/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(Catalog, EveryPresetBuildsAndValidates) {
+  for (const ScenarioPreset& preset : scenario_catalog()) {
+    const ScenarioConfig config = make_catalog_scenario(preset.name, 5, 3);
+    EXPECT_NO_THROW(validate(config)) << preset.name;
+    EXPECT_EQ(config.users, 5u) << preset.name;
+    EXPECT_EQ(config.seed, 3u) << preset.name;
+    EXPECT_FALSE(preset.description.empty());
+  }
+}
+
+TEST(Catalog, PresetsDifferFromPaperWhereExpected) {
+  EXPECT_EQ(make_catalog_scenario("lte").radio.kind, RrcKind::kTwoStateLte);
+  EXPECT_TRUE(make_catalog_scenario("vbr").vbr);
+  EXPECT_GT(make_catalog_scenario("churn").arrival_spread_slots, 0);
+  EXPECT_EQ(make_catalog_scenario("wave").capacity_kind, CapacityKind::kSine);
+  EXPECT_EQ(make_catalog_scenario("gauss-markov").signal_kind,
+            SignalKind::kGaussMarkov);
+  const ScenarioConfig stress = make_catalog_scenario("stress");
+  EXPECT_TRUE(stress.vbr);
+  EXPECT_GT(stress.arrival_spread_slots, 0);
+  EXPECT_EQ(stress.capacity_kind, CapacityKind::kSine);
+}
+
+TEST(Catalog, EveryPresetSimulatesToCompletion) {
+  for (const ScenarioPreset& preset : scenario_catalog()) {
+    ScenarioConfig config = make_catalog_scenario(preset.name, 4, 7);
+    config.video_min_mb = 5.0;
+    config.video_max_mb = 10.0;
+    config.max_slots = 3000;
+    const RunMetrics metrics = simulate(config, make_scheduler("default"));
+    EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0) << preset.name;
+  }
+}
+
+TEST(Catalog, RejectsUnknownPreset) {
+  EXPECT_THROW((void)make_catalog_scenario("bogus"), Error);
+}
+
+}  // namespace
+}  // namespace jstream

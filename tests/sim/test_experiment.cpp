@@ -1,0 +1,82 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::size_t users = 6, std::uint64_t seed = 11) {
+  ScenarioConfig config = paper_scenario(users, seed);
+  config.video_min_mb = 10.0;
+  config.video_max_mb = 20.0;
+  config.max_slots = 2000;
+  return config;
+}
+
+TEST(Experiment, RunsNamedScheduler) {
+  ExperimentSpec spec{"test", "throttling", small_scenario(), {}};
+  const RunMetrics metrics = run_experiment(spec);
+  EXPECT_GT(metrics.slots_run, 0);
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+}
+
+TEST(Experiment, DefaultReferenceIsPopulated) {
+  const DefaultReference reference = run_default_reference(small_scenario());
+  EXPECT_GT(reference.energy_per_user_slot_mj, 0.0);
+  EXPECT_GT(reference.total_energy_mj, 0.0);
+  EXPECT_GE(reference.rebuffer_per_user_slot_s, 0.0);
+  // Serving-slot energy must sit in Eq. 12's sensitive band: between the
+  // full-rate slot cost at the best and worst signal (846..1505 mJ).
+  EXPECT_GT(reference.trans_per_tx_slot_mj, 500.0);
+  EXPECT_LT(reference.trans_per_tx_slot_mj, 1600.0);
+}
+
+TEST(Experiment, RtmaAlphaScalesTheBudget) {
+  const DefaultReference reference = run_default_reference(small_scenario());
+  const SchedulerOptions at_1 = rtma_options_for_alpha(1.0, reference);
+  const SchedulerOptions at_08 = rtma_options_for_alpha(0.8, reference);
+  EXPECT_DOUBLE_EQ(at_1.rtma.energy_budget_mj, reference.trans_per_tx_slot_mj);
+  EXPECT_NEAR(at_08.rtma.energy_budget_mj, 0.8 * reference.trans_per_tx_slot_mj, 1e-9);
+  EXPECT_THROW((void)rtma_options_for_alpha(0.0, reference), Error);
+}
+
+TEST(Experiment, CalibratedVRespectsTheBound) {
+  const ScenarioConfig scenario = small_scenario(8);
+  // Short sessions carry an irreducible cold-start stall, so anchor the bound
+  // just above the measured floor (the rebuffering at a vanishing V) to make
+  // it reachable but binding.
+  SchedulerOptions probe;
+  probe.ema.v_weight = 1e-4;
+  const double floor =
+      run_experiment({"probe", "ema-fast", scenario, probe}, false)
+          .avg_rebuffer_per_user_slot_s();
+  const double omega = floor * 1.3;
+  const double v = calibrate_v_for_rebuffer(scenario, omega, 1e-4, 2.0, 8);
+  EXPECT_GT(v, 1e-4);  // calibration found headroom above the probe V
+  SchedulerOptions options;
+  options.ema.v_weight = v;
+  const RunMetrics metrics =
+      run_experiment({"ema", "ema-fast", scenario, options}, false);
+  // The calibration ran with the same fast solver, so the returned V was
+  // probed feasible; the deterministic rerun must agree.
+  EXPECT_LE(metrics.avg_rebuffer_per_user_slot_s(), omega + 1e-9);
+}
+
+TEST(Experiment, CalibrationIsMonotoneInOmega) {
+  const ScenarioConfig scenario = small_scenario(8);
+  const double v_tight = calibrate_v_for_rebuffer(scenario, 0.002, 1e-4, 2.0, 6);
+  const double v_loose = calibrate_v_for_rebuffer(scenario, 0.08, 1e-4, 2.0, 6);
+  EXPECT_LE(v_tight, v_loose + 1e-9);
+}
+
+TEST(Experiment, CalibrationRejectsBadArguments) {
+  const ScenarioConfig scenario = small_scenario();
+  EXPECT_THROW((void)calibrate_v_for_rebuffer(scenario, -1.0), Error);
+  EXPECT_THROW((void)calibrate_v_for_rebuffer(scenario, 0.1, 1.0, 0.5), Error);
+  EXPECT_THROW((void)calibrate_v_for_rebuffer(scenario, 0.1, 1e-3, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,84 @@
+#include "sim/multicell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_cell(std::uint64_t seed = 5) {
+  ScenarioConfig config = paper_scenario(4, seed);
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 10.0;
+  config.max_slots = 1500;
+  return config;
+}
+
+TEST(MultiCell, UniformDeploymentVariesSeeds) {
+  const MultiCellConfig config = MultiCellConfig::uniform(small_cell(100), 3);
+  ASSERT_EQ(config.cells.size(), 3u);
+  EXPECT_EQ(config.cells[0].seed, 100u);
+  EXPECT_EQ(config.cells[1].seed, 101u);
+  EXPECT_EQ(config.cells[2].seed, 102u);
+  EXPECT_THROW((void)MultiCellConfig::uniform(small_cell(), 0), Error);
+}
+
+TEST(MultiCell, RunsEveryCellToCompletion) {
+  const MultiCellConfig config = MultiCellConfig::uniform(small_cell(), 3);
+  const MultiCellResult result = simulate_multicell(config, "default", {}, 2);
+  ASSERT_EQ(result.per_cell.size(), 3u);
+  EXPECT_EQ(result.total_users(), 12u);
+  for (const auto& cell : result.per_cell) {
+    EXPECT_DOUBLE_EQ(cell.completion_rate(), 1.0);
+  }
+  EXPECT_GT(result.total_energy_mj(), 0.0);
+}
+
+TEST(MultiCell, AggregatesMatchSingleCellRuns) {
+  const MultiCellConfig config = MultiCellConfig::uniform(small_cell(), 2);
+  const MultiCellResult result = simulate_multicell(config, "throttling");
+  double expected_energy = 0.0;
+  double expected_rebuffer = 0.0;
+  for (const auto& cell : config.cells) {
+    const RunMetrics standalone =
+        simulate(cell, make_scheduler("throttling"), false);
+    expected_energy += standalone.total_energy_mj();
+    expected_rebuffer += standalone.total_rebuffer_s();
+  }
+  EXPECT_DOUBLE_EQ(result.total_energy_mj(), expected_energy);
+  EXPECT_DOUBLE_EQ(result.total_rebuffer_s(), expected_rebuffer);
+}
+
+TEST(MultiCell, WeightedAveragesAreBetweenCellExtremes) {
+  MultiCellConfig config = MultiCellConfig::uniform(small_cell(), 2);
+  config.cells[1].users = 8;  // heterogeneous cells
+  const MultiCellResult result = simulate_multicell(config, "default");
+  const double lo = std::min(result.per_cell[0].avg_energy_per_user_slot_mj(),
+                             result.per_cell[1].avg_energy_per_user_slot_mj());
+  const double hi = std::max(result.per_cell[0].avg_energy_per_user_slot_mj(),
+                             result.per_cell[1].avg_energy_per_user_slot_mj());
+  EXPECT_GE(result.avg_energy_per_user_slot_mj(), lo);
+  EXPECT_LE(result.avg_energy_per_user_slot_mj(), hi);
+}
+
+TEST(MultiCell, SchedulerStateDoesNotLeakBetweenCells) {
+  // Running [A] and [A, A] must give cell A identical results: each cell
+  // gets a fresh scheduler instance.
+  MultiCellConfig one;
+  one.cells = {small_cell(7)};
+  MultiCellConfig two;
+  two.cells = {small_cell(7), small_cell(8)};
+  const MultiCellResult a = simulate_multicell(one, "ema-fast");
+  const MultiCellResult b = simulate_multicell(two, "ema-fast");
+  EXPECT_DOUBLE_EQ(a.per_cell[0].total_energy_mj(), b.per_cell[0].total_energy_mj());
+  EXPECT_DOUBLE_EQ(a.per_cell[0].total_rebuffer_s(), b.per_cell[0].total_rebuffer_s());
+}
+
+TEST(MultiCell, RejectsEmptyDeployment) {
+  EXPECT_THROW((void)simulate_multicell(MultiCellConfig{}, "default"), Error);
+}
+
+}  // namespace
+}  // namespace jstream

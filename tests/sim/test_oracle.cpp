@@ -1,0 +1,99 @@
+#include "sim/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t seed = 3) {
+  ScenarioConfig config = paper_scenario(6, seed);
+  config.video_min_mb = 8.0;
+  config.video_max_mb = 15.0;
+  config.max_slots = 2500;
+  return config;
+}
+
+TEST(Oracle, ProducesAFeasibleSchedule) {
+  const OracleResult result = offline_energy_bound(small_scenario());
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(result.total_trans_mj, 0.0);
+  EXPECT_GT(result.total_tail_mj, 0.0);
+  EXPECT_GT(result.horizon_slots, 0);
+  EXPECT_EQ(result.per_user_trans_mj.size(), 6u);
+}
+
+TEST(Oracle, TransmissionEnergyBoundsDataCost) {
+  // The oracle cannot pay less than every byte at the best possible price,
+  // nor more than every byte at the worst.
+  const ScenarioConfig config = small_scenario();
+  const OracleResult result = offline_energy_bound(config);
+  const auto endpoints = build_endpoints(config);
+  double total_kb = 0.0;
+  for (const auto& endpoint : endpoints) total_kb += endpoint.session.size_kb();
+  const double best_price = config.link.power->energy_per_kb(-50.0);
+  const double worst_price = config.link.power->energy_per_kb(-110.0);
+  EXPECT_GE(result.total_trans_mj, total_kb * best_price);
+  EXPECT_LE(result.total_trans_mj, total_kb * worst_price);
+}
+
+TEST(Oracle, UndercutsLowStallOnlineSchedulers) {
+  // The oracle is the cheapest ZERO-STALL schedule; any online policy that
+  // also keeps playback smooth must pay at least as much for its bytes.
+  // (Heavy-stall policies can defer past the oracle's deadlines and are not
+  // comparable; tails are policy-shaped, so the comparison is Eq. 3 only.)
+  const ScenarioConfig config = small_scenario(11);
+  const OracleResult oracle = offline_energy_bound(config);
+  for (const char* name : {"default", "throttling", "onoff", "estreamer"}) {
+    const RunMetrics online = simulate(config, make_scheduler(name), false);
+    EXPECT_LE(oracle.total_trans_mj, online.total_trans_mj() * 1.0 + 1e-6)
+        << name;
+  }
+}
+
+TEST(Oracle, CheaperWhenSignalsAreStronger) {
+  ScenarioConfig weak = small_scenario(17);
+  ScenarioConfig strong = small_scenario(17);
+  strong.signal.min_dbm = -80.0;  // lift the floor: every slot is cheaper
+  const OracleResult weak_bound = offline_energy_bound(weak);
+  const OracleResult strong_bound = offline_energy_bound(strong);
+  EXPECT_LT(strong_bound.total_trans_mj, weak_bound.total_trans_mj);
+}
+
+TEST(Oracle, StartupAllowanceRelaxesTheSchedule) {
+  // More startup slack can only reduce (or keep) the cost: deadlines loosen.
+  const ScenarioConfig config = small_scenario(19);
+  OracleSpec tight;
+  tight.startup_slots = 1;
+  OracleSpec loose;
+  loose.startup_slots = 60;
+  const OracleResult a = offline_energy_bound(config, tight);
+  const OracleResult b = offline_energy_bound(config, loose);
+  EXPECT_LE(b.total_trans_mj, a.total_trans_mj + 1e-9);
+}
+
+TEST(Oracle, AverageNormalization) {
+  const ScenarioConfig config = small_scenario();
+  const OracleResult result = offline_energy_bound(config);
+  const auto endpoints = build_endpoints(config);
+  std::vector<double> durations;
+  for (const auto& endpoint : endpoints) {
+    durations.push_back(endpoint.session.total_playback_s());
+  }
+  const double avg = result.avg_energy_per_user_slot_mj(durations);
+  EXPECT_GT(avg, 0.0);
+  EXPECT_LT(avg, 2000.0);
+  EXPECT_THROW((void)result.avg_energy_per_user_slot_mj({1.0}), Error);
+}
+
+TEST(Oracle, RejectsBadSpec) {
+  OracleSpec spec;
+  spec.startup_slots = -1;
+  EXPECT_THROW((void)offline_energy_bound(small_scenario(), spec), Error);
+}
+
+}  // namespace
+}  // namespace jstream

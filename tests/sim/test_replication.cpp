@@ -1,0 +1,60 @@
+#include "sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jstream {
+namespace {
+
+ExperimentSpec small_spec(std::uint64_t seed = 40) {
+  ScenarioConfig scenario = paper_scenario(4, seed);
+  scenario.video_min_mb = 5.0;
+  scenario.video_max_mb = 10.0;
+  scenario.max_slots = 1500;
+  return {"default", "default", scenario, {}};
+}
+
+TEST(Replication, RunsOnePerSeed) {
+  const ReplicationResult result = replicate_experiment(small_spec(), 5, 2);
+  ASSERT_EQ(result.runs.size(), 5u);
+  EXPECT_EQ(result.pe_mj.summary.count, 5u);
+  EXPECT_GT(result.pe_mj.summary.mean, 0.0);
+}
+
+TEST(Replication, SeedsActuallyDiffer) {
+  const ReplicationResult result = replicate_experiment(small_spec(), 4);
+  // Different seeds -> different workloads -> nonzero spread.
+  EXPECT_GT(result.total_energy_mj.summary.stddev, 0.0);
+}
+
+TEST(Replication, MatchesIndividualRuns) {
+  const ExperimentSpec spec = small_spec(77);
+  const ReplicationResult result = replicate_experiment(spec, 3);
+  for (std::size_t rep = 0; rep < 3; ++rep) {
+    ExperimentSpec single = spec;
+    single.scenario.seed = spec.scenario.seed + rep;
+    const RunMetrics standalone = run_experiment(single, true);
+    EXPECT_DOUBLE_EQ(result.runs[rep].total_energy_mj(),
+                     standalone.total_energy_mj());
+  }
+}
+
+TEST(Replication, CiShrinksWithMoreReps) {
+  // Same generating process, more samples -> smaller CI half-width (up to
+  // sampling noise; compare 3 vs 12 which is a robust gap).
+  const ReplicationResult few = replicate_experiment(small_spec(), 3);
+  const ReplicationResult many = replicate_experiment(small_spec(), 12);
+  if (few.pe_mj.summary.stddev > 0.0) {
+    EXPECT_LT(many.pe_mj.ci95_halfwidth(),
+              few.pe_mj.ci95_halfwidth() * 2.0);
+  }
+  EXPECT_DOUBLE_EQ(replicate_experiment(small_spec(), 1).pe_mj.ci95_halfwidth(), 0.0);
+}
+
+TEST(Replication, RejectsZeroReps) {
+  EXPECT_THROW((void)replicate_experiment(small_spec(), 0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

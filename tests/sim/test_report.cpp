@@ -1,0 +1,80 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/factory.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+RunMetrics sample_run() {
+  ScenarioConfig config = paper_scenario(3, 5);
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 8.0;
+  config.max_slots = 1000;
+  return simulate(config, make_scheduler("default"));
+}
+
+TEST(Report, SummaryMentionsKeyNumbers) {
+  const RunMetrics metrics = sample_run();
+  const std::string summary = summarize_run("demo", metrics);
+  EXPECT_NE(summary.find("demo"), std::string::npos);
+  EXPECT_NE(summary.find("PE"), std::string::npos);
+  EXPECT_NE(summary.find("PC"), std::string::npos);
+  EXPECT_NE(summary.find("100.0% sessions complete"), std::string::npos);
+}
+
+TEST(Report, FullReportHasOneRowPerUser) {
+  const RunMetrics metrics = sample_run();
+  const std::string report = render_report("demo", metrics);
+  // Per-user table header plus the "done" column for every user.
+  EXPECT_NE(report.find("per-user totals"), std::string::npos);
+  std::size_t yes_count = 0;
+  for (std::size_t pos = report.find("yes"); pos != std::string::npos;
+       pos = report.find("yes", pos + 1)) {
+    ++yes_count;
+  }
+  EXPECT_GE(yes_count, metrics.per_user.size());
+}
+
+TEST(Report, CsvExportWritesBothFiles) {
+  const RunMetrics metrics = sample_run();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jstream_report_test").string();
+  export_run_csv(dir, "demo", metrics);
+  std::ifstream users(dir + "/demo_users.csv");
+  std::ifstream slots(dir + "/demo_slots.csv");
+  ASSERT_TRUE(users.good());
+  ASSERT_TRUE(slots.good());
+  std::string line;
+  std::size_t user_rows = 0;
+  while (std::getline(users, line)) ++user_rows;
+  EXPECT_EQ(user_rows, metrics.per_user.size() + 1);  // header + users
+  std::size_t slot_rows = 0;
+  while (std::getline(slots, line)) ++slot_rows;
+  EXPECT_EQ(slot_rows, metrics.slot_energy_mj.size() + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Report, CsvExportSkipsSeriesWhenAbsent) {
+  ScenarioConfig config = paper_scenario(2, 5);
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 6.0;
+  config.max_slots = 500;
+  const RunMetrics metrics =
+      simulate(config, make_scheduler("default"), /*keep_series=*/false);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jstream_report_test2").string();
+  export_run_csv(dir, "noseries", metrics);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/noseries_users.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/noseries_slots.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,96 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace jstream {
+namespace {
+
+TEST(Scenario, PaperDefaultsMatchSectionVI) {
+  const ScenarioConfig config = paper_scenario();
+  EXPECT_EQ(config.users, 40u);
+  EXPECT_EQ(config.max_slots, 10000);
+  EXPECT_DOUBLE_EQ(config.slot.tau_s, 1.0);
+  EXPECT_DOUBLE_EQ(config.capacity_kbps, 20000.0);
+  EXPECT_DOUBLE_EQ(config.video_min_mb, 250.0);
+  EXPECT_DOUBLE_EQ(config.video_max_mb, 500.0);
+  EXPECT_DOUBLE_EQ(config.bitrate_min_kbps, 300.0);
+  EXPECT_DOUBLE_EQ(config.bitrate_max_kbps, 600.0);
+  EXPECT_DOUBLE_EQ(config.signal.min_dbm, -110.0);
+  EXPECT_DOUBLE_EQ(config.signal.max_dbm, -50.0);
+  EXPECT_EQ(config.radio.name, "3g");
+  EXPECT_NO_THROW(validate(config));
+}
+
+TEST(Scenario, DataAmountVariantCentersTheRange) {
+  const ScenarioConfig config = paper_scenario_with_data_amount(30, 350.0);
+  EXPECT_DOUBLE_EQ(config.video_min_mb, 250.0);
+  EXPECT_DOUBLE_EQ(config.video_max_mb, 450.0);
+  EXPECT_THROW((void)paper_scenario_with_data_amount(30, 50.0), Error);
+}
+
+TEST(Scenario, BuildEndpointsHonorsRanges) {
+  const ScenarioConfig config = paper_scenario(25, 9);
+  const auto endpoints = build_endpoints(config);
+  ASSERT_EQ(endpoints.size(), 25u);
+  for (const auto& endpoint : endpoints) {
+    EXPECT_GE(endpoint.session.size_kb(), mb_to_kb(250.0));
+    EXPECT_LE(endpoint.session.size_kb(), mb_to_kb(500.0));
+    EXPECT_GE(endpoint.session.bitrate_kbps(0), 300.0);
+    EXPECT_LE(endpoint.session.bitrate_kbps(0), 600.0);
+    EXPECT_DOUBLE_EQ(endpoint.delivered_kb, 0.0);
+    EXPECT_TRUE(endpoint.active());
+  }
+}
+
+TEST(Scenario, EndpointsAreDeterministicPerSeed) {
+  const ScenarioConfig config = paper_scenario(10, 77);
+  auto a = build_endpoints(config);
+  auto b = build_endpoints(config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].session.size_kb(), b[i].session.size_kb());
+    EXPECT_DOUBLE_EQ(a[i].session.bitrate_kbps(0), b[i].session.bitrate_kbps(0));
+    EXPECT_DOUBLE_EQ(a[i].signal->signal_dbm(5), b[i].signal->signal_dbm(5));
+  }
+}
+
+TEST(Scenario, DifferentSeedsGiveDifferentPopulations) {
+  auto a = build_endpoints(paper_scenario(10, 1));
+  auto b = build_endpoints(paper_scenario(10, 2));
+  int identical = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].session.size_kb() == b[i].session.size_kb()) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(Scenario, UsersHaveDistinctSignalPhases) {
+  auto endpoints = build_endpoints(paper_scenario(10, 5));
+  // With per-user random phases, signals at the same slot should differ.
+  int distinct = 0;
+  const double first = endpoints[0].signal->signal_dbm(0);
+  for (std::size_t i = 1; i < endpoints.size(); ++i) {
+    if (std::abs(endpoints[i].signal->signal_dbm(0) - first) > 0.5) ++distinct;
+  }
+  EXPECT_GT(distinct, 5);
+}
+
+TEST(Scenario, ValidateCatchesBrokenConfigs) {
+  ScenarioConfig config = paper_scenario();
+  config.users = 0;
+  EXPECT_THROW(validate(config), Error);
+  config = paper_scenario();
+  config.video_min_mb = 600.0;  // min > max
+  EXPECT_THROW(validate(config), Error);
+  config = paper_scenario();
+  config.capacity_kbps = 0.0;
+  EXPECT_THROW(validate(config), Error);
+  config = paper_scenario();
+  config.link.power = nullptr;
+  EXPECT_THROW(validate(config), Error);
+}
+
+}  // namespace
+}  // namespace jstream

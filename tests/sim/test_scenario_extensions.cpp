@@ -1,0 +1,178 @@
+// Tests for the scenario features beyond the paper's static setting: session
+// arrivals, VBR content, alternative signal processes, and capacity waves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/factory.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t seed = 3) {
+  ScenarioConfig config = paper_scenario(6, seed);
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 10.0;
+  config.max_slots = 2500;
+  return config;
+}
+
+TEST(ScenarioArrivals, SpreadProducesDistinctStartSlots) {
+  ScenarioConfig config = small_scenario();
+  config.users = 20;
+  config.arrival_spread_slots = 500;
+  const auto endpoints = build_endpoints(config);
+  std::int64_t min_start = config.max_slots;
+  std::int64_t max_start = 0;
+  for (const auto& endpoint : endpoints) {
+    EXPECT_GE(endpoint.start_slot, 0);
+    EXPECT_LE(endpoint.start_slot, 500);
+    min_start = std::min(min_start, endpoint.start_slot);
+    max_start = std::max(max_start, endpoint.start_slot);
+  }
+  EXPECT_LT(min_start, max_start);  // actually staggered
+}
+
+TEST(ScenarioArrivals, ZeroSpreadStartsEveryoneAtSlotZero) {
+  const auto endpoints = build_endpoints(small_scenario());
+  for (const auto& endpoint : endpoints) EXPECT_EQ(endpoint.start_slot, 0);
+}
+
+TEST(ScenarioArrivals, UnarrivedUsersNeitherServeNorStall) {
+  ScenarioConfig config = small_scenario();
+  config.arrival_spread_slots = 200;
+  const RunMetrics metrics = simulate(config, make_scheduler("default"));
+  const auto endpoints = build_endpoints(config);
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    // Session slots cannot start before arrival: the whole session fits in
+    // slots_run - start_slot.
+    EXPECT_LE(metrics.per_user[i].session_slots,
+              metrics.slots_run - endpoints[i].start_slot);
+    EXPECT_NEAR(metrics.per_user[i].delivered_kb, endpoints[i].session.size_kb(), 1e-6);
+  }
+}
+
+TEST(ScenarioArrivals, LateArrivalsExtendTheRun) {
+  ScenarioConfig together = small_scenario(9);
+  ScenarioConfig spread = small_scenario(9);
+  spread.arrival_spread_slots = 400;
+  const RunMetrics a = simulate(together, make_scheduler("default"));
+  const RunMetrics b = simulate(spread, make_scheduler("default"));
+  EXPECT_GT(b.slots_run, a.slots_run);
+}
+
+TEST(ScenarioVbr, SessionsUseRandomWalkRates) {
+  ScenarioConfig config = small_scenario();
+  config.vbr = true;
+  config.vbr_hold_slots = 10;
+  const auto endpoints = build_endpoints(config);
+  bool any_varies = false;
+  for (const auto& endpoint : endpoints) {
+    const double first = endpoint.session.bitrate_kbps(0);
+    for (std::int64_t slot = 10; slot < 200; slot += 10) {
+      EXPECT_GE(endpoint.session.bitrate_kbps(slot), config.bitrate_min_kbps);
+      EXPECT_LE(endpoint.session.bitrate_kbps(slot), config.bitrate_max_kbps);
+      if (std::abs(endpoint.session.bitrate_kbps(slot) - first) > 1.0) {
+        any_varies = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_varies);
+}
+
+TEST(ScenarioVbr, SimulationCompletesUnderVbr) {
+  ScenarioConfig config = small_scenario();
+  config.vbr = true;
+  for (const char* name : {"default", "rtma", "ema-fast"}) {
+    const RunMetrics metrics = simulate(config, make_scheduler(name));
+    EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0) << name;
+  }
+}
+
+TEST(ScenarioSignalKinds, GaussMarkovEndpointsRun) {
+  ScenarioConfig config = small_scenario();
+  config.signal_kind = SignalKind::kGaussMarkov;
+  const RunMetrics metrics = simulate(config, make_scheduler("default"));
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+}
+
+TEST(ScenarioSignalKinds, TraceEndpointsReplayWithOffsets) {
+  ScenarioConfig config = small_scenario();
+  config.signal_kind = SignalKind::kTrace;
+  config.trace_dbm = {-60.0, -70.0, -80.0, -90.0, -100.0};
+  const auto endpoints = build_endpoints(config);
+  // Each user replays the same ring, so per-slot values come from the trace.
+  for (const auto& endpoint : endpoints) {
+    const double v = endpoint.signal->signal_dbm(0);
+    EXPECT_TRUE(std::find(config.trace_dbm.begin(), config.trace_dbm.end(), v) !=
+                config.trace_dbm.end());
+  }
+  const RunMetrics metrics = simulate(config, make_scheduler("default"));
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+}
+
+TEST(ScenarioSignalKinds, TraceKindRequiresATrace) {
+  ScenarioConfig config = small_scenario();
+  config.signal_kind = SignalKind::kTrace;
+  EXPECT_THROW(validate(config), Error);
+}
+
+TEST(ScenarioCapacity, SineWaveOscillatesAroundBase) {
+  ScenarioConfig config = small_scenario();
+  config.capacity_kind = CapacityKind::kSine;
+  config.capacity_wave_fraction = 0.5;
+  config.capacity_wave_period = 100.0;
+  const auto profile = capacity_profile(config);
+  EXPECT_NEAR(profile(0), config.capacity_kbps, 1e-9);
+  EXPECT_NEAR(profile(25), config.capacity_kbps * 1.5, 1e-6);
+  EXPECT_NEAR(profile(75), config.capacity_kbps * 0.5, 1e-6);
+}
+
+TEST(ScenarioCapacity, ConstantProfileByDefault) {
+  const auto profile = capacity_profile(small_scenario());
+  EXPECT_DOUBLE_EQ(profile(0), profile(12345));
+}
+
+TEST(ScenarioCapacity, WaveModulatesPerSlotService) {
+  // With a binding base capacity, a capacity wave must show up as extra
+  // variance in the per-slot energy (service) series. Rebuffering totals are
+  // NOT a robust signal here: unbounded client buffers let crest-time
+  // prefetch offset trough-time droughts.
+  ScenarioConfig steady = small_scenario(21);
+  steady.users = 8;
+  steady.capacity_kbps = 4000.0;
+  ScenarioConfig wavy = steady;
+  wavy.capacity_kind = CapacityKind::kSine;
+  wavy.capacity_wave_fraction = 0.8;
+  wavy.capacity_wave_period = 120.0;
+  const RunMetrics a = simulate(steady, make_scheduler("default"));
+  const RunMetrics b = simulate(wavy, make_scheduler("default"));
+  const Summary steady_energy = summarize(a.slot_energy_mj);
+  const Summary wavy_energy = summarize(b.slot_energy_mj);
+  EXPECT_GT(wavy_energy.stddev, steady_energy.stddev);
+}
+
+TEST(ScenarioValidation, CatchesNewFieldErrors) {
+  ScenarioConfig config = small_scenario();
+  config.arrival_spread_slots = -1;
+  EXPECT_THROW(validate(config), Error);
+  config = small_scenario();
+  config.arrival_spread_slots = config.max_slots;
+  EXPECT_THROW(validate(config), Error);
+  config = small_scenario();
+  config.vbr = true;
+  config.vbr_hold_slots = 0;
+  EXPECT_THROW(validate(config), Error);
+  config = small_scenario();
+  config.capacity_kind = CapacityKind::kSine;
+  config.capacity_wave_fraction = 1.5;
+  EXPECT_THROW(validate(config), Error);
+}
+
+}  // namespace
+}  // namespace jstream

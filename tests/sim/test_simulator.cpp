@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::size_t users = 4, std::uint64_t seed = 3) {
+  ScenarioConfig config = paper_scenario(users, seed);
+  // Small videos keep tests fast while exercising full sessions.
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 10.0;
+  config.max_slots = 2000;
+  return config;
+}
+
+TEST(Simulator, CompletesAllSessionsWithEarlyStop) {
+  const RunMetrics metrics = simulate(small_scenario(), make_scheduler("default"));
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0);
+  EXPECT_LT(metrics.slots_run, 2000);
+  for (const auto& user : metrics.per_user) {
+    EXPECT_GT(user.delivered_kb, 0.0);
+    EXPECT_GT(user.session_slots, 0);
+  }
+}
+
+TEST(Simulator, DeliversExactlyTheContent) {
+  const ScenarioConfig config = small_scenario();
+  const RunMetrics metrics = simulate(config, make_scheduler("default"));
+  const auto endpoints = build_endpoints(config);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    EXPECT_NEAR(metrics.per_user[i].delivered_kb, endpoints[i].session.size_kb(), 1e-6);
+  }
+}
+
+TEST(Simulator, SessionSlotsAtLeastPlaybackDuration) {
+  const ScenarioConfig config = small_scenario();
+  const RunMetrics metrics = simulate(config, make_scheduler("default"));
+  const auto endpoints = build_endpoints(config);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    EXPECT_GE(static_cast<double>(metrics.per_user[i].session_slots) + 1.0,
+              endpoints[i].session.total_playback_s());
+  }
+}
+
+TEST(Simulator, HorizonCapRespectedWithoutEarlyStop) {
+  ScenarioConfig config = small_scenario();
+  config.early_stop = false;
+  config.max_slots = 120;
+  const RunMetrics metrics = simulate(config, make_scheduler("default"));
+  EXPECT_EQ(metrics.slots_run, 120);
+}
+
+TEST(Simulator, EveryFactorySchedulerRunsCleanly) {
+  for (const std::string& name : scheduler_names()) {
+    const RunMetrics metrics = simulate(small_scenario(3), make_scheduler(name));
+    EXPECT_GT(metrics.slots_run, 0) << name;
+    EXPECT_GT(metrics.total_energy_mj(), 0.0) << name;
+    EXPECT_DOUBLE_EQ(metrics.completion_rate(), 1.0) << name;
+  }
+}
+
+TEST(Simulator, FiniteBackhaulSlowsDelivery) {
+  ScenarioConfig unconstrained = small_scenario();
+  ScenarioConfig constrained = small_scenario();
+  constrained.backhaul_kbps = 500.0;  // far below the radio capacity
+  const RunMetrics fast = simulate(unconstrained, make_scheduler("default"));
+  const RunMetrics slow = simulate(constrained, make_scheduler("default"));
+  EXPECT_GT(slow.total_rebuffer_s(), fast.total_rebuffer_s());
+}
+
+TEST(Simulator, RejectsInvalidConstruction) {
+  EXPECT_THROW(Simulator(small_scenario(), nullptr), Error);
+  ScenarioConfig bad = small_scenario();
+  bad.users = 0;
+  EXPECT_THROW(Simulator(bad, make_scheduler("default")), Error);
+}
+
+}  // namespace
+}  // namespace jstream

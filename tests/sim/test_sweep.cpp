@@ -1,0 +1,54 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::size_t users, std::uint64_t seed) {
+  ScenarioConfig config = paper_scenario(users, seed);
+  config.video_min_mb = 5.0;
+  config.video_max_mb = 10.0;
+  config.max_slots = 1500;
+  return config;
+}
+
+TEST(Sweep, PreservesSpecOrder) {
+  std::vector<ExperimentSpec> specs;
+  for (std::size_t users : {2UL, 4UL, 6UL}) {
+    specs.push_back({"default", "default", small_scenario(users, 1), {}});
+  }
+  const auto results = run_sweep(specs, 2);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[i].per_user.size(), specs[i].scenario.users);
+  }
+}
+
+TEST(Sweep, MatchesSequentialExecution) {
+  std::vector<ExperimentSpec> specs;
+  specs.push_back({"default", "default", small_scenario(3, 7), {}});
+  specs.push_back({"throttling", "throttling", small_scenario(3, 7), {}});
+  const auto parallel = run_sweep(specs, 2);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunMetrics sequential = run_experiment(specs[i], false);
+    EXPECT_DOUBLE_EQ(parallel[i].total_energy_mj(), sequential.total_energy_mj());
+    EXPECT_DOUBLE_EQ(parallel[i].total_rebuffer_s(), sequential.total_rebuffer_s());
+  }
+}
+
+TEST(Sweep, EmptyBatchIsFine) {
+  const std::vector<ExperimentSpec> specs;
+  EXPECT_TRUE(run_sweep(specs).empty());
+}
+
+TEST(Sweep, KeepSeriesFlagForwarded) {
+  std::vector<ExperimentSpec> specs{{"default", "default", small_scenario(2, 5), {}}};
+  const auto without = run_sweep(specs, 1, /*keep_series=*/false);
+  const auto with = run_sweep(specs, 1, /*keep_series=*/true);
+  EXPECT_TRUE(without[0].slot_energy_mj.empty());
+  EXPECT_FALSE(with[0].slot_energy_mj.empty());
+}
+
+}  // namespace
+}  // namespace jstream
