@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_arrivals.cpp" "bench-build/CMakeFiles/bench_ablation_arrivals.dir/bench_ablation_arrivals.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_arrivals.dir/bench_ablation_arrivals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/jstream_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/jstream_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jstream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

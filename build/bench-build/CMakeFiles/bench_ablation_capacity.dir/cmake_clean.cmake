@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_capacity"
+  "../bench/bench_ablation_capacity.pdb"
+  "CMakeFiles/bench_ablation_capacity.dir/bench_ablation_capacity.cpp.o"
+  "CMakeFiles/bench_ablation_capacity.dir/bench_ablation_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_delta"
+  "../bench/bench_ablation_delta.pdb"
+  "CMakeFiles/bench_ablation_delta.dir/bench_ablation_delta.cpp.o"
+  "CMakeFiles/bench_ablation_delta.dir/bench_ablation_delta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rrc"
+  "../bench/bench_ablation_rrc.pdb"
+  "CMakeFiles/bench_ablation_rrc.dir/bench_ablation_rrc.cpp.o"
+  "CMakeFiles/bench_ablation_rrc.dir/bench_ablation_rrc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abr_study"
+  "../bench/bench_abr_study.pdb"
+  "CMakeFiles/bench_abr_study.dir/bench_abr_study.cpp.o"
+  "CMakeFiles/bench_abr_study.dir/bench_abr_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abr_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_fairness_rtma"
+  "../bench/bench_fig02_fairness_rtma.pdb"
+  "CMakeFiles/bench_fig02_fairness_rtma.dir/bench_fig02_fairness_rtma.cpp.o"
+  "CMakeFiles/bench_fig02_fairness_rtma.dir/bench_fig02_fairness_rtma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_fairness_rtma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_fairness_rtma.
+# This may be replaced when dependencies are built.

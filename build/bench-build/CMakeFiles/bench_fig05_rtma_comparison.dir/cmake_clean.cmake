@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_rtma_comparison"
+  "../bench/bench_fig05_rtma_comparison.pdb"
+  "CMakeFiles/bench_fig05_rtma_comparison.dir/bench_fig05_rtma_comparison.cpp.o"
+  "CMakeFiles/bench_fig05_rtma_comparison.dir/bench_fig05_rtma_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_rtma_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_fairness_ema"
+  "../bench/bench_fig06_fairness_ema.pdb"
+  "CMakeFiles/bench_fig06_fairness_ema.dir/bench_fig06_fairness_ema.cpp.o"
+  "CMakeFiles/bench_fig06_fairness_ema.dir/bench_fig06_fairness_ema.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_fairness_ema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

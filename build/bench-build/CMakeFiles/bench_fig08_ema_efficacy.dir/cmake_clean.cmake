@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_ema_efficacy"
+  "../bench/bench_fig08_ema_efficacy.pdb"
+  "CMakeFiles/bench_fig08_ema_efficacy.dir/bench_fig08_ema_efficacy.cpp.o"
+  "CMakeFiles/bench_fig08_ema_efficacy.dir/bench_fig08_ema_efficacy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_ema_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

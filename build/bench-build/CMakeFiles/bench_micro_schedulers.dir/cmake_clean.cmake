@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_schedulers"
+  "../bench/bench_micro_schedulers.pdb"
+  "CMakeFiles/bench_micro_schedulers.dir/bench_micro_schedulers.cpp.o"
+  "CMakeFiles/bench_micro_schedulers.dir/bench_micro_schedulers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_oracle_bound"
+  "../bench/bench_oracle_bound.pdb"
+  "CMakeFiles/bench_oracle_bound.dir/bench_oracle_bound.cpp.o"
+  "CMakeFiles/bench_oracle_bound.dir/bench_oracle_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

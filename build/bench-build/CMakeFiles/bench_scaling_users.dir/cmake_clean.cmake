@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_users"
+  "../bench/bench_scaling_users.pdb"
+  "CMakeFiles/bench_scaling_users.dir/bench_scaling_users.cpp.o"
+  "CMakeFiles/bench_scaling_users.dir/bench_scaling_users.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

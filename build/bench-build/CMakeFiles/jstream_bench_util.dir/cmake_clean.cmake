@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/jstream_bench_util.dir/bench_util.cpp.o.d"
+  "libjstream_bench_util.a"
+  "libjstream_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

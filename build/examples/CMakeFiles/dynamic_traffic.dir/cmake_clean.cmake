@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_traffic.dir/dynamic_traffic.cpp.o"
+  "CMakeFiles/dynamic_traffic.dir/dynamic_traffic.cpp.o.d"
+  "dynamic_traffic"
+  "dynamic_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

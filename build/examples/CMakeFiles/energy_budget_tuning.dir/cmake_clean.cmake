@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_budget_tuning.dir/energy_budget_tuning.cpp.o"
+  "CMakeFiles/energy_budget_tuning.dir/energy_budget_tuning.cpp.o.d"
+  "energy_budget_tuning"
+  "energy_budget_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_budget_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_cli.dir/jstream_cli.cpp.o"
+  "CMakeFiles/jstream_cli.dir/jstream_cli.cpp.o.d"
+  "jstream_cli"
+  "jstream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

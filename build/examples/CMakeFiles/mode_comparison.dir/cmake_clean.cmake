@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_comparison.dir/mode_comparison.cpp.o"
+  "CMakeFiles/mode_comparison.dir/mode_comparison.cpp.o.d"
+  "mode_comparison"
+  "mode_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user_gateway.dir/multi_user_gateway.cpp.o"
+  "CMakeFiles/multi_user_gateway.dir/multi_user_gateway.cpp.o.d"
+  "multi_user_gateway"
+  "multi_user_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

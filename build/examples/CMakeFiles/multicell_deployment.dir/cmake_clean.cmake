@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicell_deployment.dir/multicell_deployment.cpp.o"
+  "CMakeFiles/multicell_deployment.dir/multicell_deployment.cpp.o.d"
+  "multicell_deployment"
+  "multicell_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicell_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_abr.dir/abr_simulator.cpp.o"
+  "CMakeFiles/jstream_abr.dir/abr_simulator.cpp.o.d"
+  "CMakeFiles/jstream_abr.dir/client.cpp.o"
+  "CMakeFiles/jstream_abr.dir/client.cpp.o.d"
+  "CMakeFiles/jstream_abr.dir/ladder.cpp.o"
+  "CMakeFiles/jstream_abr.dir/ladder.cpp.o.d"
+  "CMakeFiles/jstream_abr.dir/policies.cpp.o"
+  "CMakeFiles/jstream_abr.dir/policies.cpp.o.d"
+  "libjstream_abr.a"
+  "libjstream_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

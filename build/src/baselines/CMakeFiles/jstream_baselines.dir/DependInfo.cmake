@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/default_scheduler.cpp" "src/baselines/CMakeFiles/jstream_baselines.dir/default_scheduler.cpp.o" "gcc" "src/baselines/CMakeFiles/jstream_baselines.dir/default_scheduler.cpp.o.d"
+  "/root/repo/src/baselines/estreamer.cpp" "src/baselines/CMakeFiles/jstream_baselines.dir/estreamer.cpp.o" "gcc" "src/baselines/CMakeFiles/jstream_baselines.dir/estreamer.cpp.o.d"
+  "/root/repo/src/baselines/factory.cpp" "src/baselines/CMakeFiles/jstream_baselines.dir/factory.cpp.o" "gcc" "src/baselines/CMakeFiles/jstream_baselines.dir/factory.cpp.o.d"
+  "/root/repo/src/baselines/onoff.cpp" "src/baselines/CMakeFiles/jstream_baselines.dir/onoff.cpp.o" "gcc" "src/baselines/CMakeFiles/jstream_baselines.dir/onoff.cpp.o.d"
+  "/root/repo/src/baselines/salsa.cpp" "src/baselines/CMakeFiles/jstream_baselines.dir/salsa.cpp.o" "gcc" "src/baselines/CMakeFiles/jstream_baselines.dir/salsa.cpp.o.d"
+  "/root/repo/src/baselines/throttling.cpp" "src/baselines/CMakeFiles/jstream_baselines.dir/throttling.cpp.o" "gcc" "src/baselines/CMakeFiles/jstream_baselines.dir/throttling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

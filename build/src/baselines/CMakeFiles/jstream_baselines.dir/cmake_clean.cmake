@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_baselines.dir/default_scheduler.cpp.o"
+  "CMakeFiles/jstream_baselines.dir/default_scheduler.cpp.o.d"
+  "CMakeFiles/jstream_baselines.dir/estreamer.cpp.o"
+  "CMakeFiles/jstream_baselines.dir/estreamer.cpp.o.d"
+  "CMakeFiles/jstream_baselines.dir/factory.cpp.o"
+  "CMakeFiles/jstream_baselines.dir/factory.cpp.o.d"
+  "CMakeFiles/jstream_baselines.dir/onoff.cpp.o"
+  "CMakeFiles/jstream_baselines.dir/onoff.cpp.o.d"
+  "CMakeFiles/jstream_baselines.dir/salsa.cpp.o"
+  "CMakeFiles/jstream_baselines.dir/salsa.cpp.o.d"
+  "CMakeFiles/jstream_baselines.dir/throttling.cpp.o"
+  "CMakeFiles/jstream_baselines.dir/throttling.cpp.o.d"
+  "libjstream_baselines.a"
+  "libjstream_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

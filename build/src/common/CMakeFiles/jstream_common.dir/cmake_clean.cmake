@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_common.dir/cli.cpp.o"
+  "CMakeFiles/jstream_common.dir/cli.cpp.o.d"
+  "CMakeFiles/jstream_common.dir/csv.cpp.o"
+  "CMakeFiles/jstream_common.dir/csv.cpp.o.d"
+  "CMakeFiles/jstream_common.dir/log.cpp.o"
+  "CMakeFiles/jstream_common.dir/log.cpp.o.d"
+  "CMakeFiles/jstream_common.dir/rng.cpp.o"
+  "CMakeFiles/jstream_common.dir/rng.cpp.o.d"
+  "CMakeFiles/jstream_common.dir/stats.cpp.o"
+  "CMakeFiles/jstream_common.dir/stats.cpp.o.d"
+  "CMakeFiles/jstream_common.dir/table.cpp.o"
+  "CMakeFiles/jstream_common.dir/table.cpp.o.d"
+  "CMakeFiles/jstream_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/jstream_common.dir/thread_pool.cpp.o.d"
+  "libjstream_common.a"
+  "libjstream_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_rtma.cpp" "src/core/CMakeFiles/jstream_core.dir/adaptive_rtma.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/adaptive_rtma.cpp.o.d"
+  "/root/repo/src/core/ema.cpp" "src/core/CMakeFiles/jstream_core.dir/ema.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/ema.cpp.o.d"
+  "/root/repo/src/core/ema_fast.cpp" "src/core/CMakeFiles/jstream_core.dir/ema_fast.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/ema_fast.cpp.o.d"
+  "/root/repo/src/core/energy_threshold.cpp" "src/core/CMakeFiles/jstream_core.dir/energy_threshold.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/energy_threshold.cpp.o.d"
+  "/root/repo/src/core/lookahead.cpp" "src/core/CMakeFiles/jstream_core.dir/lookahead.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/lookahead.cpp.o.d"
+  "/root/repo/src/core/lyapunov.cpp" "src/core/CMakeFiles/jstream_core.dir/lyapunov.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/lyapunov.cpp.o.d"
+  "/root/repo/src/core/rtma.cpp" "src/core/CMakeFiles/jstream_core.dir/rtma.cpp.o" "gcc" "src/core/CMakeFiles/jstream_core.dir/rtma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_core.dir/adaptive_rtma.cpp.o"
+  "CMakeFiles/jstream_core.dir/adaptive_rtma.cpp.o.d"
+  "CMakeFiles/jstream_core.dir/ema.cpp.o"
+  "CMakeFiles/jstream_core.dir/ema.cpp.o.d"
+  "CMakeFiles/jstream_core.dir/ema_fast.cpp.o"
+  "CMakeFiles/jstream_core.dir/ema_fast.cpp.o.d"
+  "CMakeFiles/jstream_core.dir/energy_threshold.cpp.o"
+  "CMakeFiles/jstream_core.dir/energy_threshold.cpp.o.d"
+  "CMakeFiles/jstream_core.dir/lookahead.cpp.o"
+  "CMakeFiles/jstream_core.dir/lookahead.cpp.o.d"
+  "CMakeFiles/jstream_core.dir/lyapunov.cpp.o"
+  "CMakeFiles/jstream_core.dir/lyapunov.cpp.o.d"
+  "CMakeFiles/jstream_core.dir/rtma.cpp.o"
+  "CMakeFiles/jstream_core.dir/rtma.cpp.o.d"
+  "libjstream_core.a"
+  "libjstream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

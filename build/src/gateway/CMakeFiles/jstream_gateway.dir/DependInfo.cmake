@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gateway/data_receiver.cpp" "src/gateway/CMakeFiles/jstream_gateway.dir/data_receiver.cpp.o" "gcc" "src/gateway/CMakeFiles/jstream_gateway.dir/data_receiver.cpp.o.d"
+  "/root/repo/src/gateway/data_transmitter.cpp" "src/gateway/CMakeFiles/jstream_gateway.dir/data_transmitter.cpp.o" "gcc" "src/gateway/CMakeFiles/jstream_gateway.dir/data_transmitter.cpp.o.d"
+  "/root/repo/src/gateway/framework.cpp" "src/gateway/CMakeFiles/jstream_gateway.dir/framework.cpp.o" "gcc" "src/gateway/CMakeFiles/jstream_gateway.dir/framework.cpp.o.d"
+  "/root/repo/src/gateway/info_collector.cpp" "src/gateway/CMakeFiles/jstream_gateway.dir/info_collector.cpp.o" "gcc" "src/gateway/CMakeFiles/jstream_gateway.dir/info_collector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

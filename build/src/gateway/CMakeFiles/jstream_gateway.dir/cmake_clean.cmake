@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_gateway.dir/data_receiver.cpp.o"
+  "CMakeFiles/jstream_gateway.dir/data_receiver.cpp.o.d"
+  "CMakeFiles/jstream_gateway.dir/data_transmitter.cpp.o"
+  "CMakeFiles/jstream_gateway.dir/data_transmitter.cpp.o.d"
+  "CMakeFiles/jstream_gateway.dir/framework.cpp.o"
+  "CMakeFiles/jstream_gateway.dir/framework.cpp.o.d"
+  "CMakeFiles/jstream_gateway.dir/info_collector.cpp.o"
+  "CMakeFiles/jstream_gateway.dir/info_collector.cpp.o.d"
+  "libjstream_gateway.a"
+  "libjstream_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

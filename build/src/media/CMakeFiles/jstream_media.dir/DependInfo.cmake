@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/bitrate_profile.cpp" "src/media/CMakeFiles/jstream_media.dir/bitrate_profile.cpp.o" "gcc" "src/media/CMakeFiles/jstream_media.dir/bitrate_profile.cpp.o.d"
+  "/root/repo/src/media/playback_buffer.cpp" "src/media/CMakeFiles/jstream_media.dir/playback_buffer.cpp.o" "gcc" "src/media/CMakeFiles/jstream_media.dir/playback_buffer.cpp.o.d"
+  "/root/repo/src/media/video_session.cpp" "src/media/CMakeFiles/jstream_media.dir/video_session.cpp.o" "gcc" "src/media/CMakeFiles/jstream_media.dir/video_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

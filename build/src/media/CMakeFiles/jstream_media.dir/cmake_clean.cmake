@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_media.dir/bitrate_profile.cpp.o"
+  "CMakeFiles/jstream_media.dir/bitrate_profile.cpp.o.d"
+  "CMakeFiles/jstream_media.dir/playback_buffer.cpp.o"
+  "CMakeFiles/jstream_media.dir/playback_buffer.cpp.o.d"
+  "CMakeFiles/jstream_media.dir/video_session.cpp.o"
+  "CMakeFiles/jstream_media.dir/video_session.cpp.o.d"
+  "libjstream_media.a"
+  "libjstream_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

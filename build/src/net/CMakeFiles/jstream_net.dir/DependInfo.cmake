@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/allocation.cpp" "src/net/CMakeFiles/jstream_net.dir/allocation.cpp.o" "gcc" "src/net/CMakeFiles/jstream_net.dir/allocation.cpp.o.d"
+  "/root/repo/src/net/base_station.cpp" "src/net/CMakeFiles/jstream_net.dir/base_station.cpp.o" "gcc" "src/net/CMakeFiles/jstream_net.dir/base_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_net.dir/allocation.cpp.o"
+  "CMakeFiles/jstream_net.dir/allocation.cpp.o.d"
+  "CMakeFiles/jstream_net.dir/base_station.cpp.o"
+  "CMakeFiles/jstream_net.dir/base_station.cpp.o.d"
+  "libjstream_net.a"
+  "libjstream_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/link_model.cpp" "src/radio/CMakeFiles/jstream_radio.dir/link_model.cpp.o" "gcc" "src/radio/CMakeFiles/jstream_radio.dir/link_model.cpp.o.d"
+  "/root/repo/src/radio/radio_profile.cpp" "src/radio/CMakeFiles/jstream_radio.dir/radio_profile.cpp.o" "gcc" "src/radio/CMakeFiles/jstream_radio.dir/radio_profile.cpp.o.d"
+  "/root/repo/src/radio/rrc.cpp" "src/radio/CMakeFiles/jstream_radio.dir/rrc.cpp.o" "gcc" "src/radio/CMakeFiles/jstream_radio.dir/rrc.cpp.o.d"
+  "/root/repo/src/radio/signal_model.cpp" "src/radio/CMakeFiles/jstream_radio.dir/signal_model.cpp.o" "gcc" "src/radio/CMakeFiles/jstream_radio.dir/signal_model.cpp.o.d"
+  "/root/repo/src/radio/signal_trace_io.cpp" "src/radio/CMakeFiles/jstream_radio.dir/signal_trace_io.cpp.o" "gcc" "src/radio/CMakeFiles/jstream_radio.dir/signal_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

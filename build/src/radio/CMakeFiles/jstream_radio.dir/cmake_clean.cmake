@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_radio.dir/link_model.cpp.o"
+  "CMakeFiles/jstream_radio.dir/link_model.cpp.o.d"
+  "CMakeFiles/jstream_radio.dir/radio_profile.cpp.o"
+  "CMakeFiles/jstream_radio.dir/radio_profile.cpp.o.d"
+  "CMakeFiles/jstream_radio.dir/rrc.cpp.o"
+  "CMakeFiles/jstream_radio.dir/rrc.cpp.o.d"
+  "CMakeFiles/jstream_radio.dir/signal_model.cpp.o"
+  "CMakeFiles/jstream_radio.dir/signal_model.cpp.o.d"
+  "CMakeFiles/jstream_radio.dir/signal_trace_io.cpp.o"
+  "CMakeFiles/jstream_radio.dir/signal_trace_io.cpp.o.d"
+  "libjstream_radio.a"
+  "libjstream_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cpp" "src/sim/CMakeFiles/jstream_sim.dir/catalog.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/catalog.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/jstream_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/forecast.cpp" "src/sim/CMakeFiles/jstream_sim.dir/forecast.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/forecast.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/jstream_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/multicell.cpp" "src/sim/CMakeFiles/jstream_sim.dir/multicell.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/multicell.cpp.o.d"
+  "/root/repo/src/sim/oracle.cpp" "src/sim/CMakeFiles/jstream_sim.dir/oracle.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/oracle.cpp.o.d"
+  "/root/repo/src/sim/replication.cpp" "src/sim/CMakeFiles/jstream_sim.dir/replication.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/replication.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/jstream_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/jstream_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/jstream_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/jstream_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/jstream_sim.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jstream_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

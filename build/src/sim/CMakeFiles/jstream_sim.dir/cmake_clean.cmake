@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstream_sim.dir/catalog.cpp.o"
+  "CMakeFiles/jstream_sim.dir/catalog.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/experiment.cpp.o"
+  "CMakeFiles/jstream_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/forecast.cpp.o"
+  "CMakeFiles/jstream_sim.dir/forecast.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/metrics.cpp.o"
+  "CMakeFiles/jstream_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/multicell.cpp.o"
+  "CMakeFiles/jstream_sim.dir/multicell.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/oracle.cpp.o"
+  "CMakeFiles/jstream_sim.dir/oracle.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/replication.cpp.o"
+  "CMakeFiles/jstream_sim.dir/replication.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/report.cpp.o"
+  "CMakeFiles/jstream_sim.dir/report.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/scenario.cpp.o"
+  "CMakeFiles/jstream_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/simulator.cpp.o"
+  "CMakeFiles/jstream_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/jstream_sim.dir/sweep.cpp.o"
+  "CMakeFiles/jstream_sim.dir/sweep.cpp.o.d"
+  "libjstream_sim.a"
+  "libjstream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjstream_sim.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr.dir/abr/test_abr_simulator.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/test_abr_simulator.cpp.o.d"
+  "CMakeFiles/test_abr.dir/abr/test_client.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/test_client.cpp.o.d"
+  "CMakeFiles/test_abr.dir/abr/test_ladder.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/test_ladder.cpp.o.d"
+  "CMakeFiles/test_abr.dir/abr/test_policies.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/test_policies.cpp.o.d"
+  "test_abr"
+  "test_abr.pdb"
+  "test_abr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_default.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_default.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_default.cpp.o.d"
+  "/root/repo/tests/baselines/test_estreamer.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_estreamer.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_estreamer.cpp.o.d"
+  "/root/repo/tests/baselines/test_factory.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_factory.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_factory.cpp.o.d"
+  "/root/repo/tests/baselines/test_onoff.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_onoff.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_onoff.cpp.o.d"
+  "/root/repo/tests/baselines/test_salsa.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_salsa.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_salsa.cpp.o.d"
+  "/root/repo/tests/baselines/test_throttling.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_throttling.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_throttling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abr/CMakeFiles/jstream_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jstream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_default.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_default.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_estreamer.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_estreamer.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_factory.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_factory.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_onoff.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_onoff.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_salsa.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_salsa.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_throttling.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_throttling.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive_rtma.cpp" "tests/CMakeFiles/test_core.dir/core/test_adaptive_rtma.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_adaptive_rtma.cpp.o.d"
+  "/root/repo/tests/core/test_ema.cpp" "tests/CMakeFiles/test_core.dir/core/test_ema.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ema.cpp.o.d"
+  "/root/repo/tests/core/test_ema_fast.cpp" "tests/CMakeFiles/test_core.dir/core/test_ema_fast.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ema_fast.cpp.o.d"
+  "/root/repo/tests/core/test_energy_threshold.cpp" "tests/CMakeFiles/test_core.dir/core/test_energy_threshold.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_energy_threshold.cpp.o.d"
+  "/root/repo/tests/core/test_lookahead.cpp" "tests/CMakeFiles/test_core.dir/core/test_lookahead.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lookahead.cpp.o.d"
+  "/root/repo/tests/core/test_lyapunov.cpp" "tests/CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o.d"
+  "/root/repo/tests/core/test_rtma.cpp" "tests/CMakeFiles/test_core.dir/core/test_rtma.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rtma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abr/CMakeFiles/jstream_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jstream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adaptive_rtma.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adaptive_rtma.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ema.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ema.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ema_fast.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ema_fast.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_energy_threshold.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_energy_threshold.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lookahead.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lookahead.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rtma.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rtma.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

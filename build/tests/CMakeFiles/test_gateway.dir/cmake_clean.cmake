@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gateway.dir/gateway/test_arrivals.cpp.o"
+  "CMakeFiles/test_gateway.dir/gateway/test_arrivals.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/gateway/test_data_receiver.cpp.o"
+  "CMakeFiles/test_gateway.dir/gateway/test_data_receiver.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/gateway/test_data_transmitter.cpp.o"
+  "CMakeFiles/test_gateway.dir/gateway/test_data_transmitter.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/gateway/test_framework.cpp.o"
+  "CMakeFiles/test_gateway.dir/gateway/test_framework.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/gateway/test_info_collector.cpp.o"
+  "CMakeFiles/test_gateway.dir/gateway/test_info_collector.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/gateway/test_user_endpoint.cpp.o"
+  "CMakeFiles/test_gateway.dir/gateway/test_user_endpoint.cpp.o.d"
+  "test_gateway"
+  "test_gateway.pdb"
+  "test_gateway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media.dir/media/test_bitrate_profile.cpp.o"
+  "CMakeFiles/test_media.dir/media/test_bitrate_profile.cpp.o.d"
+  "CMakeFiles/test_media.dir/media/test_playback_buffer.cpp.o"
+  "CMakeFiles/test_media.dir/media/test_playback_buffer.cpp.o.d"
+  "CMakeFiles/test_media.dir/media/test_video_session.cpp.o"
+  "CMakeFiles/test_media.dir/media/test_video_session.cpp.o.d"
+  "test_media"
+  "test_media.pdb"
+  "test_media[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

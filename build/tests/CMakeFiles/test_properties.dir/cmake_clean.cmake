@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_conservation.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_conservation.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_determinism.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_determinism.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_ema_solver_realistic.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_ema_solver_realistic.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_lyapunov_algebra.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_lyapunov_algebra.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_metrics_invariants.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_metrics_invariants.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_scheduler_feasibility.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_scheduler_feasibility.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_theorem1.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_theorem1.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

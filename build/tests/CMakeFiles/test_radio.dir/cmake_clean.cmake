@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/test_link_model.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_link_model.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_radio_profile.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_radio_profile.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_rrc.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_rrc.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_signal_model.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_signal_model.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_signal_trace_io.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_signal_trace_io.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+  "test_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

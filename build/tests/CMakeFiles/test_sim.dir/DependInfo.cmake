@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_catalog.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o.d"
+  "/root/repo/tests/sim/test_experiment.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_multicell.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_multicell.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_multicell.cpp.o.d"
+  "/root/repo/tests/sim/test_oracle.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_oracle.cpp.o.d"
+  "/root/repo/tests/sim/test_replication.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_replication.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_replication.cpp.o.d"
+  "/root/repo/tests/sim/test_report.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_report.cpp.o.d"
+  "/root/repo/tests/sim/test_scenario.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "/root/repo/tests/sim/test_scenario_extensions.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_scenario_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_scenario_extensions.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_sweep.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abr/CMakeFiles/jstream_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jstream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/jstream_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/jstream_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/jstream_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

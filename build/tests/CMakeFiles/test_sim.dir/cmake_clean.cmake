@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_multicell.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_multicell.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_oracle.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_oracle.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_replication.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_replication.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_report.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_report.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenario_extensions.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenario_extensions.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sweep.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
