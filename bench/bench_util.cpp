@@ -8,8 +8,19 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "telemetry/registry.hpp"
 
 namespace jstream::bench {
+
+namespace {
+
+// Telemetry output destinations for the current process, captured by
+// parse_common so guarded_main can finish the run without the body threading
+// them through.
+std::string g_telemetry_csv_dir;       // NOLINT(runtime/string)
+bool g_print_telemetry = false;
+
+}  // namespace
 
 Cli make_cli(const std::string& program, const std::string& description,
              std::int64_t default_slots, std::size_t default_users) {
@@ -20,6 +31,8 @@ Cli make_cli(const std::string& program, const std::string& description,
   cli.add_flag("seed", "42", "scenario RNG seed");
   cli.add_flag("csv", "", "directory for CSV export of the series (empty = off)");
   cli.add_flag("threads", "0", "sweep worker threads (0 = hardware concurrency)");
+  cli.add_flag("telemetry", "false",
+               "print the telemetry registry dump after the run");
   return cli;
 }
 
@@ -38,8 +51,11 @@ CommonArgs parse_common(Cli& cli, int argc, const char* const* argv) {
   args.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   args.csv_dir = cli.get_string("csv");
   args.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  args.telemetry = cli.get_bool("telemetry");
   require(args.users > 0, "--users must be positive");
   require(args.slots > 0, "--slots must be positive");
+  g_telemetry_csv_dir = args.csv_dir;
+  g_print_telemetry = args.telemetry;
   return args;
 }
 
@@ -66,7 +82,20 @@ void print_cdf_table(const std::string& title, const std::string& value_label,
 int guarded_main(const std::string& program, int argc, const char* const* argv,
                  int (*body)(int, const char* const*)) {
   try {
-    return body(argc, argv);
+    const int status = body(argc, argv);
+    if (status == 0) {
+      if (!g_telemetry_csv_dir.empty()) {
+        std::filesystem::create_directories(g_telemetry_csv_dir);
+        const std::string path =
+            g_telemetry_csv_dir + "/" + program + "_telemetry.json";
+        telemetry::global_registry().write_json(path);
+        std::printf("[telemetry] wrote %s\n", path.c_str());
+      }
+      if (g_print_telemetry) {
+        std::printf("\n%s", telemetry::global_registry().render_text().c_str());
+      }
+    }
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: error: %s\n", program.c_str(), e.what());
     return 1;

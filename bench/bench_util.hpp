@@ -1,6 +1,7 @@
 // Shared plumbing for the experiment binaries: common flags (--users,
-// --slots, --seed, --csv, --threads), the REPRO_SLOTS environment override,
-// and CSV export of figure series.
+// --slots, --seed, --csv, --threads, --telemetry), the REPRO_SLOTS
+// environment override, CSV export of figure series, and the telemetry
+// artifact every figure bench drops next to its CSV results.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +23,7 @@ struct CommonArgs {
   std::uint64_t seed = 42;
   std::string csv_dir;     ///< empty = no CSV export
   std::size_t threads = 0; ///< sweep parallelism; 0 = hardware concurrency
+  bool telemetry = false;  ///< print the registry dump when the bench exits
 };
 
 /// Builds a Cli pre-populated with the common flags.
@@ -42,7 +44,10 @@ void print_cdf_table(const std::string& title, const std::string& value_label,
                      const std::vector<double>& samples, std::size_t points = 20);
 
 /// Standard entry-point wrapper: runs `body`, reporting jstream::Error
-/// cleanly instead of crashing.
+/// cleanly instead of crashing. On success it finishes the telemetry side of
+/// the run: with a CSV directory configured (parse_common saw --csv) it
+/// writes `<csv_dir>/<program>_telemetry.json` next to the figure's results,
+/// and with --telemetry it prints the registry dump.
 int guarded_main(const std::string& program, int argc, const char* const* argv,
                  int (*body)(int, const char* const*));
 

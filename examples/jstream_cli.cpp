@@ -6,12 +6,14 @@
 //   ./jstream_cli --scenario stress --scheduler ema --beta 1.0 --reps 5
 //   ./jstream_cli --scenario paper --scheduler rtma --alpha 1.0 --report --out /tmp/r
 #include <cstdio>
+#include <filesystem>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/catalog.hpp"
 #include "sim/replication.hpp"
 #include "sim/report.hpp"
+#include "telemetry/registry.hpp"
 
 using namespace jstream;
 
@@ -32,6 +34,9 @@ int main(int argc, char** argv) {
     cli.add_flag("report", "false", "print the full per-user report");
     cli.add_flag("out", "", "CSV export directory (empty = off)");
     cli.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+    cli.add_flag("telemetry", "false",
+                 "print the telemetry registry dump after the run (also "
+                 "writes telemetry.json into --out when set)");
     cli.parse(argc, argv);
     if (cli.help_requested()) {
       std::fputs(cli.help().c_str(), stdout);
@@ -79,6 +84,16 @@ int main(int argc, char** argv) {
 
     const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
     const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+    const auto finish_telemetry = [&] {
+      if (!cli.get_bool("telemetry")) return;
+      std::printf("\n%s", telemetry::global_registry().render_text().c_str());
+      if (!cli.get_string("out").empty()) {
+        std::filesystem::create_directories(cli.get_string("out"));
+        const std::string path = cli.get_string("out") + "/telemetry.json";
+        telemetry::global_registry().write_json(path);
+        std::printf("[telemetry] wrote %s\n", path.c_str());
+      }
+    };
     if (reps <= 1) {
       const RunMetrics metrics = run_experiment(spec);
       if (cli.get_bool("report")) {
@@ -91,6 +106,7 @@ int main(int argc, char** argv) {
         std::printf("[csv] wrote %s/%s_{users,slots}.csv\n",
                     cli.get_string("out").c_str(), spec.label.c_str());
       }
+      finish_telemetry();
       return 0;
     }
 
@@ -110,6 +126,7 @@ int main(int argc, char** argv) {
     row("total energy (kJ)", result.total_energy_mj, 1e-6, 2);
     row("total rebuffer (s)", result.total_rebuffer_s, 1.0, 0);
     table.print();
+    finish_telemetry();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "jstream_cli: error: %s\n", e.what());

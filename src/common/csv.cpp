@@ -54,4 +54,94 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   require(out_.good(), "CSV write failed");
 }
 
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw Error("CSV column not found: " + name);
+}
+
+CsvTable parse_csv(const std::string& text) {
+  // Record-splitting state machine: quotes toggle on unescaped '"', cells
+  // split on ',' and records on newline only outside quotes.
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  bool record_has_content = false;
+
+  const auto end_cell = [&] {
+    record.push_back(cell);
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  const auto end_record = [&] {
+    end_cell();
+    records.push_back(std::move(record));
+    record.clear();
+    record_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        require(cell.empty() && !cell_was_quoted,
+                "CSV quote may only open at the start of a cell");
+        in_quotes = true;
+        cell_was_quoted = true;
+        record_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        record_has_content = true;
+        break;
+      case '\r':
+        break;  // CRLF: the '\n' closes the record
+      case '\n':
+        // A trailing newline after the last record is not an empty record.
+        if (record_has_content || !record.empty() || !cell.empty()) end_record();
+        break;
+      default:
+        cell += c;
+        record_has_content = true;
+    }
+  }
+  require(!in_quotes, "CSV ends inside a quoted cell");
+  if (record_has_content || !record.empty() || !cell.empty()) end_record();
+
+  CsvTable table;
+  require(!records.empty(), "CSV has no header row");
+  table.header = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    require(records[r].size() == table.header.size(),
+            "CSV row " + std::to_string(r) + " width differs from header");
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open CSV file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  require(!in.bad(), "CSV read failed: " + path);
+  return parse_csv(buffer.str());
+}
+
 }  // namespace jstream

@@ -1,4 +1,6 @@
-// Minimal CSV writer used by the benchmark harness to export figure series.
+// Minimal CSV writer/reader pair: the writer exports figure series from the
+// benchmark harness; the reader loads them back (round-trip tests, report
+// post-processing). Both speak RFC 4180 quoting.
 #pragma once
 
 #include <fstream>
@@ -33,5 +35,23 @@ class CsvWriter {
 
 /// Escapes a single CSV cell (exposed for testing).
 [[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// A parsed CSV file: the header row plus data rows, all as strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws jstream::Error when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV text (RFC 4180: quoted cells may contain commas, quotes, and
+/// newlines; CRLF and LF line endings both accepted). The first record is
+/// the header; every data row must match its width. Throws jstream::Error on
+/// malformed input.
+[[nodiscard]] CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file; throws jstream::Error on I/O failure.
+[[nodiscard]] CsvTable read_csv(const std::string& path);
 
 }  // namespace jstream

@@ -5,8 +5,36 @@
 
 #include "common/error.hpp"
 #include "radio/rrc.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/scoped_timer.hpp"
 
 namespace jstream {
+
+namespace {
+
+struct EmaTelemetry {
+  telemetry::Counter& allocations;
+  telemetry::Histogram& solve_latency_us;
+  telemetry::Histogram& queue_level_s;
+  telemetry::Gauge& queue_max_s;
+  telemetry::SlotTracer& tracer;
+
+  static EmaTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    // Eq. 16 queues are seconds of rebuffering pressure; negative values mean
+    // buffered surplus, so the buckets straddle zero.
+    static const std::vector<double> queue_edges =
+        telemetry::linear_buckets(-8.0, 0.5, 33);
+    static EmaTelemetry probes{registry.counter("ema.allocations"),
+                               registry.histogram("ema.solve_latency_us"),
+                               registry.histogram("ema.queue_level_s", queue_edges),
+                               registry.gauge("ema.queue.max_s"),
+                               registry.tracer()};
+    return probes;
+  }
+};
+
+}  // namespace
 
 EmaSlotCosts compute_ema_slot_costs(const SlotContext& ctx,
                                     const LyapunovQueues& queues, double v_weight) {
@@ -122,7 +150,11 @@ Allocation EmaScheduler::allocate(const SlotContext& ctx) {
   std::vector<std::int64_t> caps;
   caps.reserve(ctx.user_count());
   for (const auto& user : ctx.users) caps.push_back(user.alloc_cap_units);
-  Allocation alloc = solve_slot(costs, caps, ctx.capacity_units);
+  Allocation alloc;
+  {
+    telemetry::ScopedTimer timer(EmaTelemetry::instance().solve_latency_us);
+    alloc = solve_slot(costs, caps, ctx.capacity_units);
+  }
 
   // Eq. 16 queue update with the decided allocation; frozen once a session
   // has no content left (it can never receive again, so the queue carries no
@@ -132,6 +164,22 @@ Allocation EmaScheduler::allocate(const SlotContext& ctx) {
     if (!user.needs_data) continue;
     const double kb = std::min(ctx.params.units_to_kb(alloc.units[i]), user.remaining_kb);
     queues_.update(i, ctx.params.tau_s, kb / user.bitrate_kbps);
+  }
+
+  // Observation-only: the post-update Eq. 16 queue distribution and the worst
+  // queue of the slot (the user under the most rebuffering pressure).
+  if (telemetry::enabled() && queues_.size() > 0) {
+    auto& probes = EmaTelemetry::instance();
+    probes.allocations.add();
+    double max_queue = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      const double level = queues_.value(i);
+      probes.queue_level_s.observe(level);
+      max_queue = std::max(max_queue, level);
+    }
+    probes.queue_max_s.set(max_queue);
+    probes.tracer.record(ctx.slot, -1, telemetry::TraceEventKind::kQueueLevel,
+                         max_queue);
   }
   return alloc;
 }

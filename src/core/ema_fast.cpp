@@ -5,8 +5,26 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "telemetry/registry.hpp"
 
 namespace jstream {
+
+namespace {
+
+struct EmaFastTelemetry {
+  telemetry::Counter& solves;
+  telemetry::Counter& backfill_units;
+
+  static EmaFastTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    static EmaFastTelemetry probes{
+        registry.counter("ema_fast.solves"),
+        registry.counter("ema_fast.backfill_units")};
+    return probes;
+  }
+};
+
+}  // namespace
 
 Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
                                  std::span<const std::int64_t> caps,
@@ -53,6 +71,8 @@ Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
     remaining -= phi;
   }
 
+  if (telemetry::enabled()) EmaFastTelemetry::instance().solves.add();
+
   // Backfill: spend leftover capacity on already-active users with negative
   // slopes (each extra unit is a strict improvement), most negative first.
   if (remaining > 0) {
@@ -70,6 +90,7 @@ Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
       const std::int64_t extra = std::min(caps[i] - alloc.units[i], remaining);
       alloc.units[i] += extra;
       remaining -= extra;
+      if (telemetry::enabled()) EmaFastTelemetry::instance().backfill_units.add(extra);
     }
   }
   return alloc;

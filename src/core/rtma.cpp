@@ -7,8 +7,31 @@
 
 #include "common/error.hpp"
 #include "core/energy_threshold.hpp"
+#include "telemetry/registry.hpp"
 
 namespace jstream {
+
+namespace {
+
+struct RtmaTelemetry {
+  telemetry::Counter& allocations;
+  telemetry::Counter& admitted_users;
+  telemetry::Counter& rejected_users;
+  telemetry::Gauge& threshold_dbm;
+  telemetry::SlotTracer& tracer;
+
+  static RtmaTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    static RtmaTelemetry probes{registry.counter("rtma.allocations"),
+                                registry.counter("rtma.admitted_users"),
+                                registry.counter("rtma.rejected_users"),
+                                registry.gauge("rtma.threshold_dbm"),
+                                registry.tracer()};
+    return probes;
+  }
+};
+
+}  // namespace
 
 RtmaScheduler::RtmaScheduler(RtmaConfig config) : config_(config) {
   require(config_.energy_budget_mj > 0.0, "energy budget must be positive");
@@ -46,6 +69,26 @@ Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
     threshold = signal_threshold_dbm(spec, *ctx.throughput, *ctx.power);
   }
   last_threshold_dbm_ = threshold;
+
+  // Observation-only: record the Eq. 12 threshold and which users it admits
+  // or filters this slot. Rejections are the paper's energy-saving lever, so
+  // they are also traced per user.
+  if (telemetry::enabled()) {
+    auto& probes = RtmaTelemetry::instance();
+    probes.allocations.add();
+    probes.threshold_dbm.set(threshold);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ctx.users[i].needs_data) continue;
+      if (ctx.users[i].signal_dbm < threshold) {
+        probes.rejected_users.add();
+        probes.tracer.record(ctx.slot, static_cast<std::int32_t>(i),
+                             telemetry::TraceEventKind::kReject,
+                             ctx.users[i].signal_dbm);
+      } else {
+        probes.admitted_users.add();
+      }
+    }
+  }
 
   // Steps 1-3: sort by required data rate ascending; compute per-slot needs.
   std::vector<std::size_t> order(n);

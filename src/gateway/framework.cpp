@@ -1,8 +1,37 @@
 #include "gateway/framework.hpp"
 
+#include <vector>
+
 #include "common/error.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/scoped_timer.hpp"
 
 namespace jstream {
+
+namespace {
+
+// Resolved once; references stay valid for the process lifetime, so the
+// per-slot path never touches the registry lock.
+struct FrameworkTelemetry {
+  telemetry::Counter& slots;
+  telemetry::Counter& eq1_link_clips;
+  telemetry::Counter& eq2_capacity_clips;
+  telemetry::Histogram& decision_latency_us;
+  telemetry::SlotTracer& tracer;
+
+  static FrameworkTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    static FrameworkTelemetry probes{
+        registry.counter("gateway.slots"),
+        registry.counter("constraint.eq1.link_cap_clips"),
+        registry.counter("constraint.eq2.capacity_clips"),
+        registry.histogram("scheduler.decision_latency_us"),
+        registry.tracer()};
+    return probes;
+  }
+};
+
+}  // namespace
 
 Framework::Framework(InfoCollector collector, std::unique_ptr<Scheduler> scheduler,
                      SchedulingMode mode, std::size_t users, double backhaul_kbps)
@@ -18,12 +47,62 @@ SlotOutcome Framework::run_slot(std::int64_t slot, std::span<UserEndpoint> endpo
                                 const BaseStation& bs) {
   require(endpoints.size() == receiver_.user_count(),
           "endpoint count differs from receiver flows");
+  auto& probes = FrameworkTelemetry::instance();
+  probes.slots.add();
+
   receiver_.begin_slot(collector_.params().tau_s);
   for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
 
   last_ctx_ = collector_.collect(slot, endpoints, bs);
-  last_alloc_ = scheduler_->allocate(last_ctx_);
+  {
+    telemetry::ScopedTimer timer(probes.decision_latency_us);
+    last_alloc_ = scheduler_->allocate(last_ctx_);
+  }
+
+  // Observation-only accounting of which constraint bound each grant:
+  // constraint (1) when a user's grant saturated its per-user cap while the
+  // session still wanted more, constraint (2) when the slot's total grant
+  // exhausted the base-station capacity.
+  if (telemetry::enabled()) {
+    std::int64_t granted_total = 0;
+    for (std::size_t i = 0; i < last_ctx_.user_count(); ++i) {
+      const UserSlotInfo& user = last_ctx_.users[i];
+      const std::int64_t granted = last_alloc_.units[i];
+      granted_total += granted;
+      if (granted > 0 && granted == user.alloc_cap_units &&
+          last_ctx_.params.need_units(user.bitrate_kbps) > user.alloc_cap_units) {
+        probes.eq1_link_clips.add();
+        probes.tracer.record(slot, static_cast<std::int32_t>(i),
+                             telemetry::TraceEventKind::kClipLink,
+                             static_cast<double>(granted));
+      }
+    }
+    if (granted_total > 0 && granted_total == last_ctx_.capacity_units) {
+      probes.eq2_capacity_clips.add();
+      probes.tracer.record(slot, -1, telemetry::TraceEventKind::kClipCapacity,
+                           static_cast<double>(granted_total));
+    }
+  }
+
+  const bool trace_rrc = telemetry::enabled();
+  std::vector<RrcState> before;
+  if (trace_rrc) {
+    before.reserve(endpoints.size());
+    for (const auto& endpoint : endpoints) before.push_back(endpoint.rrc.state());
+  }
+
   SlotOutcome outcome = transmitter_.apply(last_ctx_, last_alloc_, endpoints, receiver_);
+
+  if (trace_rrc) {
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      const RrcState after = endpoints[i].rrc.state();
+      if (after != before[i]) {
+        probes.tracer.record(slot, static_cast<std::int32_t>(i),
+                             telemetry::TraceEventKind::kRrcTransition,
+                             static_cast<double>(after));
+      }
+    }
+  }
 
   for (auto& endpoint : endpoints) endpoint.buffer.end_slot();
   return outcome;

@@ -3,8 +3,42 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/registry.hpp"
 
 namespace jstream {
+
+namespace {
+
+// Transition counters resolved once against the global registry; the
+// recording itself is a relaxed atomic increment per state change.
+struct RrcTelemetry {
+  telemetry::Counter& idle_to_dch;
+  telemetry::Counter& fach_to_dch;
+  telemetry::Counter& dch_to_fach;
+  telemetry::Counter& dch_to_idle;
+  telemetry::Counter& fach_to_idle;
+
+  static RrcTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    static RrcTelemetry probes{registry.counter("rrc.transitions.idle_to_dch"),
+                               registry.counter("rrc.transitions.fach_to_dch"),
+                               registry.counter("rrc.transitions.dch_to_fach"),
+                               registry.counter("rrc.transitions.dch_to_idle"),
+                               registry.counter("rrc.transitions.fach_to_idle")};
+    return probes;
+  }
+};
+
+void count_transition(RrcState from, RrcState to) {
+  auto& probes = RrcTelemetry::instance();
+  if (from == RrcState::kIdle && to == RrcState::kDch) probes.idle_to_dch.add();
+  if (from == RrcState::kFach && to == RrcState::kDch) probes.fach_to_dch.add();
+  if (from == RrcState::kDch && to == RrcState::kFach) probes.dch_to_fach.add();
+  if (from == RrcState::kDch && to == RrcState::kIdle) probes.dch_to_idle.add();
+  if (from == RrcState::kFach && to == RrcState::kIdle) probes.fach_to_idle.add();
+}
+
+}  // namespace
 
 double tail_energy_mj(const RadioProfile& profile, double t_s) {
   require(t_s >= 0.0, "idle time must be non-negative");
@@ -27,24 +61,32 @@ RrcStateMachine::RrcStateMachine(RadioProfile profile) : profile_(profile) {
 double RrcStateMachine::advance_slot(double active_s, double tau_s) {
   require(tau_s > 0.0, "slot length must be positive");
   require(active_s >= 0.0, "active time must be non-negative");
+  const RrcState entered = state();
+  const auto finish = [&](double energy) {
+    if (telemetry::enabled()) {
+      const RrcState left = state();
+      if (left != entered) count_transition(entered, left);
+    }
+    return energy;
+  };
   if (active_s > 0.0) {
     never_transmitted_ = false;
     if (!profile_.continuous_tail) {
       // Eq. 5 semantics: a transmission slot carries no tail energy; the tail
       // clock starts at the slot boundary.
       idle_s_ = 0.0;
-      return 0.0;
+      return finish(0.0);
     }
     // Continuous-time Eq. 4: a fresh tail begins when the transfer ends; its
     // first tau - active seconds fall inside this slot.
     const double residue = std::max(tau_s - active_s, 0.0);
     idle_s_ = residue;
-    return slot_tail_energy_mj(profile_, 0.0, residue);
+    return finish(slot_tail_energy_mj(profile_, 0.0, residue));
   }
-  if (never_transmitted_) return 0.0;  // radio was never promoted
+  if (never_transmitted_) return finish(0.0);  // radio was never promoted
   const double energy = slot_tail_energy_mj(profile_, idle_s_, tau_s);
   idle_s_ += tau_s;
-  return energy;
+  return finish(energy);
 }
 
 RrcState RrcStateMachine::state() const noexcept {

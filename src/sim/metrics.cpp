@@ -75,7 +75,8 @@ double RunMetrics::completion_rate() const noexcept {
 
 MetricsCollector::MetricsCollector(std::size_t users, bool keep_series)
     : keep_series_(keep_series) {
-  require(users > 0, "metrics need at least one user");
+  // Zero users is a legal degenerate run: every aggregate below guards its
+  // divisions, so summarization and export of an empty run stay well-defined.
   metrics_.per_user.resize(users);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/registry.hpp"
 
 namespace jstream {
 
@@ -15,6 +16,10 @@ double ReplicatedMetric::ci95_halfwidth() const noexcept {
 ReplicationResult replicate_experiment(const ExperimentSpec& spec,
                                        std::size_t replications, std::size_t threads) {
   require(replications >= 1, "need at least one replication");
+  telemetry::global_registry().counter("replication.experiments").add();
+  telemetry::global_registry()
+      .counter("replication.replicas")
+      .add(static_cast<std::int64_t>(replications));
   std::vector<ExperimentSpec> specs;
   specs.reserve(replications);
   for (std::size_t rep = 0; rep < replications; ++rep) {

@@ -6,8 +6,28 @@
 
 #include "common/error.hpp"
 #include "net/base_station.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/scoped_timer.hpp"
 
 namespace jstream {
+
+namespace {
+
+struct SimulatorTelemetry {
+  telemetry::Counter& runs;
+  telemetry::Counter& slots_total;
+  telemetry::Histogram& run_latency_us;
+
+  static SimulatorTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    static SimulatorTelemetry probes{registry.counter("sim.runs"),
+                                     registry.counter("sim.slots_total"),
+                                     registry.histogram("sim.run_latency_us")};
+    return probes;
+  }
+};
+
+}  // namespace
 
 Simulator::Simulator(ScenarioConfig config, std::unique_ptr<Scheduler> scheduler,
                      SchedulingMode mode)
@@ -33,17 +53,25 @@ RunMetrics Simulator::run(bool keep_series) {
       std::ceil(config_.radio.tail_duration_s() / config_.slot.tau_s)) + 1;
   std::int64_t idle_streak = 0;
 
-  for (std::int64_t slot = 0; slot < config_.max_slots; ++slot) {
-    const SlotOutcome outcome = framework.run_slot(slot, endpoints, bs);
-    metrics.record_slot(framework.last_context(), outcome);
+  auto& probes = SimulatorTelemetry::instance();
+  probes.runs.add();
+  std::int64_t slots_run = 0;
+  {
+    telemetry::ScopedTimer timer(probes.run_latency_us);
+    for (std::int64_t slot = 0; slot < config_.max_slots; ++slot) {
+      const SlotOutcome outcome = framework.run_slot(slot, endpoints, bs);
+      metrics.record_slot(framework.last_context(), outcome);
+      ++slots_run;
 
-    if (!config_.early_stop) continue;
-    const bool all_done =
-        std::all_of(endpoints.begin(), endpoints.end(),
-                    [](const UserEndpoint& e) { return !e.active(); });
-    idle_streak = all_done ? idle_streak + 1 : 0;
-    if (idle_streak >= tail_flush_slots) break;
+      if (!config_.early_stop) continue;
+      const bool all_done =
+          std::all_of(endpoints.begin(), endpoints.end(),
+                      [](const UserEndpoint& e) { return !e.active(); });
+      idle_streak = all_done ? idle_streak + 1 : 0;
+      if (idle_streak >= tail_flush_slots) break;
+    }
   }
+  probes.slots_total.add(slots_run);
   return metrics.finish();
 }
 

@@ -1,0 +1,112 @@
+#include "telemetry/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jstream::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  require(!bounds_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    require(bounds_[i - 1] < bounds_[i],
+            "histogram bucket edges must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snap.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.total = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "quantile q must lie in [0, 1]");
+  if (total <= 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i >= upper_bounds.size()) return upper_bounds.back();  // overflow
+      // Interpolate inside [lower, upper]; the first bucket's lower edge is
+      // clamped at zero unless the edges themselves go negative.
+      const double upper = upper_bounds[i];
+      const double lower =
+          i == 0 ? std::min(0.0, upper_bounds.front()) : upper_bounds[i - 1];
+      const double fraction =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return upper_bounds.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  require(start > 0.0, "exponential buckets need a positive start");
+  require(factor > 1.0, "exponential buckets need factor > 1");
+  require(count >= 1, "need at least one bucket edge");
+  std::vector<double> edges;
+  edges.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+std::vector<double> linear_buckets(double start, double step, std::size_t count) {
+  require(step > 0.0, "linear buckets need a positive step");
+  require(count >= 1, "need at least one bucket edge");
+  std::vector<double> edges;
+  edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(start + step * static_cast<double>(i));
+  }
+  return edges;
+}
+
+const std::vector<double>& default_latency_buckets_us() {
+  static const std::vector<double> edges = exponential_buckets(0.5, 2.0, 25);
+  return edges;
+}
+
+}  // namespace jstream::telemetry

@@ -1,0 +1,139 @@
+// Thread-safe metric primitives for the telemetry subsystem.
+//
+// Three metric kinds cover the instrumentation needs of the gateway/sim
+// stack:
+//
+//   Counter   — monotonic event count (atomic, relaxed increments);
+//   Gauge     — last-written scalar (atomic double);
+//   Histogram — fixed-bucket distribution with quantile extraction
+//               (per-bucket atomic counts, so concurrent observers from the
+//               thread_pool never block each other).
+//
+// All operations are observation-only: recording never throws, never
+// allocates after construction, and is a no-op while telemetry is disabled
+// (see telemetry::set_enabled in registry.hpp). Metrics are owned by a
+// Registry and outlive every caller, so hot paths may cache references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jstream::telemetry {
+
+/// Global on/off switch shared by every metric; see set_enabled().
+[[nodiscard]] bool enabled() noexcept;
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  /// Adds `delta` (default one event). Relaxed atomic; safe from any thread.
+  void add(std::int64_t delta = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the counter (used by Registry::reset_values).
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written scalar value.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    if (!enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Atomic add via compare-exchange (std::atomic<double>::fetch_add is not
+  /// universally available).
+  void add(double delta) noexcept {
+    if (!enabled()) return;
+    double expected = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with linear-interpolated quantiles.
+///
+/// `upper_bounds` are the inclusive upper edges of the buckets, strictly
+/// increasing; one implicit overflow bucket catches everything above the
+/// last edge. Bucket counts are independent atomics, so concurrent observe()
+/// calls scale across threads.
+class Histogram {
+ public:
+  /// Throws jstream::Error when `upper_bounds` is empty or not strictly
+  /// increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Records one observation. Lock-free; safe from any thread.
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Consistent point-in-time copy of the distribution.
+  struct Snapshot {
+    std::vector<double> upper_bounds;   ///< bucket edges (no overflow edge)
+    std::vector<std::int64_t> counts;   ///< upper_bounds.size() + 1 entries
+    std::int64_t total = 0;
+    double sum = 0.0;
+
+    /// Quantile q in [0, 1], linearly interpolated inside the bucket that
+    /// contains the target rank. Values in the overflow bucket report the
+    /// last finite edge. Returns 0 for an empty histogram.
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Convenience quantile over a fresh snapshot.
+  [[nodiscard]] double quantile(double q) const { return snapshot().quantile(q); }
+
+  [[nodiscard]] std::span<const double> upper_bounds() const noexcept {
+    return bounds_;
+  }
+
+  /// Zeroes all buckets (used by Registry::reset_values).
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` edges: start, start*factor, start*factor^2, ... Requires
+/// start > 0, factor > 1, count >= 1.
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t count);
+
+/// `count` edges: start, start+step, ... Requires step > 0, count >= 1.
+[[nodiscard]] std::vector<double> linear_buckets(double start, double step,
+                                                 std::size_t count);
+
+/// Default edges for latency histograms in microseconds: exponential from
+/// 0.5 us to ~8.4 s (25 buckets), wide enough for a scheduler decision and a
+/// whole simulation run alike.
+[[nodiscard]] const std::vector<double>& default_latency_buckets_us();
+
+}  // namespace jstream::telemetry

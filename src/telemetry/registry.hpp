@@ -1,0 +1,90 @@
+// Process-wide registry of named telemetry metrics.
+//
+// A Registry owns Counters, Gauges, Histograms, and one SlotTracer under
+// dotted lower_snake_case names ("rtma.rejected_users",
+// "scheduler.decision_latency_us" — see docs/OBSERVABILITY.md for the naming
+// conventions). Lookup is get-or-create and returns a reference that stays
+// valid for the registry's lifetime, so hot paths resolve a metric once and
+// cache the reference; recording itself never takes the registry lock.
+//
+// `global_registry()` is the process-wide instance every built-in
+// instrumentation point records into. Instrumentation is observation-only by
+// construction: nothing in the simulation reads a metric back, so enabling
+// or disabling telemetry cannot perturb results (verified by
+// tests/telemetry/test_determinism.cpp).
+//
+// Two renderers are provided: render_text() for humans (the CLI's
+// --telemetry dump) and render_json()/write_json() for machines (the bench
+// harness drops one JSON artifact next to each figure's CSV export).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "telemetry/slot_tracer.hpp"
+
+namespace jstream::telemetry {
+
+/// Turns recording on/off process-wide (default: on). Disabling makes every
+/// record call a cheap early-out; registered metrics keep their values.
+void set_enabled(bool on) noexcept;
+
+/// Named-metric registry; see file comment.
+class Registry {
+ public:
+  /// `tracer_capacity` bounds the SlotTracer ring (>= 1).
+  explicit Registry(std::size_t tracer_capacity = 4096);
+
+  /// Get-or-create. Names must be non-empty; dotted lower_snake_case by
+  /// convention. The returned reference lives as long as the registry.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+
+  /// Get-or-create; `upper_bounds` applies only on first creation (empty
+  /// selects default_latency_buckets_us()). Later calls return the existing
+  /// histogram regardless of the edges passed.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::span<const double> upper_bounds = {});
+
+  [[nodiscard]] SlotTracer& tracer() noexcept { return tracer_; }
+
+  /// Zeroes every metric and clears the tracer without invalidating any
+  /// outstanding reference. Lets one process run several experiments with a
+  /// clean slate in between.
+  void reset_values();
+
+  /// Registered names per kind, sorted (for tests and tooling).
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  [[nodiscard]] std::vector<std::string> gauge_names() const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+
+  /// Human-readable dump: counters, gauges, histogram quantiles, and the
+  /// tail of the slot trace.
+  [[nodiscard]] std::string render_text() const;
+
+  /// Machine-readable dump:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {count, sum, p50, p95, p99, buckets: [...]}},
+  ///    "trace": {capacity, total_recorded, events: [...]}}
+  [[nodiscard]] std::string render_json() const;
+
+  /// Writes render_json() to `path`; throws jstream::Error on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  SlotTracer tracer_;
+};
+
+/// The process-wide registry used by built-in instrumentation.
+[[nodiscard]] Registry& global_registry();
+
+}  // namespace jstream::telemetry

@@ -1,0 +1,64 @@
+#include "telemetry/slot_tracer.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/metric.hpp"
+
+namespace jstream::telemetry {
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kGrant: return "grant";
+    case TraceEventKind::kClipLink: return "clip_link";
+    case TraceEventKind::kClipCapacity: return "clip_capacity";
+    case TraceEventKind::kRrcTransition: return "rrc_transition";
+    case TraceEventKind::kQueueLevel: return "queue_level";
+    case TraceEventKind::kAdmit: return "admit";
+    case TraceEventKind::kReject: return "reject";
+  }
+  return "unknown";
+}
+
+SlotTracer::SlotTracer(std::size_t capacity) : ring_(capacity) {
+  require(capacity >= 1, "slot tracer capacity must be at least 1");
+}
+
+void SlotTracer::record(std::int64_t slot, std::int32_t user, TraceEventKind kind,
+                        double value) noexcept {
+  if (!enabled()) return;
+  const std::lock_guard lock(mutex_);
+  ring_[next_] = SlotTraceEvent{slot, user, kind, value};
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<SlotTraceEvent> SlotTracer::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<SlotTraceEvent> events;
+  events.reserve(size_);
+  // Oldest event sits at next_ once the ring has wrapped, at 0 before.
+  const std::size_t start = size_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    events.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::size_t SlotTracer::size() const {
+  const std::lock_guard lock(mutex_);
+  return size_;
+}
+
+std::int64_t SlotTracer::total_recorded() const {
+  const std::lock_guard lock(mutex_);
+  return total_;
+}
+
+void SlotTracer::clear() {
+  const std::lock_guard lock(mutex_);
+  next_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace jstream::telemetry

@@ -1,0 +1,77 @@
+// Bounded per-slot event trace for scheduler debugging.
+//
+// The SlotTracer is a fixed-capacity ring buffer of (slot, user, kind,
+// value) tuples recording scheduler-internal decisions: allocations granted,
+// grants clipped by constraint (1) (per-user link cap) or constraint (2)
+// (base-station capacity), RRC state transitions, Lyapunov virtual-queue
+// levels (Eq. 16), and Eq. 12 threshold admissions/rejections. When the ring
+// is full the oldest events are overwritten, so memory stays bounded no
+// matter how long a run is; `total_recorded()` still counts every event.
+//
+// Recording takes a short mutex (events arrive from thread_pool workers
+// during replication/sweep runs) and is a no-op while telemetry is disabled.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace jstream::telemetry {
+
+/// What a trace event describes. `value` is kind-specific (see to_string).
+enum class TraceEventKind : std::uint8_t {
+  kGrant,          ///< units granted to a user this slot (value = units)
+  kClipLink,       ///< grant saturated constraint (1) (value = units granted)
+  kClipCapacity,   ///< slot exhausted constraint (2) (value = total units, user = -1)
+  kRrcTransition,  ///< RRC state change (value = encoded to-state, see rrc.hpp)
+  kQueueLevel,     ///< Lyapunov queue level in seconds (Eq. 16)
+  kAdmit,          ///< user passed the Eq. 12 signal threshold (value = sig dBm)
+  kReject,         ///< user filtered by the Eq. 12 threshold (value = sig dBm)
+};
+
+/// Stable lower_snake_case label (used by both renderers).
+[[nodiscard]] const char* to_string(TraceEventKind kind) noexcept;
+
+/// One recorded scheduler event.
+struct SlotTraceEvent {
+  std::int64_t slot = 0;
+  std::int32_t user = -1;  ///< -1 for slot-wide events
+  TraceEventKind kind = TraceEventKind::kGrant;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring buffer of SlotTraceEvents.
+class SlotTracer {
+ public:
+  /// `capacity` must be >= 1; defaults to a few thousand events, enough to
+  /// hold the tail of a long run without unbounded growth.
+  explicit SlotTracer(std::size_t capacity = 4096);
+
+  /// Records one event, overwriting the oldest when full. Safe from any
+  /// thread; no-op while telemetry is disabled.
+  void record(std::int64_t slot, std::int32_t user, TraceEventKind kind,
+              double value) noexcept;
+
+  /// Events currently retained, oldest first.
+  [[nodiscard]] std::vector<SlotTraceEvent> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Every event ever recorded, including overwritten ones.
+  [[nodiscard]] std::int64_t total_recorded() const;
+
+  /// Drops all retained events and zeroes total_recorded.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SlotTraceEvent> ring_;
+  std::size_t next_ = 0;  ///< next write position
+  std::size_t size_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace jstream::telemetry

@@ -72,5 +72,53 @@ TEST(CsvWriter, DoubleRoundTripPrecision) {
   std::filesystem::remove(path);
 }
 
+TEST(CsvReader, ParsesHeaderAndRows) {
+  const CsvTable table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(table.column("b"), 1u);
+  EXPECT_THROW((void)table.column("missing"), Error);
+}
+
+TEST(CsvReader, HandlesQuotingCrlfAndMissingTrailingNewline) {
+  const CsvTable table =
+      parse_csv("name,note\r\n\"a,b\",\"say \"\"hi\"\"\"\r\nplain,\"multi\nline\"");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "a,b");
+  EXPECT_EQ(table.rows[0][1], "say \"hi\"");
+  EXPECT_EQ(table.rows[1][1], "multi\nline");
+}
+
+TEST(CsvReader, EmptyAndQuotedEmptyCells) {
+  const CsvTable table = parse_csv("a,b\n,\n\"\",x\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"", "x"}));
+}
+
+TEST(CsvReader, RejectsMalformedInput) {
+  EXPECT_THROW(parse_csv(""), Error);                    // no header
+  EXPECT_THROW(parse_csv("a,b\n1\n"), Error);            // width mismatch
+  EXPECT_THROW(parse_csv("a\n\"unterminated"), Error);   // open quote
+  EXPECT_THROW(parse_csv("a\nx\"y\n"), Error);           // quote mid-cell
+  EXPECT_THROW(read_csv("/nonexistent-dir-xyz/in.csv"), Error);
+}
+
+TEST(CsvReader, WriterReaderRoundTrip) {
+  const std::string path = temp_path("jstream_csv_roundtrip.csv");
+  {
+    CsvWriter writer(path, {"k", "v"});
+    writer.row(std::vector<std::string>{"plain", "1.5"});
+    writer.row(std::vector<std::string>{"with,comma", "say \"hi\"\nbye"});
+  }
+  const CsvTable table = read_csv(path);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"k", "v"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][0], "with,comma");
+  EXPECT_EQ(table.rows[1][1], "say \"hi\"\nbye");
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace jstream

@@ -131,7 +131,32 @@ TEST(Metrics, RejectsSizeMismatch) {
   MetricsCollector collector(2);
   const SlotContext ctx = make_context({TestUser{}});
   EXPECT_THROW(collector.record_slot(ctx, make_outcome(1)), Error);
-  EXPECT_THROW(MetricsCollector(0), Error);
+}
+
+// Degenerate runs (zero users, zero slots, series disabled) must summarize
+// without dividing by zero.
+TEST(Metrics, EmptyRunSummarizesToZeros) {
+  MetricsCollector collector(0, /*keep_series=*/false);
+  const RunMetrics metrics = collector.finish();
+  EXPECT_EQ(metrics.slots_run, 0);
+  EXPECT_TRUE(metrics.per_user.empty());
+  EXPECT_DOUBLE_EQ(metrics.total_energy_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.total_rebuffer_s(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_energy_per_user_slot_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_tail_per_user_slot_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_rebuffer_per_user_slot_s(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_fairness(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 0.0);
+}
+
+TEST(Metrics, ZeroSlotRunSummarizesToZeros) {
+  MetricsCollector collector(3);  // users exist but no slot is ever recorded
+  const RunMetrics metrics = collector.finish();
+  EXPECT_EQ(metrics.slots_run, 0);
+  EXPECT_DOUBLE_EQ(metrics.avg_energy_per_user_slot_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_rebuffer_per_user_slot_s(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_fairness(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 0.0);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "baselines/factory.hpp"
+#include "common/csv.hpp"
 #include "sim/simulator.hpp"
 
 namespace jstream {
@@ -73,6 +74,66 @@ TEST(Report, CsvExportSkipsSeriesWhenAbsent) {
   export_run_csv(dir, "noseries", metrics);
   EXPECT_TRUE(std::filesystem::exists(dir + "/noseries_users.csv"));
   EXPECT_FALSE(std::filesystem::exists(dir + "/noseries_slots.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+// Regression: an empty run (no users, no slots, no series) must summarize,
+// render, and export without dividing by zero or crashing.
+TEST(Report, EmptyRunSummarizesAndExports) {
+  const RunMetrics metrics;  // zero users, zero slots, empty series
+  const std::string summary = summarize_run("empty", metrics);
+  EXPECT_NE(summary.find("empty"), std::string::npos);
+  EXPECT_NE(summary.find("0 slots"), std::string::npos);
+  const std::string report = render_report("empty", metrics);
+  EXPECT_NE(report.find("per-user totals"), std::string::npos);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jstream_report_empty").string();
+  export_run_csv(dir, "empty", metrics);
+  const CsvTable users = read_csv(dir + "/empty_users.csv");
+  EXPECT_TRUE(users.rows.empty());
+  EXPECT_EQ(users.header.front(), "user");
+  EXPECT_FALSE(std::filesystem::exists(dir + "/empty_slots.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+// Round-trip: per-user totals written by export_run_csv survive the
+// common/csv reader (within the writer's 3-decimal formatting).
+TEST(Report, CsvRoundTripPreservesUserTotals) {
+  const RunMetrics metrics = sample_run();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jstream_report_roundtrip").string();
+  export_run_csv(dir, "rt", metrics);
+  const CsvTable users = read_csv(dir + "/rt_users.csv");
+  ASSERT_EQ(users.rows.size(), metrics.per_user.size());
+
+  const std::size_t delivered = users.column("delivered_kb");
+  const std::size_t trans = users.column("trans_mj");
+  const std::size_t tail = users.column("tail_mj");
+  const std::size_t rebuffer = users.column("rebuffer_s");
+  const std::size_t tx_slots = users.column("tx_slots");
+  const std::size_t session = users.column("session_slots");
+  const std::size_t done = users.column("playback_finished");
+  for (std::size_t i = 0; i < users.rows.size(); ++i) {
+    const UserTotals& expected = metrics.per_user[i];
+    const auto& row = users.rows[i];
+    EXPECT_EQ(std::stoul(row[users.column("user")]), i);
+    EXPECT_NEAR(std::stod(row[delivered]), expected.delivered_kb, 5e-4);
+    EXPECT_NEAR(std::stod(row[trans]), expected.trans_mj, 5e-4);
+    EXPECT_NEAR(std::stod(row[tail]), expected.tail_mj, 5e-4);
+    EXPECT_NEAR(std::stod(row[rebuffer]), expected.rebuffer_s, 5e-4);
+    EXPECT_EQ(std::stoll(row[tx_slots]), expected.tx_slots);
+    EXPECT_EQ(std::stoll(row[session]), expected.session_slots);
+    EXPECT_EQ(row[done] == "1", expected.playback_finished);
+  }
+
+  // The slot series round-trips as one row per recorded slot.
+  const CsvTable slots = read_csv(dir + "/rt_slots.csv");
+  ASSERT_EQ(slots.rows.size(), metrics.slot_energy_mj.size());
+  const std::size_t energy = slots.column("energy_mj");
+  for (std::size_t n = 0; n < slots.rows.size(); ++n) {
+    EXPECT_NEAR(std::stod(slots.rows[n][energy]), metrics.slot_energy_mj[n], 5e-4);
+  }
   std::filesystem::remove_all(dir);
 }
 

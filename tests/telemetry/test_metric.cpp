@@ -1,0 +1,148 @@
+#include "telemetry/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/scoped_timer.hpp"
+
+namespace jstream::telemetry {
+namespace {
+
+/// Restores the global enabled flag so tests cannot leak a disabled state.
+struct EnabledGuard {
+  ~EnabledGuard() { set_enabled(true); }
+};
+
+TEST(Counter, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(Counter, ConcurrentIncrementsFromThreadPoolAreExact) {
+  Counter counter;
+  ThreadPool pool(8);
+  constexpr std::size_t kTasks = 64;
+  constexpr std::int64_t kPerTask = 10000;
+  parallel_for(pool, kTasks, [&](std::size_t) {
+    for (std::int64_t i = 0; i < kPerTask; ++i) counter.add();
+  });
+  EXPECT_EQ(counter.value(), static_cast<std::int64_t>(kTasks) * kPerTask);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Metric, DisabledRecordingIsANoOp) {
+  const EnabledGuard guard;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram({1.0, 2.0});
+  set_enabled(false);
+  counter.add();
+  gauge.set(7.0);
+  histogram.observe(1.5);
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0);
+  set_enabled(true);
+  counter.add();
+  EXPECT_EQ(counter.value(), 1);
+}
+
+TEST(Histogram, RejectsBadBucketEdges) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Histogram, BucketsObservationsIncludingOverflow) {
+  Histogram histogram({1.0, 2.0, 3.0});
+  histogram.observe(0.5);   // bucket 0 (le 1)
+  histogram.observe(1.0);   // bucket 0 (edges are inclusive upper bounds)
+  histogram.observe(2.5);   // bucket 2 (le 3)
+  histogram.observe(99.0);  // overflow
+  const Histogram::Snapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 0);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.total, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 2.5 + 99.0);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  Histogram histogram({1.0, 2.0, 3.0, 4.0, 5.0});
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) histogram.observe(v);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.2), 1.0);
+  EXPECT_THROW((void)histogram.quantile(1.5), Error);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZeroAndOverflowClampsToLastEdge) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  histogram.observe(50.0);  // only observation sits in the overflow bucket
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, ConcurrentObservationsAreAllCounted) {
+  Histogram histogram(exponential_buckets(1.0, 2.0, 12));
+  ThreadPool pool(8);
+  constexpr std::size_t kTasks = 32;
+  constexpr int kPerTask = 5000;
+  parallel_for(pool, kTasks, [&](std::size_t task) {
+    for (int i = 0; i < kPerTask; ++i) {
+      histogram.observe(static_cast<double>((task * 31 + static_cast<std::size_t>(i)) % 1000));
+    }
+  });
+  EXPECT_EQ(histogram.count(), static_cast<std::int64_t>(kTasks) * kPerTask);
+}
+
+TEST(BucketHelpers, GenerateExpectedEdges) {
+  EXPECT_EQ(exponential_buckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(linear_buckets(-1.0, 0.5, 3), (std::vector<double>{-1.0, -0.5, 0.0}));
+  EXPECT_THROW(exponential_buckets(0.0, 2.0, 3), Error);
+  EXPECT_THROW(linear_buckets(0.0, 0.0, 3), Error);
+  EXPECT_FALSE(default_latency_buckets_us().empty());
+}
+
+TEST(ScopedTimer, ObservesScopeLatency) {
+  Histogram histogram(default_latency_buckets_us());
+  {
+    ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_GE(histogram.sum(), 0.0);
+}
+
+TEST(ScopedTimer, SkipsWhenDisabled) {
+  const EnabledGuard guard;
+  Histogram histogram(default_latency_buckets_us());
+  set_enabled(false);
+  {
+    ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.count(), 0);
+}
+
+}  // namespace
+}  // namespace jstream::telemetry

@@ -1,0 +1,137 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace jstream::telemetry {
+namespace {
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x.count").value(), 3);
+  EXPECT_THROW((void)registry.counter(""), Error);
+
+  Gauge& g = registry.gauge("x.gauge");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("x.gauge").value(), 1.5);
+
+  const std::vector<double> edges{1.0, 2.0};
+  Histogram& h = registry.histogram("x.hist", edges);
+  EXPECT_EQ(&h, &registry.histogram("x.hist"));
+  EXPECT_EQ(h.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, DefaultHistogramUsesLatencyBuckets) {
+  Registry registry;
+  Histogram& h = registry.histogram("latency");
+  EXPECT_EQ(h.upper_bounds().size(), default_latency_buckets_us().size());
+}
+
+TEST(Registry, NamesAreSortedPerKind) {
+  Registry registry;
+  (void)registry.counter("b");
+  (void)registry.counter("a");
+  (void)registry.gauge("g");
+  (void)registry.histogram("h");
+  EXPECT_EQ(registry.counter_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(registry.gauge_names(), (std::vector<std::string>{"g"}));
+  EXPECT_EQ(registry.histogram_names(), (std::vector<std::string>{"h"}));
+}
+
+TEST(Registry, ResetValuesZeroesWithoutInvalidatingReferences) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  Histogram& histogram = registry.histogram("h", std::vector<double>{1.0});
+  registry.tracer().record(0, 0, TraceEventKind::kGrant, 1.0);
+  counter.add(5);
+  histogram.observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(registry.tracer().total_recorded(), 0);
+  counter.add();  // the old reference still works
+  EXPECT_EQ(registry.counter("c").value(), 1);
+}
+
+TEST(Registry, TextRenderingMentionsEveryMetricAndTraceTail) {
+  Registry registry;
+  registry.counter("events.total").add(7);
+  registry.gauge("level").set(-3.25);
+  registry.histogram("lat_us", std::vector<double>{1.0, 10.0}).observe(2.0);
+  registry.tracer().record(12, 3, TraceEventKind::kClipLink, 4.0);
+  const std::string text = registry.render_text();
+  EXPECT_NE(text.find("events.total = 7"), std::string::npos);
+  EXPECT_NE(text.find("level = -3.25"), std::string::npos);
+  EXPECT_NE(text.find("lat_us"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("[slot 12] user 3 clip_link 4"), std::string::npos);
+}
+
+// The JSON renderer is hand-rolled; pin the shape: top-level sections, one
+// entry per metric, quantiles on histograms, and the trace event list.
+TEST(Registry, JsonRenderingHasExpectedShape) {
+  Registry registry(/*tracer_capacity=*/8);
+  registry.counter("runs").add(2);
+  registry.gauge("threshold_dbm").set(-80.5);
+  registry.histogram("lat", std::vector<double>{1.0, 2.0}).observe(1.5);
+  registry.tracer().record(5, 1, TraceEventKind::kAdmit, -70.0);
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"threshold_dbm\": -80.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [{\"le\": 1, \"count\": 0}"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"admit\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Registry, NonFiniteGaugeRendersAsJsonNull) {
+  Registry registry;
+  registry.gauge("inf").set(-std::numeric_limits<double>::infinity());
+  EXPECT_NE(registry.render_json().find("\"inf\": null"), std::string::npos);
+}
+
+TEST(Registry, WriteJsonCreatesReadableFile) {
+  Registry registry;
+  registry.counter("c").add(1);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "jstream_telemetry_test.json")
+          .string();
+  registry.write_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), registry.render_json());
+  std::filesystem::remove(path);
+  EXPECT_THROW(registry.write_json("/nonexistent-dir-xyz/t.json"), Error);
+}
+
+TEST(Registry, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&global_registry(), &global_registry());
+}
+
+}  // namespace
+}  // namespace jstream::telemetry

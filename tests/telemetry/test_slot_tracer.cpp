@@ -1,0 +1,80 @@
+#include "telemetry/slot_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "telemetry/metric.hpp"
+
+namespace jstream::telemetry {
+namespace {
+
+TEST(SlotTracer, RecordsInOrderBelowCapacity) {
+  SlotTracer tracer(8);
+  tracer.record(1, 0, TraceEventKind::kGrant, 5.0);
+  tracer.record(2, 1, TraceEventKind::kReject, -97.0);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].slot, 1);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kGrant);
+  EXPECT_DOUBLE_EQ(events[0].value, 5.0);
+  EXPECT_EQ(events[1].user, 1);
+  EXPECT_EQ(tracer.total_recorded(), 2);
+}
+
+TEST(SlotTracer, WrapsAroundKeepingNewestEvents) {
+  SlotTracer tracer(4);
+  for (std::int64_t slot = 0; slot < 10; ++slot) {
+    tracer.record(slot, 0, TraceEventKind::kGrant, static_cast<double>(slot));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: slots 6, 7, 8, 9.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].slot, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(SlotTracer, ClearEmptiesRingAndTotals) {
+  SlotTracer tracer(4);
+  tracer.record(0, 0, TraceEventKind::kQueueLevel, 1.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(SlotTracer, RejectsZeroCapacity) { EXPECT_THROW(SlotTracer(0), Error); }
+
+TEST(SlotTracer, ConcurrentRecordsNeverExceedCapacityAndCountAll) {
+  SlotTracer tracer(64);
+  ThreadPool pool(8);
+  constexpr std::size_t kTasks = 16;
+  constexpr std::int64_t kPerTask = 1000;
+  parallel_for(pool, kTasks, [&](std::size_t task) {
+    for (std::int64_t i = 0; i < kPerTask; ++i) {
+      tracer.record(i, static_cast<std::int32_t>(task),
+                    TraceEventKind::kGrant, 0.0);
+    }
+  });
+  EXPECT_EQ(tracer.size(), 64u);
+  EXPECT_EQ(tracer.total_recorded(),
+            static_cast<std::int64_t>(kTasks) * kPerTask);
+}
+
+TEST(SlotTracer, KindLabelsAreStable) {
+  EXPECT_STREQ(to_string(TraceEventKind::kGrant), "grant");
+  EXPECT_STREQ(to_string(TraceEventKind::kClipLink), "clip_link");
+  EXPECT_STREQ(to_string(TraceEventKind::kClipCapacity), "clip_capacity");
+  EXPECT_STREQ(to_string(TraceEventKind::kRrcTransition), "rrc_transition");
+  EXPECT_STREQ(to_string(TraceEventKind::kQueueLevel), "queue_level");
+  EXPECT_STREQ(to_string(TraceEventKind::kAdmit), "admit");
+  EXPECT_STREQ(to_string(TraceEventKind::kReject), "reject");
+}
+
+}  // namespace
+}  // namespace jstream::telemetry
