@@ -1,0 +1,332 @@
+// Perf regression gate for the slot engine (see docs/PERFORMANCE.md).
+//
+// Two measurement families, both on pinned deterministic workloads:
+//
+//  1. Solver microbench: the O(N*M) sliding-window EMA DP vs the
+//     paper-literal O(N*M*phi_max) reference on the same instances. The gate
+//     requires >= 5x speedup at N = 40 users with M >= 200 capacity units
+//     (the paper's evaluation scale); the binary exits nonzero otherwise.
+//  2. Slot-path matrix: end-to-end Framework::run_slot cost (ns/slot), the
+//     scheduler decision alone (ns/solve), and heap allocations per slot for
+//     N in {40, 200, 1000} x {default, rtma, ema-fast, ema}. This binary
+//     replaces the global operator new to count allocations.
+//
+// Results land in BENCH_PR2.json (override with --out <path>); the JSON
+// schema is documented in docs/PERFORMANCE.md. REPRO_SLOTS in the
+// environment shrinks every loop for smoke runs.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/ema.hpp"
+#include "gateway/framework.hpp"
+#include "net/base_station.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* ptr = std::aligned_alloc(align, rounded == 0 ? align : rounded);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); }
+
+namespace jstream {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Times `iters` calls of `body`, returning mean ns per call.
+template <typename Fn>
+double time_ns_per_iter(std::int64_t iters, Fn&& body) {
+  const auto start = Clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) body();
+  const auto stop = Clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(iters);
+}
+
+std::int64_t repro_slots() {
+  const char* env = std::getenv("REPRO_SLOTS");
+  if (env == nullptr) return 0;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<std::int64_t>(v) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Solver microbench: new O(N*M) DP vs the paper-literal reference.
+// ---------------------------------------------------------------------------
+
+struct SolverInstance {
+  EmaSlotCosts costs;
+  std::vector<std::int64_t> caps;
+  std::int64_t capacity = 0;
+};
+
+SolverInstance make_solver_instance(std::size_t users, std::int64_t capacity,
+                                    std::int64_t max_cap, std::uint64_t seed) {
+  SolverInstance inst;
+  Rng rng(seed);
+  inst.costs.idle_cost.resize(users);
+  inst.costs.active_base.resize(users);
+  inst.costs.slope.resize(users);
+  inst.caps.resize(users);
+  for (std::size_t i = 0; i < users; ++i) {
+    // Cost regimes of a loaded EMA slot: tail-scale idle costs, slopes on
+    // both sides of zero (queue pressure flips the sign), heterogeneous caps.
+    inst.costs.idle_cost[i] = rng.uniform(0.0, 5.0);
+    inst.costs.active_base[i] = rng.uniform(0.0, 1.0) < 0.5 ? 0.0 : rng.uniform(0.0, 2.0);
+    inst.costs.slope[i] = rng.uniform(-1.0, 1.0);
+    inst.caps[i] = rng.uniform_int(1, max_cap);
+  }
+  inst.capacity = capacity;
+  return inst;
+}
+
+double allocation_cost(const EmaSlotCosts& costs, const Allocation& alloc) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alloc.units.size(); ++i) {
+    sum += ema_cost(costs, i, alloc.units[i]);
+  }
+  return sum;
+}
+
+struct SolverResult {
+  std::size_t users = 0;
+  std::int64_t capacity_units = 0;
+  std::int64_t fast_iters = 0;
+  std::int64_t reference_iters = 0;
+  double fast_ns_per_solve = 0.0;
+  double reference_ns_per_solve = 0.0;
+  double speedup = 0.0;
+};
+
+SolverResult bench_solver(std::size_t users, std::int64_t capacity,
+                          std::int64_t fast_iters, std::int64_t ref_iters) {
+  SolverResult result;
+  result.users = users;
+  result.capacity_units = capacity;
+  result.fast_iters = fast_iters;
+  result.reference_iters = ref_iters;
+
+  const SolverInstance inst = make_solver_instance(users, capacity, 40, 0xbeef + users);
+  EmaDpWorkspace ws;
+  Allocation out;
+
+  // Warm both paths and check they agree before trusting the timings.
+  solve_min_cost_dp(inst.costs, inst.caps, inst.capacity, ws, out);
+  const Allocation ref = solve_min_cost_dp_reference(inst.costs, inst.caps, inst.capacity);
+  const double gap = allocation_cost(inst.costs, out) - allocation_cost(inst.costs, ref);
+  require(gap < 1e-9 && gap > -1e-9, "solvers disagree; timings are meaningless");
+
+  result.fast_ns_per_solve = time_ns_per_iter(fast_iters, [&] {
+    solve_min_cost_dp(inst.costs, inst.caps, inst.capacity, ws, out);
+  });
+  result.reference_ns_per_solve = time_ns_per_iter(ref_iters, [&] {
+    const Allocation r = solve_min_cost_dp_reference(inst.costs, inst.caps, inst.capacity);
+    if (r.units.empty()) std::abort();  // keep the call observable
+  });
+  result.speedup = result.reference_ns_per_solve / result.fast_ns_per_solve;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Slot-path matrix: end-to-end run_slot cost and allocation counts.
+// ---------------------------------------------------------------------------
+
+struct SlotCase {
+  std::string scheduler;
+  std::size_t users = 0;
+  std::int64_t measured_slots = 0;
+  double ns_per_slot = 0.0;
+  double ns_per_solve = 0.0;
+  double allocs_per_slot = 0.0;
+};
+
+SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
+                         std::int64_t warmup, std::int64_t measured,
+                         std::int64_t solve_iters) {
+  SlotCase result;
+  result.scheduler = scheduler_name;
+  result.users = users;
+  result.measured_slots = measured;
+
+  ScenarioConfig scenario = paper_scenario(users, 42);
+  scenario.capacity_kbps = 500.0 * static_cast<double>(users);
+  std::vector<UserEndpoint> endpoints = build_endpoints(scenario);
+  const BaseStation bs(capacity_profile(scenario));
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  Framework framework(InfoCollector(scenario.slot, scenario.link, scenario.radio),
+                      make_scheduler(scheduler_name, options),
+                      SchedulingMode::kEnergyMinimization, users);
+
+  for (std::int64_t slot = 0; slot < warmup; ++slot) {
+    (void)framework.run_slot(slot, endpoints, bs);
+  }
+
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  result.ns_per_slot = time_ns_per_iter(measured, [&, slot = warmup]() mutable {
+    (void)framework.run_slot(slot, endpoints, bs);
+    ++slot;
+  });
+  const std::uint64_t allocs_after = g_alloc_count.load(std::memory_order_relaxed);
+  result.allocs_per_slot = static_cast<double>(allocs_after - allocs_before) /
+                           static_cast<double>(measured);
+
+  // Decision cost alone, on the warm steady-state snapshot.
+  Allocation decision;
+  Scheduler& scheduler = framework.scheduler();
+  const SlotContext& ctx = framework.last_context();
+  scheduler.allocate_into(ctx, decision);
+  result.ns_per_solve =
+      time_ns_per_iter(solve_iters, [&] { scheduler.allocate_into(ctx, decision); });
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+int run(int argc, const char* const* argv) {
+  std::string out_path = "BENCH_PR2.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bench_perf_gate [--out <path>]\n");
+      return 0;
+    }
+  }
+
+  const std::int64_t repro = repro_slots();
+  const auto clamp = [&](std::int64_t n) { return repro > 0 ? std::min(n, repro) : n; };
+
+  // Solver gate: paper scale (N = 40, M = 250 >= 200) plus one larger point.
+  std::printf("solver microbench (exact O(N*M) vs reference O(N*M*phi_max))\n");
+  std::vector<SolverResult> solver_results;
+  solver_results.push_back(bench_solver(40, 250, clamp(2000), clamp(200)));
+  solver_results.push_back(bench_solver(200, 1000, clamp(200), clamp(20)));
+  for (const SolverResult& r : solver_results) {
+    std::printf("  N=%-4zu M=%-5lld fast %10.0f ns/solve   reference %12.0f ns/solve   speedup %6.1fx\n",
+                r.users, static_cast<long long>(r.capacity_units), r.fast_ns_per_solve,
+                r.reference_ns_per_solve, r.speedup);
+  }
+
+  constexpr double kMinSpeedup = 5.0;
+  const bool gate_pass = solver_results.front().speedup >= kMinSpeedup;
+
+  std::printf("slot-path matrix (paper scenario, capacity 500 KB/s per user)\n");
+  std::vector<SlotCase> slot_cases;
+  const std::vector<std::size_t> populations{40, 200, 1000};
+  const std::vector<std::string> schedulers{"default", "rtma", "ema-fast", "ema"};
+  for (const std::size_t users : populations) {
+    // Fewer measured slots at larger N keeps the gate under a minute.
+    const std::int64_t measured = clamp(users == 40 ? 200 : users == 200 ? 60 : 24);
+    const std::int64_t warmup = clamp(20);
+    const std::int64_t solve_iters = clamp(users == 1000 ? 10 : 50);
+    for (const std::string& name : schedulers) {
+      slot_cases.push_back(bench_slot_path(name, users, warmup, measured, solve_iters));
+      const SlotCase& c = slot_cases.back();
+      std::printf("  %-9s N=%-4zu %12.0f ns/slot %12.0f ns/solve %8.2f allocs/slot\n",
+                  c.scheduler.c_str(), c.users, c.ns_per_slot, c.ns_per_solve,
+                  c.allocs_per_slot);
+    }
+  }
+
+  std::ofstream json(out_path);
+  require(json.good(), "cannot open perf-gate output file");
+  json << "{\n";
+  json << "  \"schema\": \"jstream-perf-gate-v1\",\n";
+  json << "  \"workload\": \"paper_scenario(users, seed=42), capacity 500 KB/s per user\",\n";
+  json << "  \"gate\": {\"metric\": \"solver[0].speedup_vs_reference\", \"min_speedup\": "
+       << kMinSpeedup << ", \"pass\": " << (gate_pass ? "true" : "false") << "},\n";
+  json << "  \"solver\": [\n";
+  for (std::size_t i = 0; i < solver_results.size(); ++i) {
+    const SolverResult& r = solver_results[i];
+    json << "    {\"users\": " << r.users << ", \"capacity_units\": " << r.capacity_units
+         << ", \"fast_iters\": " << r.fast_iters
+         << ", \"reference_iters\": " << r.reference_iters
+         << ", \"fast_ns_per_solve\": " << r.fast_ns_per_solve
+         << ", \"reference_ns_per_solve\": " << r.reference_ns_per_solve
+         << ", \"speedup_vs_reference\": " << r.speedup << "}"
+         << (i + 1 < solver_results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"slot_path\": [\n";
+  for (std::size_t i = 0; i < slot_cases.size(); ++i) {
+    const SlotCase& c = slot_cases[i];
+    json << "    {\"scheduler\": \"" << c.scheduler << "\", \"users\": " << c.users
+         << ", \"measured_slots\": " << c.measured_slots
+         << ", \"ns_per_slot\": " << c.ns_per_slot
+         << ", \"ns_per_solve\": " << c.ns_per_solve
+         << ", \"allocs_per_slot\": " << c.allocs_per_slot << "}"
+         << (i + 1 < slot_cases.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+  json.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!gate_pass) {
+    std::fprintf(stderr,
+                 "PERF GATE FAILED: EMA-DP speedup %.1fx < %.1fx at N=40, M=250\n",
+                 solver_results.front().speedup, kMinSpeedup);
+    return 1;
+  }
+  std::printf("perf gate passed (speedup %.1fx >= %.1fx)\n",
+              solver_results.front().speedup, kMinSpeedup);
+  return 0;
+}
+
+}  // namespace jstream
+
+int main(int argc, char** argv) {
+  try {
+    return jstream::run(argc, argv);
+  } catch (const jstream::Error& e) {
+    std::fprintf(stderr, "bench_perf_gate: %s\n", e.what());
+    return 2;
+  }
+}

@@ -126,10 +126,11 @@ AbrRunMetrics simulate_abr(const AbrScenarioConfig& config,
       UserSlotInfo info;
       info.signal_dbm = user.signal->signal_dbm(slot);
       info.bitrate_kbps = user.client->current_rate_kbps();
+      info.throughput_kbps = base.link.throughput->throughput_kbps(info.signal_dbm);
+      info.energy_per_kb = base.link.power->energy_per_kb(info.signal_dbm);
       info.remaining_kb = user.client->estimated_remaining_kb();
       info.needs_data = info.remaining_kb > 0.0;
-      info.link_units = base.slot.link_units(
-          base.link.throughput->throughput_kbps(info.signal_dbm));
+      info.link_units = base.slot.link_units(info.throughput_kbps);
       const auto remaining_units = static_cast<std::int64_t>(
           std::ceil(info.remaining_kb / base.slot.delta_kb));
       info.alloc_cap_units =

@@ -9,18 +9,23 @@ namespace jstream {
 void DefaultScheduler::reset(std::size_t /*users*/) {}
 
 Allocation DefaultScheduler::allocate(const SlotContext& ctx) {
+  Allocation alloc;
+  allocate_into(ctx, alloc);
+  return alloc;
+}
+
+void DefaultScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   const std::size_t n = ctx.user_count();
-  Allocation alloc = Allocation::zeros(n);
+  out.units.assign(n, 0);
   std::int64_t remaining = ctx.capacity_units;
   const std::size_t start = rotation_start(ctx.slot, n);
   for (std::size_t k = 0; k < n && remaining > 0; ++k) {
     const std::size_t i = (start + k) % n;
     const std::int64_t grant = std::min(ctx.users[i].alloc_cap_units, remaining);
     if (grant <= 0) continue;
-    alloc.units[i] = grant;
+    out.units[i] = grant;
     remaining -= grant;
   }
-  return alloc;
 }
 
 }  // namespace jstream

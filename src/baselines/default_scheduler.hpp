@@ -19,6 +19,7 @@ class DefaultScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "default"; }
   void reset(std::size_t users) override;
   [[nodiscard]] Allocation allocate(const SlotContext& ctx) override;
+  void allocate_into(const SlotContext& ctx, Allocation& out) override;
 };
 
 }  // namespace jstream

@@ -24,4 +24,15 @@ inline void require(bool condition, const std::string& message,
   }
 }
 
+/// Literal-message overload: defers all string construction to the failure
+/// branch, so checks on per-slot hot paths cost a branch and never allocate.
+/// (The std::string overload above materializes its message argument even
+/// when the condition holds.)
+inline void require(bool condition, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (condition) return;
+  throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " +
+              message);
+}
+
 }  // namespace jstream

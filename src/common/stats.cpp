@@ -71,6 +71,24 @@ double fraction_at_most(std::span<const double> values, double threshold) {
   return static_cast<double>(hits) / static_cast<double>(values.size());
 }
 
+double student_t_975(std::size_t df) {
+  require(df >= 1, "student_t_975 needs at least one degree of freedom");
+  // Exact two-sided 95% critical values for small samples, where the normal
+  // approximation is badly anti-conservative (t_1 = 12.71 vs z = 1.96).
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df <= 30) return kTable[df - 1];
+  // Cornish-Fisher expansion of the t quantile around the normal quantile z;
+  // accurate to <1e-3 for df > 30 and monotone down toward z as df grows.
+  constexpr double z = 1.959963984540054;
+  const double n = static_cast<double>(df);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  return z + (z3 + z) / (4.0 * n) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n);
+}
+
 double jain_index(std::span<const double> shares) {
   if (shares.empty()) return 1.0;
   double sum = 0.0;

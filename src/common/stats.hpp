@@ -40,6 +40,12 @@ struct CdfPoint {
 /// Fraction of samples <= threshold.
 [[nodiscard]] double fraction_at_most(std::span<const double> values, double threshold);
 
+/// Two-sided 95% Student-t critical value t_{0.975, df} for a mean
+/// confidence interval with `df` degrees of freedom. Exact table values for
+/// df <= 30, the Cornish-Fisher expansion above that (converging to the
+/// normal 1.96 as df grows). Throws on df == 0 (no interval exists).
+[[nodiscard]] double student_t_975(std::size_t df);
+
 /// Jain fairness index of non-negative shares: (sum x)^2 / (n * sum x^2).
 /// Returns 1.0 for an empty or all-zero sample (perfectly equal shares).
 [[nodiscard]] double jain_index(std::span<const double> shares);

@@ -38,12 +38,27 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t parallel_chunk_count(const ThreadPool& pool, std::size_t count) noexcept {
+  // A handful of chunks per worker keeps stragglers from serializing the tail
+  // while bounding scheduling overhead to O(workers), not O(items).
+  constexpr std::size_t kChunksPerWorker = 4;
+  return std::min(count, std::max<std::size_t>(1, pool.size() * kChunksPerWorker));
+}
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t chunks = parallel_chunk_count(pool, count);
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Balanced partition: the first (count % chunks) chunks take one extra.
+    const std::size_t begin = c * (count / chunks) + std::min(c, count % chunks);
+    const std::size_t end =
+        (c + 1) * (count / chunks) + std::min(c + 1, count % chunks);
+    futures.push_back(pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

@@ -3,6 +3,7 @@
 // thunks; results flow back through futures or the parallel_for helper.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -52,24 +53,49 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Number of chunks parallel_for/parallel_map split `count` items into: a
+/// few chunks per worker (load balance) but never more than `count`.
+[[nodiscard]] std::size_t parallel_chunk_count(const ThreadPool& pool,
+                                               std::size_t count) noexcept;
+
 /// Runs fn(i) for i in [0, count) on `pool`, blocking until all complete.
-/// Exceptions from tasks are rethrown (the first one encountered).
+/// Indices are processed in contiguous chunks — one pool task per chunk, not
+/// per index — so sweeps over thousands of configurations pay O(workers)
+/// scheduling overhead. Iterations must therefore not synchronize with each
+/// other (two indices may share a chunk and run sequentially). Exceptions
+/// from tasks are rethrown (the first one encountered); an exception skips
+/// the rest of its chunk.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
-/// Maps fn over [0, count) and collects results in index order.
+/// Maps fn over [0, count) and collects results in index order. Chunked like
+/// parallel_for (one pool task per chunk); the same no-cross-index
+/// synchronization rule applies.
 template <typename Fn>
 [[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t count, Fn fn)
     -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
   using Result = std::invoke_result_t<Fn, std::size_t>;
-  std::vector<std::future<Result>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool.submit([fn, i] { return fn(i); }));
+  if (count == 0) return {};
+  const std::size_t chunks = parallel_chunk_count(pool, count);
+  std::vector<std::future<std::vector<Result>>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * (count / chunks) + std::min(c, count % chunks);
+    const std::size_t end =
+        (c + 1) * (count / chunks) + std::min(c + 1, count % chunks);
+    futures.push_back(pool.submit([fn, begin, end] {
+      std::vector<Result> chunk;
+      chunk.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) chunk.push_back(fn(i));
+      return chunk;
+    }));
   }
   std::vector<Result> results;
   results.reserve(count);
-  for (auto& f : futures) results.push_back(f.get());
+  for (auto& f : futures) {
+    std::vector<Result> chunk = f.get();
+    for (auto& value : chunk) results.push_back(std::move(value));
+  }
   return results;
 }
 

@@ -34,64 +34,178 @@ struct EmaTelemetry {
   }
 };
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Common validation + bound computation for the DP entry points. Returns
+/// m_max = min(capacity, sum caps), the last reachable column of the DP.
+std::int64_t dp_bound(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                      std::int64_t capacity_units) {
+  const std::size_t n = caps.size();
+  require(costs.idle_cost.size() == n && costs.slope.size() == n &&
+              costs.active_base.size() == n,
+          "cost/cap size mismatch");
+  require(capacity_units >= 0, "capacity must be non-negative");
+  std::int64_t cap_sum = 0;
+  for (std::int64_t c : caps) {
+    require(c >= 0, "caps must be non-negative");
+    cap_sum += c;
+  }
+  return std::min(capacity_units, cap_sum);
+}
+
 }  // namespace
 
 EmaSlotCosts compute_ema_slot_costs(const SlotContext& ctx,
                                     const LyapunovQueues& queues, double v_weight) {
+  EmaSlotCosts costs;
+  compute_ema_slot_costs(ctx, queues, v_weight, costs);
+  return costs;
+}
+
+void compute_ema_slot_costs(const SlotContext& ctx, const LyapunovQueues& queues,
+                            double v_weight, EmaSlotCosts& out) {
   require(queues.size() == ctx.user_count(), "queue/user count mismatch");
   require(ctx.radio != nullptr && ctx.power != nullptr && ctx.throughput != nullptr,
           "context missing models");
   const std::size_t n = ctx.user_count();
-  EmaSlotCosts costs;
-  costs.idle_cost.resize(n);
-  costs.active_base.resize(n);
-  costs.slope.resize(n);
+  out.idle_cost.resize(n);
+  out.active_base.resize(n);
+  out.slope.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const UserSlotInfo& user = ctx.users[i];
+    // Snapshot producers cache the Definition 3/4 fits per user per slot; a
+    // zero rate means the producer predates the cached-field contract.
+    require(user.throughput_kbps > 0.0, "slot snapshot missing cached link rates");
     // Tail increment of staying idle this slot (Eq. 4); a radio that never
     // transmitted has no tail to pay.
     double tail_mj = 0.0;
     if (user.rrc_promoted) {
       tail_mj = slot_tail_energy_mj(*ctx.radio, user.rrc_idle_s, ctx.params.tau_s);
     }
-    costs.idle_cost[i] = v_weight * tail_mj;
+    out.idle_cost[i] = v_weight * tail_mj;
     // Active-slot energy mirrors the transmitter's accounting: under Eq. 5 a
     // transmission slot costs P(sig)*phi*delta only; under continuous-time
     // Eq. 4 it additionally pays DCH power for the post-transfer residue,
     // i.e. Pd*tau + phi*delta*(P - Pd/v).
-    double energy_per_unit = ctx.power->energy_per_kb(user.signal_dbm) * ctx.params.delta_kb;
-    costs.active_base[i] = 0.0;
+    double energy_per_unit = user.energy_per_kb * ctx.params.delta_kb;
+    out.active_base[i] = 0.0;
     if (ctx.radio->continuous_tail) {
-      costs.active_base[i] = v_weight * ctx.radio->p_dch_mw * ctx.params.tau_s;
-      const double v_kbps = ctx.throughput->throughput_kbps(user.signal_dbm);
-      energy_per_unit -= ctx.radio->p_dch_mw / v_kbps * ctx.params.delta_kb;
+      out.active_base[i] = v_weight * ctx.radio->p_dch_mw * ctx.params.tau_s;
+      energy_per_unit -= ctx.radio->p_dch_mw / user.throughput_kbps * ctx.params.delta_kb;
     }
     const double playback_per_unit = ctx.params.delta_kb / user.bitrate_kbps;
-    costs.slope[i] = v_weight * energy_per_unit - queues.value(i) * playback_per_unit;
+    out.slope[i] = v_weight * energy_per_unit - queues.value(i) * playback_per_unit;
   }
-  return costs;
 }
 
 Allocation solve_min_cost_dp(const EmaSlotCosts& costs,
                              std::span<const std::int64_t> caps,
                              std::int64_t capacity_units) {
-  const std::size_t n = caps.size();
-  require(costs.idle_cost.size() == n && costs.slope.size() == n &&
-              costs.active_base.size() == n,
-          "cost/cap size mismatch");
-  require(capacity_units >= 0, "capacity must be non-negative");
-  Allocation alloc = Allocation::zeros(n);
-  if (n == 0) return alloc;
+  EmaDpWorkspace ws;
+  Allocation alloc;
+  solve_min_cost_dp(costs, caps, capacity_units, ws, alloc);
+  return alloc;
+}
 
-  std::int64_t cap_sum = 0;
-  for (std::int64_t c : caps) {
-    require(c >= 0, "caps must be non-negative");
-    cap_sum += c;
-  }
-  const std::int64_t m_max = std::min(capacity_units, cap_sum);
+void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                       std::int64_t capacity_units, EmaDpWorkspace& ws,
+                       Allocation& out) {
+  const std::size_t n = caps.size();
+  const std::int64_t m_max = dp_bound(costs, caps, capacity_units);
+  out.units.assign(n, 0);
+  // Fast path: nothing can be granted, so the all-idle allocation is the only
+  // feasible point; skip the DP tables entirely.
+  if (n == 0 || m_max == 0) return;
+  require(m_max < std::numeric_limits<std::int32_t>::max(),
+          "capacity exceeds DP index range");
   const auto width = static_cast<std::size_t>(m_max) + 1;
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ws.prev.assign(width, kInf);
+  ws.cur.resize(width);
+  ws.window_key.resize(width);
+  ws.deque.resize(width);
+  // g(i, M): best phi_i when the first i+1 users received M units in total.
+  ws.choice.resize(n * width);
+  ws.prev[0] = 0.0;
+
+  double* prev = ws.prev.data();
+  double* cur = ws.cur.data();
+  double* dq_key = ws.window_key.data();
+  std::int32_t* dq = ws.deque.data();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t cap = caps[i];
+    const double idle = costs.idle_cost[i];
+    const double base = costs.active_base[i];
+    const double slope = costs.slope[i];
+    std::int32_t* g = &ws.choice[i * width];
+    cur[0] = prev[0] + idle;
+    g[0] = 0;
+    if (cap == 0) {
+      // The user can receive nothing: the row is a pure idle shift.
+      for (std::size_t m = 1; m < width; ++m) {
+        cur[m] = prev[m] + idle;
+        g[m] = 0;
+      }
+      std::swap(prev, cur);
+      continue;
+    }
+    // Sliding-window minimum over j in [m - cap, m - 1] of
+    // key(j) = prev[j] - slope*j; the phi >= 1 candidate at column m is then
+    // prev[j*] + base + slope*(m - j*). Ties keep the larger j (smaller phi),
+    // matching the reference DP's ascending-phi strict-improvement scan.
+    // Keys live in dq_key parallel to the index deque so the push comparison
+    // needs no indirect load.
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    double prev_m = prev[0];  // rolls forward: the push key at column m uses prev[m-1]
+    for (std::size_t m = 1; m < width; ++m) {
+      const double key = prev_m - slope * static_cast<double>(m - 1);
+      while (tail > head && key <= dq_key[tail - 1]) --tail;
+      dq_key[tail] = key;
+      dq[tail] = static_cast<std::int32_t>(m - 1);
+      ++tail;
+      // The window lower bound m - cap advances by one per column, so at most
+      // one eviction per step; j = m-1 (just pushed, >= m - cap) survives it,
+      // so the deque is never left empty.
+      if (static_cast<std::int64_t>(dq[head]) < static_cast<std::int64_t>(m) - cap) ++head;
+      prev_m = prev[m];
+      double best = prev_m + idle;
+      std::int32_t best_phi = 0;
+      const auto j = static_cast<std::size_t>(dq[head]);
+      const auto phi = static_cast<std::int64_t>(m - j);
+      const double candidate = prev[j] + base + slope * static_cast<double>(phi);
+      if (candidate < best) {
+        best = candidate;
+        best_phi = static_cast<std::int32_t>(phi);
+      }
+      cur[m] = best;
+      g[m] = best_phi;
+    }
+    std::swap(prev, cur);
+  }
+
+  // D_N = argmin_M a[N][M], then backtrack (Algorithm 2 steps 15-18).
+  std::size_t m = 0;
+  for (std::size_t candidate = 1; candidate < width; ++candidate) {
+    if (prev[candidate] < prev[m]) m = candidate;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const std::int32_t phi = ws.choice[i * width + m];
+    out.units[i] = phi;
+    m -= static_cast<std::size_t>(phi);
+  }
+}
+
+Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
+                                       std::span<const std::int64_t> caps,
+                                       std::int64_t capacity_units) {
+  const std::size_t n = caps.size();
+  const std::int64_t m_max = dp_bound(costs, caps, capacity_units);
+  Allocation alloc = Allocation::zeros(n);
+  if (n == 0) return alloc;
+  const auto width = static_cast<std::size_t>(m_max) + 1;
+
   std::vector<double> prev(width, kInf);
   std::vector<double> cur(width, kInf);
   // g(i, M): best phi_i when the first i+1 users received M units in total.
@@ -144,25 +258,30 @@ EmaScheduler::EmaScheduler(EmaConfig config) : config_(config) {
 void EmaScheduler::reset(std::size_t users) { queues_.reset(users); }
 
 Allocation EmaScheduler::allocate(const SlotContext& ctx) {
+  Allocation alloc;
+  allocate_into(ctx, alloc);
+  return alloc;
+}
+
+void EmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   require(queues_.size() == ctx.user_count(),
           "EMA not reset for this user count");
-  const EmaSlotCosts costs = compute_ema_slot_costs(ctx, queues_, config_.v_weight);
-  std::vector<std::int64_t> caps;
-  caps.reserve(ctx.user_count());
-  for (const auto& user : ctx.users) caps.push_back(user.alloc_cap_units);
-  Allocation alloc;
+  const std::size_t n = ctx.user_count();
+  compute_ema_slot_costs(ctx, queues_, config_.v_weight, costs_ws_);
+  caps_ws_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) caps_ws_[i] = ctx.users[i].alloc_cap_units;
   {
     telemetry::ScopedTimer timer(EmaTelemetry::instance().solve_latency_us);
-    alloc = solve_slot(costs, caps, ctx.capacity_units);
+    solve_slot(costs_ws_, caps_ws_, ctx.capacity_units, out);
   }
 
   // Eq. 16 queue update with the decided allocation; frozen once a session
   // has no content left (it can never receive again, so the queue carries no
   // scheduling signal).
-  for (std::size_t i = 0; i < ctx.user_count(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const UserSlotInfo& user = ctx.users[i];
     if (!user.needs_data) continue;
-    const double kb = std::min(ctx.params.units_to_kb(alloc.units[i]), user.remaining_kb);
+    const double kb = std::min(ctx.params.units_to_kb(out.units[i]), user.remaining_kb);
     queues_.update(i, ctx.params.tau_s, kb / user.bitrate_kbps);
   }
 
@@ -181,13 +300,12 @@ Allocation EmaScheduler::allocate(const SlotContext& ctx) {
     probes.tracer.record(ctx.slot, -1, telemetry::TraceEventKind::kQueueLevel,
                          max_queue);
   }
-  return alloc;
 }
 
-Allocation EmaScheduler::solve_slot(const EmaSlotCosts& costs,
-                                    std::span<const std::int64_t> caps,
-                                    std::int64_t capacity_units) const {
-  return solve_min_cost_dp(costs, caps, capacity_units);
+void EmaScheduler::solve_slot(const EmaSlotCosts& costs,
+                              std::span<const std::int64_t> caps,
+                              std::int64_t capacity_units, Allocation& out) {
+  solve_min_cost_dp(costs, caps, capacity_units, dp_ws_, out);
 }
 
 }  // namespace jstream

@@ -11,8 +11,17 @@
 // the Eq. 16 virtual rebuffering queue. V trades energy against rebuffering
 // (Theorem 1: PE <= E* + B/V, PC <= (B + V*E*)/eps).
 //
-// The per-slot problem is a grouped knapsack; `solve_min_cost_dp` is the
-// paper's exact O(N * M * phi_max) dynamic program (Algorithm 2 steps 3-18).
+// The per-slot problem is a grouped knapsack. The paper's DP (Algorithm 2
+// steps 3-18) is O(N * M * phi_max); because each user's active cost is
+// linear in phi, the inner phi-loop is a sliding-window minimum
+//
+//   min_{1 <= phi <= cap} prev[m - phi] + slope*phi
+//     = slope*m + min_{m - cap <= j <= m - 1} (prev[j] - slope*j),
+//
+// which a monotone deque evaluates in amortized O(1) per cell, so
+// `solve_min_cost_dp` is an exact O(N * M) solver (see docs/PERFORMANCE.md
+// for the derivation). The paper-literal triple loop is kept as
+// `solve_min_cost_dp_reference` for differential testing and the perf gate.
 // EmaFastScheduler in ema_fast.hpp solves the same slot problem with a
 // slope-greedy heuristic (ablation; see DESIGN.md).
 #pragma once
@@ -63,13 +72,45 @@ struct EmaSlotCosts {
                                                   const LyapunovQueues& queues,
                                                   double v_weight);
 
+/// Buffer-reusing variant: overwrites `out`, recycling its vectors.
+void compute_ema_slot_costs(const SlotContext& ctx, const LyapunovQueues& queues,
+                            double v_weight, EmaSlotCosts& out);
+
+/// Reusable scratch for solve_min_cost_dp. A long-lived caller (EmaScheduler,
+/// the perf gate) keeps one workspace so the steady-state solve performs no
+/// heap allocation; buffers only ever grow.
+struct EmaDpWorkspace {
+  std::vector<double> prev;           ///< DP row for users [0, i)
+  std::vector<double> cur;            ///< DP row including user i
+  std::vector<double> window_key;     ///< deque keys prev[j] - slope*j, parallel to `deque`
+  std::vector<std::int32_t> deque;    ///< monotone deque of window indices j
+  std::vector<std::int32_t> choice;   ///< g(i, M): best phi_i given M total units
+};
+
 /// Exact minimizer of sum_i cost(i, phi_i) s.t. phi_i in [0, caps[i]] and
-/// sum phi_i <= capacity_units (Algorithm 2's DP with backtracking).
+/// sum phi_i <= capacity_units (Algorithm 2's problem), via the O(N * M)
+/// sliding-window-minimum DP with backtracking.
 [[nodiscard]] Allocation solve_min_cost_dp(const EmaSlotCosts& costs,
                                            std::span<const std::int64_t> caps,
                                            std::int64_t capacity_units);
 
+/// Workspace variant: solves into `out` using `ws` scratch; allocation-free
+/// once both have warmed up to the instance size.
+void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                       std::int64_t capacity_units, EmaDpWorkspace& ws,
+                       Allocation& out);
+
+/// The paper-literal O(N * M * phi_max) DP (Algorithm 2 steps 3-18), kept as
+/// the differential-testing oracle for the O(N * M) solver and as the
+/// baseline the perf regression gate measures speedup against.
+[[nodiscard]] Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
+                                                     std::span<const std::int64_t> caps,
+                                                     std::int64_t capacity_units);
+
 /// Algorithm 2 of the paper, with the exact DP slot solver.
+///
+/// The scheduler owns per-instance workspaces (slot costs, caps, DP scratch)
+/// so the steady-state allocate_into path performs zero heap allocations.
 class EmaScheduler : public Scheduler {
  public:
   explicit EmaScheduler(EmaConfig config = {});
@@ -77,19 +118,24 @@ class EmaScheduler : public Scheduler {
   [[nodiscard]] std::string name() const override { return "ema"; }
   void reset(std::size_t users) override;
   [[nodiscard]] Allocation allocate(const SlotContext& ctx) override;
+  void allocate_into(const SlotContext& ctx, Allocation& out) override;
 
   [[nodiscard]] const LyapunovQueues& queues() const noexcept { return queues_; }
   [[nodiscard]] const EmaConfig& config() const noexcept { return config_; }
 
  protected:
   /// Slot-problem solver; EmaFastScheduler overrides with the greedy solver.
-  [[nodiscard]] virtual Allocation solve_slot(const EmaSlotCosts& costs,
-                                              std::span<const std::int64_t> caps,
-                                              std::int64_t capacity_units) const;
+  /// Writes the decision into `out` (storage recycled by the caller).
+  virtual void solve_slot(const EmaSlotCosts& costs,
+                          std::span<const std::int64_t> caps,
+                          std::int64_t capacity_units, Allocation& out);
 
  private:
   EmaConfig config_;
   LyapunovQueues queues_;
+  EmaSlotCosts costs_ws_;
+  std::vector<std::int64_t> caps_ws_;
+  EmaDpWorkspace dp_ws_;
 };
 
 }  // namespace jstream

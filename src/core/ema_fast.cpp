@@ -29,36 +29,41 @@ struct EmaFastTelemetry {
 Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
                                  std::span<const std::int64_t> caps,
                                  std::int64_t capacity_units) {
+  EmaGreedyWorkspace ws;
+  Allocation alloc;
+  solve_min_cost_greedy(costs, caps, capacity_units, ws, alloc);
+  return alloc;
+}
+
+void solve_min_cost_greedy(const EmaSlotCosts& costs,
+                           std::span<const std::int64_t> caps,
+                           std::int64_t capacity_units, EmaGreedyWorkspace& ws,
+                           Allocation& out) {
+  using Want = EmaGreedyWorkspace::Want;
   const std::size_t n = caps.size();
   require(costs.idle_cost.size() == n && costs.slope.size() == n &&
               costs.active_base.size() == n,
           "cost/cap size mismatch");
   require(capacity_units >= 0, "capacity must be non-negative");
-  Allocation alloc = Allocation::zeros(n);
+  out.units.assign(n, 0);
 
   // Unconstrained per-user optimum: cost is idle at 0, slope*phi on [1, cap],
   // so the minimum sits at one of {0, 1, cap}.
-  struct Want {
-    std::size_t user = 0;
-    std::int64_t phi = 0;
-    double gain = 0.0;  ///< idle_cost - slope*phi: improvement over staying idle
-  };
-  std::vector<Want> wants;
-  wants.reserve(n);
+  ws.wants.clear();
   for (std::size_t i = 0; i < n; ++i) {
     if (caps[i] <= 0) continue;
     const std::int64_t phi = costs.slope[i] < 0.0 ? caps[i] : 1;
     const double gain = costs.idle_cost[i] - ema_cost(costs, i, phi);
-    if (gain > 0.0) wants.push_back({i, phi, gain});
+    if (gain > 0.0) ws.wants.push_back({i, phi, gain});
   }
 
   // Largest improvement per occupied unit first.
-  std::sort(wants.begin(), wants.end(), [](const Want& a, const Want& b) {
+  std::sort(ws.wants.begin(), ws.wants.end(), [](const Want& a, const Want& b) {
     return a.gain / static_cast<double>(a.phi) > b.gain / static_cast<double>(b.phi);
   });
 
   std::int64_t remaining = capacity_units;
-  for (const Want& want : wants) {
+  for (const Want& want : ws.wants) {
     if (remaining <= 0) break;
     std::int64_t phi = std::min(want.phi, remaining);
     if (phi < want.phi) {
@@ -67,7 +72,7 @@ Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
       const double gain = costs.idle_cost[want.user] - ema_cost(costs, want.user, phi);
       if (gain <= 0.0) continue;
     }
-    alloc.units[want.user] = phi;
+    out.units[want.user] = phi;
     remaining -= phi;
   }
 
@@ -76,24 +81,23 @@ Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
   // Backfill: spend leftover capacity on already-active users with negative
   // slopes (each extra unit is a strict improvement), most negative first.
   if (remaining > 0) {
-    std::vector<std::size_t> active;
+    ws.active.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      if (alloc.units[i] > 0 && alloc.units[i] < caps[i] && costs.slope[i] < 0.0) {
-        active.push_back(i);
+      if (out.units[i] > 0 && out.units[i] < caps[i] && costs.slope[i] < 0.0) {
+        ws.active.push_back(i);
       }
     }
-    std::sort(active.begin(), active.end(), [&](std::size_t a, std::size_t b) {
+    std::sort(ws.active.begin(), ws.active.end(), [&](std::size_t a, std::size_t b) {
       return costs.slope[a] < costs.slope[b];
     });
-    for (std::size_t i : active) {
+    for (std::size_t i : ws.active) {
       if (remaining <= 0) break;
-      const std::int64_t extra = std::min(caps[i] - alloc.units[i], remaining);
-      alloc.units[i] += extra;
+      const std::int64_t extra = std::min(caps[i] - out.units[i], remaining);
+      out.units[i] += extra;
       remaining -= extra;
       if (telemetry::enabled()) EmaFastTelemetry::instance().backfill_units.add(extra);
     }
   }
-  return alloc;
 }
 
 }  // namespace jstream

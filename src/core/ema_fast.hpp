@@ -8,20 +8,40 @@
 //
 // This is not always exactly optimal (the activation jump makes the problem
 // non-convex), but property tests show it matches the DP objective within a
-// small tolerance while running in O(N log N) instead of O(N * M * phi_max);
-// bench_ablation_ema_solver quantifies the trade-off.
+// small tolerance while running in O(N log N) instead of the exact solver's
+// O(N * M); bench_ablation_ema_solver quantifies the trade-off.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/ema.hpp"
 
 namespace jstream {
 
+/// Reusable scratch for solve_min_cost_greedy (see EmaDpWorkspace for the
+/// ownership pattern).
+struct EmaGreedyWorkspace {
+  /// One user's unconstrained best active choice.
+  struct Want {
+    std::size_t user = 0;
+    std::int64_t phi = 0;
+    double gain = 0.0;  ///< idle_cost - slope*phi: improvement over staying idle
+  };
+  std::vector<Want> wants;
+  std::vector<std::size_t> active;
+};
+
 /// Greedy variant of the slot solver, exposed standalone for testing.
 [[nodiscard]] Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
                                                std::span<const std::int64_t> caps,
                                                std::int64_t capacity_units);
+
+/// Workspace variant: solves into `out`; allocation-free once warmed up.
+void solve_min_cost_greedy(const EmaSlotCosts& costs,
+                           std::span<const std::int64_t> caps,
+                           std::int64_t capacity_units, EmaGreedyWorkspace& ws,
+                           Allocation& out);
 
 /// EMA with the greedy slot solver (identical queue dynamics to EmaScheduler).
 class EmaFastScheduler final : public EmaScheduler {
@@ -31,11 +51,13 @@ class EmaFastScheduler final : public EmaScheduler {
   [[nodiscard]] std::string name() const override { return "ema-fast"; }
 
  protected:
-  [[nodiscard]] Allocation solve_slot(const EmaSlotCosts& costs,
-                                      std::span<const std::int64_t> caps,
-                                      std::int64_t capacity_units) const override {
-    return solve_min_cost_greedy(costs, caps, capacity_units);
+  void solve_slot(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                  std::int64_t capacity_units, Allocation& out) override {
+    solve_min_cost_greedy(costs, caps, capacity_units, greedy_ws_, out);
   }
+
+ private:
+  EmaGreedyWorkspace greedy_ws_;
 };
 
 }  // namespace jstream

@@ -1,28 +1,65 @@
 #include "gateway/data_transmitter.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace jstream {
 
+namespace {
+
+/// Constraint (1)/(2) validation against the snapshot's per-user caps.
+/// Mirrors require_feasible but reads the caps straight from the context, so
+/// the per-slot path needs no temporary caps vector; messages are built only
+/// on the failure branch.
+void require_feasible_ctx(const Allocation& allocation, const SlotContext& ctx) {
+  require(allocation.units.size() == ctx.users.size(),
+          "infeasible allocation: allocation size does not match user count");
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < allocation.units.size(); ++i) {
+    const std::int64_t phi = allocation.units[i];
+    if (phi < 0) {
+      require(false, "infeasible allocation: negative allocation for user " +
+                         std::to_string(i));
+    }
+    if (phi > ctx.users[i].alloc_cap_units) {
+      require(false, "infeasible allocation: constraint (1) violated for user " +
+                         std::to_string(i) + ": " + std::to_string(phi) + " > " +
+                         std::to_string(ctx.users[i].alloc_cap_units));
+    }
+    total += phi;
+  }
+  if (total > ctx.capacity_units) {
+    require(false, "infeasible allocation: constraint (2) violated: " +
+                       std::to_string(total) + " > " +
+                       std::to_string(ctx.capacity_units));
+  }
+}
+
+}  // namespace
+
 SlotOutcome DataTransmitter::apply(const SlotContext& ctx, const Allocation& allocation,
                                    std::span<UserEndpoint> endpoints,
                                    DataReceiver& receiver) const {
+  SlotOutcome outcome;
+  apply_into(ctx, allocation, endpoints, receiver, outcome);
+  return outcome;
+}
+
+void DataTransmitter::apply_into(const SlotContext& ctx, const Allocation& allocation,
+                                 std::span<UserEndpoint> endpoints,
+                                 DataReceiver& receiver, SlotOutcome& out) const {
   require(endpoints.size() == ctx.users.size(), "endpoint/context size mismatch");
-  std::vector<std::int64_t> caps;
-  caps.reserve(ctx.users.size());
-  for (const auto& u : ctx.users) caps.push_back(u.alloc_cap_units);
-  require_feasible(allocation, caps, ctx.capacity_units);
+  require_feasible_ctx(allocation, ctx);
 
   const std::size_t n = endpoints.size();
-  SlotOutcome outcome;
-  outcome.units.assign(n, 0);
-  outcome.kb.assign(n, 0.0);
-  outcome.trans_mj.assign(n, 0.0);
-  outcome.tail_mj.assign(n, 0.0);
-  outcome.rebuffer_s.assign(n, 0.0);
-  outcome.need_kb.assign(n, 0.0);
+  out.units.assign(n, 0);
+  out.kb.assign(n, 0.0);
+  out.trans_mj.assign(n, 0.0);
+  out.tail_mj.assign(n, 0.0);
+  out.rebuffer_s.assign(n, 0.0);
+  out.need_kb.assign(n, 0.0);
 
   for (std::size_t i = 0; i < n; ++i) {
     UserEndpoint& endpoint = endpoints[i];
@@ -32,8 +69,8 @@ SlotOutcome DataTransmitter::apply(const SlotContext& ctx, const Allocation& all
     // Rebuffering (Eq. 8) depends only on the occupancy at slot start; the
     // shard delivered this slot becomes usable next slot. Sessions that have
     // not arrived yet neither stall nor demand data.
-    outcome.rebuffer_s[i] = info.arrived ? endpoint.buffer.rebuffer_s() : 0.0;
-    outcome.need_kb[i] =
+    out.rebuffer_s[i] = info.arrived ? endpoint.buffer.rebuffer_s() : 0.0;
+    out.need_kb[i] =
         info.arrived ? std::min(ctx.params.tau_s * info.bitrate_kbps, info.remaining_kb)
                      : 0.0;
 
@@ -47,7 +84,7 @@ SlotOutcome DataTransmitter::apply(const SlotContext& ctx, const Allocation& all
       const double fetched = receiver.fetch_from_origin(i, kb);
       receiver.drain(i, fetched);
       kb = fetched;
-      outcome.trans_mj[i] = ctx.power->energy_per_kb(info.signal_dbm) * kb;
+      out.trans_mj[i] = info.energy_per_kb * kb;
       endpoint.delivered_kb += kb;
       // Convert bytes to playback time on the content timeline so that
       // delivering the whole file yields exactly M_i even for VBR sessions.
@@ -57,14 +94,12 @@ SlotOutcome DataTransmitter::apply(const SlotContext& ctx, const Allocation& all
       endpoint.buffer.deliver(playback_s);
       // The transfer occupies d/v seconds of the slot at link rate; the
       // remainder is tail residue charged by the RRC machine.
-      active_s = std::min(
-          kb / ctx.throughput->throughput_kbps(info.signal_dbm), ctx.params.tau_s);
+      active_s = std::min(kb / info.throughput_kbps, ctx.params.tau_s);
     }
-    outcome.units[i] = phi;
-    outcome.kb[i] = kb;
-    outcome.tail_mj[i] = endpoint.rrc.advance_slot(active_s, ctx.params.tau_s);
+    out.units[i] = phi;
+    out.kb[i] = kb;
+    out.tail_mj[i] = endpoint.rrc.advance_slot(active_s, ctx.params.tau_s);
   }
-  return outcome;
 }
 
 }  // namespace jstream

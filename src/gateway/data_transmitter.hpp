@@ -43,6 +43,13 @@ class DataTransmitter {
   [[nodiscard]] SlotOutcome apply(const SlotContext& ctx, const Allocation& allocation,
                                   std::span<UserEndpoint> endpoints,
                                   DataReceiver& receiver) const;
+
+  /// Buffer-reusing variant of apply: overwrites `out` in place, recycling
+  /// its vectors, and validates constraints without materializing a caps
+  /// vector — the steady-state slot path performs no heap allocation.
+  void apply_into(const SlotContext& ctx, const Allocation& allocation,
+                  std::span<UserEndpoint> endpoints, DataReceiver& receiver,
+                  SlotOutcome& out) const;
 };
 
 }  // namespace jstream

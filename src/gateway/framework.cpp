@@ -43,8 +43,9 @@ Framework::Framework(InfoCollector collector, std::unique_ptr<Scheduler> schedul
   scheduler_->reset(users);
 }
 
-SlotOutcome Framework::run_slot(std::int64_t slot, std::span<UserEndpoint> endpoints,
-                                const BaseStation& bs) {
+const SlotOutcome& Framework::run_slot(std::int64_t slot,
+                                       std::span<UserEndpoint> endpoints,
+                                       const BaseStation& bs) {
   require(endpoints.size() == receiver_.user_count(),
           "endpoint count differs from receiver flows");
   auto& probes = FrameworkTelemetry::instance();
@@ -53,10 +54,10 @@ SlotOutcome Framework::run_slot(std::int64_t slot, std::span<UserEndpoint> endpo
   receiver_.begin_slot(collector_.params().tau_s);
   for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
 
-  last_ctx_ = collector_.collect(slot, endpoints, bs);
+  collector_.collect_into(slot, endpoints, bs, last_ctx_);
   {
     telemetry::ScopedTimer timer(probes.decision_latency_us);
-    last_alloc_ = scheduler_->allocate(last_ctx_);
+    scheduler_->allocate_into(last_ctx_, last_alloc_);
   }
 
   // Observation-only accounting of which constraint bound each grant:
@@ -85,18 +86,19 @@ SlotOutcome Framework::run_slot(std::int64_t slot, std::span<UserEndpoint> endpo
   }
 
   const bool trace_rrc = telemetry::enabled();
-  std::vector<RrcState> before;
   if (trace_rrc) {
-    before.reserve(endpoints.size());
-    for (const auto& endpoint : endpoints) before.push_back(endpoint.rrc.state());
+    rrc_before_.resize(endpoints.size());
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      rrc_before_[i] = endpoints[i].rrc.state();
+    }
   }
 
-  SlotOutcome outcome = transmitter_.apply(last_ctx_, last_alloc_, endpoints, receiver_);
+  transmitter_.apply_into(last_ctx_, last_alloc_, endpoints, receiver_, last_outcome_);
 
   if (trace_rrc) {
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
       const RrcState after = endpoints[i].rrc.state();
-      if (after != before[i]) {
+      if (after != rrc_before_[i]) {
         probes.tracer.record(slot, static_cast<std::int32_t>(i),
                              telemetry::TraceEventKind::kRrcTransition,
                              static_cast<double>(after));
@@ -105,7 +107,7 @@ SlotOutcome Framework::run_slot(std::int64_t slot, std::span<UserEndpoint> endpo
   }
 
   for (auto& endpoint : endpoints) endpoint.buffer.end_slot();
-  return outcome;
+  return last_outcome_;
 }
 
 }  // namespace jstream

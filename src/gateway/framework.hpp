@@ -16,12 +16,14 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "gateway/data_receiver.hpp"
 #include "gateway/data_transmitter.hpp"
 #include "gateway/info_collector.hpp"
 #include "gateway/scheduler.hpp"
 #include "net/base_station.hpp"
+#include "radio/rrc.hpp"
 
 namespace jstream {
 
@@ -41,13 +43,18 @@ class Framework {
             double backhaul_kbps = std::numeric_limits<double>::infinity());
 
   /// Runs one slot over all endpoints; returns per-user outcomes. Buffers'
-  /// begin/end_slot are handled internally.
-  [[nodiscard]] SlotOutcome run_slot(std::int64_t slot, std::span<UserEndpoint> endpoints,
-                                     const BaseStation& bs);
+  /// begin/end_slot are handled internally. The returned reference points at
+  /// framework-owned storage that the next run_slot call overwrites — the
+  /// whole slot path (snapshot, decision, outcome) reuses warm buffers and
+  /// performs zero heap allocations in steady state.
+  [[nodiscard]] const SlotOutcome& run_slot(std::int64_t slot,
+                                            std::span<UserEndpoint> endpoints,
+                                            const BaseStation& bs);
 
-  /// Also exposes the context/allocation of the last slot for inspection.
+  /// Also exposes the context/allocation/outcome of the last slot.
   [[nodiscard]] const SlotContext& last_context() const noexcept { return last_ctx_; }
   [[nodiscard]] const Allocation& last_allocation() const noexcept { return last_alloc_; }
+  [[nodiscard]] const SlotOutcome& last_outcome() const noexcept { return last_outcome_; }
 
   [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
   [[nodiscard]] SchedulingMode mode() const noexcept { return mode_; }
@@ -62,6 +69,8 @@ class Framework {
   DataTransmitter transmitter_;
   SlotContext last_ctx_;
   Allocation last_alloc_;
+  SlotOutcome last_outcome_;
+  std::vector<RrcState> rrc_before_;  ///< per-slot RRC snapshot scratch (tracing)
 };
 
 }  // namespace jstream

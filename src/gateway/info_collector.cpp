@@ -18,26 +18,36 @@ InfoCollector::InfoCollector(SlotParams params, LinkModel link, RadioProfile rad
 
 SlotContext InfoCollector::collect(std::int64_t slot, std::span<UserEndpoint> endpoints,
                                    const BaseStation& bs) const {
-  require(slot >= 0, "slot must be non-negative");
   SlotContext ctx;
+  collect_into(slot, endpoints, bs, ctx);
+  return ctx;
+}
+
+void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endpoints,
+                                 const BaseStation& bs, SlotContext& ctx) const {
+  require(slot >= 0, "slot must be non-negative");
   ctx.slot = slot;
   ctx.params = params_;
   ctx.capacity_units = bs.capacity_units(slot, params_);
   ctx.throughput = link_.throughput.get();
   ctx.power = link_.power.get();
   ctx.radio = &radio_;
-  ctx.users.reserve(endpoints.size());
-  for (auto& endpoint : endpoints) {
-    UserSlotInfo info;
+  ctx.users.resize(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    UserEndpoint& endpoint = endpoints[i];
+    UserSlotInfo& info = ctx.users[i];
     info.arrived = endpoint.arrived(slot);
     info.signal_dbm = endpoint.signal->signal_dbm(slot);
     // The rate the scheduler must sustain is that of the content at the
     // delivery frontier (identical to the wall-clock rate for CBR sessions).
     info.bitrate_kbps = endpoint.session.bitrate_at_time(endpoint.content_time_s);
+    // Evaluate the Definition 3/4 fits once here; every downstream consumer
+    // (cost loops, transmitter) reads the cached values.
+    info.throughput_kbps = link_.throughput->throughput_kbps(info.signal_dbm);
+    info.energy_per_kb = link_.power->energy_per_kb(info.signal_dbm);
     info.remaining_kb = endpoint.remaining_kb();
     info.needs_data = info.arrived && info.remaining_kb > 0.0;
-    info.link_units =
-        params_.link_units(link_.throughput->throughput_kbps(info.signal_dbm));
+    info.link_units = params_.link_units(info.throughput_kbps);
     const auto remaining_units = static_cast<std::int64_t>(
         std::ceil(info.remaining_kb / params_.delta_kb));
     info.alloc_cap_units =
@@ -50,9 +60,7 @@ SlotContext InfoCollector::collect(std::int64_t slot, std::span<UserEndpoint> en
     info.rrc_idle_s = endpoint.rrc.idle_time_s();
     info.rrc_promoted = !endpoint.rrc.never_transmitted();
     info.playback_done = endpoint.buffer.playback_finished();
-    ctx.users.push_back(info);
   }
-  return ctx;
 }
 
 }  // namespace jstream

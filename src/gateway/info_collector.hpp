@@ -27,6 +27,12 @@ class InfoCollector {
                                     std::span<UserEndpoint> endpoints,
                                     const BaseStation& bs) const;
 
+  /// Buffer-reusing variant of collect: overwrites `ctx` in place, reusing
+  /// its `users` storage so a steady-state caller (Framework::run_slot)
+  /// performs no heap allocation per slot.
+  void collect_into(std::int64_t slot, std::span<UserEndpoint> endpoints,
+                    const BaseStation& bs, SlotContext& ctx) const;
+
   [[nodiscard]] const SlotParams& params() const noexcept { return params_; }
   [[nodiscard]] const LinkModel& link() const noexcept { return link_; }
   [[nodiscard]] const RadioProfile& radio() const noexcept { return radio_; }

@@ -28,6 +28,14 @@ class Scheduler {
   ///   0 <= phi_i <= ctx.users[i].alloc_cap_units      (constraint (1))
   ///   sum phi_i <= ctx.capacity_units                 (constraint (2))
   [[nodiscard]] virtual Allocation allocate(const SlotContext& ctx) = 0;
+
+  /// Buffer-reusing variant: writes the decision into `out`, recycling its
+  /// storage across slots. The framework drives this entry point so that
+  /// schedulers with internal workspaces (EMA) can run allocation-free in
+  /// steady state; the default simply forwards to allocate().
+  virtual void allocate_into(const SlotContext& ctx, Allocation& out) {
+    out = allocate(ctx);
+  }
 };
 
 }  // namespace jstream

@@ -16,11 +16,19 @@
 namespace jstream {
 
 /// Cross-layer view of one user in one slot.
+///
+/// `throughput_kbps` and `energy_per_kb` cache the link-model fits for the
+/// user's current signal. Snapshot producers (InfoCollector, the ABR
+/// simulator, test fixtures) evaluate the models once per user per slot;
+/// schedulers and the transmitter read the cached values instead of making
+/// repeated virtual model calls in their cost loops.
 struct UserSlotInfo {
   bool arrived = true;          ///< session has started (see UserEndpoint::start_slot)
   bool needs_data = false;      ///< content remains to be delivered
   double signal_dbm = 0.0;      ///< sig_i(n)
   double bitrate_kbps = 0.0;    ///< p_i(n)
+  double throughput_kbps = 0.0; ///< v(sig_i): Definition 3 fit, cached per slot
+  double energy_per_kb = 0.0;   ///< P(sig_i): Definition 4 fit (mJ/KB), cached per slot
   std::int64_t link_units = 0;  ///< constraint (1) cap: floor(tau*v(sig)/delta)
   std::int64_t alloc_cap_units = 0;  ///< min(link cap, units of remaining content)
   double remaining_kb = 0.0;    ///< content not yet delivered

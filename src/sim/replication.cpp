@@ -10,7 +10,10 @@ namespace jstream {
 
 double ReplicatedMetric::ci95_halfwidth() const noexcept {
   if (summary.count < 2) return 0.0;
-  return 1.96 * summary.stddev / std::sqrt(static_cast<double>(summary.count));
+  // Student-t with n-1 degrees of freedom: replication counts are typically
+  // small (5-30), where the fixed normal 1.96 understates the interval.
+  return student_t_975(summary.count - 1) * summary.stddev /
+         std::sqrt(static_cast<double>(summary.count));
 }
 
 ReplicationResult replicate_experiment(const ExperimentSpec& spec,

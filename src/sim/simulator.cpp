@@ -59,7 +59,7 @@ RunMetrics Simulator::run(bool keep_series) {
   {
     telemetry::ScopedTimer timer(probes.run_latency_us);
     for (std::int64_t slot = 0; slot < config_.max_slots; ++slot) {
-      const SlotOutcome outcome = framework.run_slot(slot, endpoints, bs);
+      const SlotOutcome& outcome = framework.run_slot(slot, endpoints, bs);
       metrics.record_slot(framework.last_context(), outcome);
       ++slots_run;
 

@@ -108,5 +108,32 @@ TEST(RunningStat, ZeroVarianceForSingleton) {
   EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
 }
 
+TEST(StudentT, MatchesTabulatedCriticalValues) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_975(9), 2.262, 1e-3);
+  EXPECT_NEAR(student_t_975(29), 2.045, 1e-3);
+  // Beyond the table, the expansion must stay close to published values
+  // (t_40 = 2.021, t_60 = 2.000, t_120 = 1.980).
+  EXPECT_NEAR(student_t_975(40), 2.021, 2e-3);
+  EXPECT_NEAR(student_t_975(60), 2.000, 2e-3);
+  EXPECT_NEAR(student_t_975(120), 1.980, 2e-3);
+}
+
+TEST(StudentT, MonotoneDecreasingTowardNormal) {
+  double prev = student_t_975(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = student_t_975(df);
+    EXPECT_LE(t, prev + 1e-12) << "df " << df;
+    prev = t;
+  }
+  EXPECT_GT(student_t_975(100000), 1.9599);
+  EXPECT_NEAR(student_t_975(100000), 1.95996, 1e-4);
+}
+
+TEST(StudentT, RejectsZeroDegreesOfFreedom) {
+  EXPECT_THROW((void)student_t_975(0), Error);
+}
+
 }  // namespace
 }  // namespace jstream

@@ -1,0 +1,164 @@
+// Differential fuzz: the O(N*M) sliding-window DP must match the
+// paper-literal O(N*M*phi_max) reference DP on randomized instances, and the
+// greedy heuristic must never beat the exact optimum.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ema.hpp"
+#include "core/ema_fast.hpp"
+#include "net/allocation.hpp"
+
+namespace jstream {
+namespace {
+
+double total_cost(const EmaSlotCosts& costs, const Allocation& alloc) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alloc.units.size(); ++i) {
+    sum += ema_cost(costs, i, alloc.units[i]);
+  }
+  return sum;
+}
+
+void check_feasible(const Allocation& alloc, const std::vector<std::int64_t>& caps,
+                    std::int64_t capacity) {
+  ASSERT_EQ(alloc.units.size(), caps.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    ASSERT_GE(alloc.units[i], 0) << "user " << i;
+    ASSERT_LE(alloc.units[i], caps[i]) << "user " << i;
+    total += alloc.units[i];
+  }
+  ASSERT_LE(total, capacity);
+}
+
+struct Instance {
+  EmaSlotCosts costs;
+  std::vector<std::int64_t> caps;
+  std::int64_t capacity = 0;
+};
+
+// Costs span the regimes the scheduler produces: positive and negative
+// slopes (queue pressure can make transmitting cheaper than idling), idle
+// costs around the tail-energy scale, occasional zero caps.
+Instance random_instance(Rng& rng, std::size_t max_users, std::int64_t max_cap) {
+  Instance inst;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_users)));
+  inst.costs.idle_cost.resize(n);
+  inst.costs.active_base.resize(n);
+  inst.costs.slope.resize(n);
+  inst.caps.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.costs.idle_cost[i] = rng.uniform(0.0, 5.0);
+    inst.costs.active_base[i] = rng.uniform(0.0, 1.0) < 0.5 ? 0.0 : rng.uniform(0.0, 2.0);
+    inst.costs.slope[i] = rng.uniform(-1.0, 1.0);
+    inst.caps[i] = rng.uniform(0.0, 1.0) < 0.1 ? 0 : rng.uniform_int(0, max_cap);
+  }
+  inst.capacity = rng.uniform_int(0, 2 * max_cap);
+  return inst;
+}
+
+// Exhaustive minimum for tiny instances: enumerates every feasible phi
+// vector. Ground truth independent of both DP implementations.
+double brute_force_cost(const Instance& inst) {
+  const std::size_t n = inst.caps.size();
+  double best = 0.0;
+  std::vector<std::int64_t> phi(n, 0);
+  bool first = true;
+  for (;;) {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += phi[i];
+    if (total <= inst.capacity) {
+      double cost = 0.0;
+      for (std::size_t i = 0; i < n; ++i) cost += ema_cost(inst.costs, i, phi[i]);
+      if (first || cost < best) best = cost;
+      first = false;
+    }
+    std::size_t k = 0;
+    while (k < n && phi[k] == inst.caps[k]) phi[k++] = 0;
+    if (k == n) break;
+    ++phi[k];
+  }
+  return best;
+}
+
+constexpr double kTol = 1e-9;
+
+TEST(EmaSolverEquivalence, FuzzMatchesReferenceDp) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    const Instance inst = random_instance(trial_rng, 12, 20);
+    const Allocation fast = solve_min_cost_dp(inst.costs, inst.caps, inst.capacity);
+    const Allocation ref =
+        solve_min_cost_dp_reference(inst.costs, inst.caps, inst.capacity);
+    check_feasible(fast, inst.caps, inst.capacity);
+    check_feasible(ref, inst.caps, inst.capacity);
+    EXPECT_NEAR(total_cost(inst.costs, fast), total_cost(inst.costs, ref), kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(EmaSolverEquivalence, FuzzMatchesBruteForceOnSmallInstances) {
+  Rng rng(777);
+  for (int trial = 0; trial < 300; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    const Instance inst = random_instance(trial_rng, 4, 5);
+    const Allocation fast = solve_min_cost_dp(inst.costs, inst.caps, inst.capacity);
+    check_feasible(fast, inst.caps, inst.capacity);
+    EXPECT_NEAR(total_cost(inst.costs, fast), brute_force_cost(inst), kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(EmaSolverEquivalence, GreedyNeverBeatsExact) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    const Instance inst = random_instance(trial_rng, 12, 20);
+    const Allocation exact = solve_min_cost_dp(inst.costs, inst.caps, inst.capacity);
+    const Allocation greedy =
+        solve_min_cost_greedy(inst.costs, inst.caps, inst.capacity);
+    check_feasible(greedy, inst.caps, inst.capacity);
+    EXPECT_LE(total_cost(inst.costs, exact), total_cost(inst.costs, greedy) + kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(EmaSolverEquivalence, WorkspaceVariantMatchesAndReusesBuffers) {
+  Rng rng(99);
+  EmaDpWorkspace ws;
+  Allocation out;
+  for (int trial = 0; trial < 200; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    const Instance inst = random_instance(trial_rng, 10, 15);
+    solve_min_cost_dp(inst.costs, inst.caps, inst.capacity, ws, out);
+    const Allocation fresh = solve_min_cost_dp(inst.costs, inst.caps, inst.capacity);
+    ASSERT_EQ(out.units.size(), fresh.units.size()) << "trial " << trial;
+    EXPECT_NEAR(total_cost(inst.costs, out), total_cost(inst.costs, fresh), kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(EmaSolverEquivalence, LargeSingleInstanceAgreesWithReference) {
+  Rng rng(4242);
+  const Instance inst = random_instance(rng, 64, 64);
+  const Allocation fast = solve_min_cost_dp(inst.costs, inst.caps, inst.capacity);
+  const Allocation ref =
+      solve_min_cost_dp_reference(inst.costs, inst.caps, inst.capacity);
+  EXPECT_NEAR(total_cost(inst.costs, fast), total_cost(inst.costs, ref), 1e-8);
+}
+
+TEST(EmaSolverEquivalence, ZeroCapacityFastPathAllocatesNothing) {
+  Rng rng(5);
+  const Instance inst = random_instance(rng, 8, 10);
+  const Allocation alloc = solve_min_cost_dp(inst.costs, inst.caps, 0);
+  ASSERT_EQ(alloc.units.size(), inst.caps.size());
+  for (const std::int64_t phi : alloc.units) EXPECT_EQ(phi, 0);
+}
+
+}  // namespace
+}  // namespace jstream

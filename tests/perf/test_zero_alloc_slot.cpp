@@ -1,0 +1,111 @@
+// Pins the zero-allocation guarantee of the steady-state slot path: after a
+// warm-up phase (workspaces grown, telemetry probes resolved), Framework::
+// run_slot must perform no heap allocations. This binary replaces the global
+// operator new to count allocations, so it must stay a separate test target —
+// do not merge these tests into another binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "baselines/default_scheduler.hpp"
+#include "core/ema.hpp"
+#include "core/ema_fast.hpp"
+#include "gateway/framework.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* ptr = std::aligned_alloc(align, rounded == 0 ? align : rounded);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); }
+
+namespace jstream {
+namespace {
+
+using testing::make_collector;
+using testing::make_endpoints;
+
+// Runs `slots` slots starting at `first_slot` and returns how many heap
+// allocations they performed in total.
+std::uint64_t allocations_over_slots(Framework& framework,
+                                     std::vector<UserEndpoint>& endpoints,
+                                     const BaseStation& bs, std::int64_t first_slot,
+                                     std::int64_t slots) {
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (std::int64_t slot = first_slot; slot < first_slot + slots; ++slot) {
+    (void)framework.run_slot(slot, endpoints, bs);
+  }
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+std::uint64_t steady_state_allocs(std::unique_ptr<Scheduler> scheduler) {
+  // Large sessions so every user still wants data for the whole run; mixed
+  // signals so the DP sees heterogeneous caps and slopes each slot.
+  auto endpoints = make_endpoints({-65.0, -75.0, -85.0, -95.0, -105.0}, 400.0, 1e9);
+  const BaseStation bs(2000.0);  // scarce: forces non-trivial DP decisions
+  Framework framework(make_collector(), std::move(scheduler),
+                      SchedulingMode::kEnergyMinimization, endpoints.size());
+  constexpr std::int64_t kWarmup = 50;
+  constexpr std::int64_t kMeasured = 200;
+  (void)allocations_over_slots(framework, endpoints, bs, 0, kWarmup);
+  return allocations_over_slots(framework, endpoints, bs, kWarmup, kMeasured);
+}
+
+TEST(ZeroAllocSlot, CounterSeesAllocations) {
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  auto* probe = new std::vector<double>(1024);
+  delete probe;
+  EXPECT_GT(g_alloc_count.load(std::memory_order_relaxed), before);
+}
+
+TEST(ZeroAllocSlot, EmaDpSteadyStateIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocs(std::make_unique<EmaScheduler>()), 0u);
+}
+
+TEST(ZeroAllocSlot, EmaGreedySteadyStateIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocs(std::make_unique<EmaFastScheduler>()), 0u);
+}
+
+TEST(ZeroAllocSlot, DefaultSchedulerSteadyStateIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocs(std::make_unique<DefaultScheduler>()), 0u);
+}
+
+}  // namespace
+}  // namespace jstream

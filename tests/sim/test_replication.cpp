@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace jstream {
 namespace {
@@ -54,6 +57,19 @@ TEST(Replication, CiShrinksWithMoreReps) {
 
 TEST(Replication, RejectsZeroReps) {
   EXPECT_THROW((void)replicate_experiment(small_spec(), 0), Error);
+}
+
+TEST(Replication, Ci95UsesStudentTQuantile) {
+  // With n replications the half-width must be t_{0.975, n-1} * s / sqrt(n),
+  // not the normal 1.96 (anti-conservative for the small n used in figures).
+  const std::size_t n = 5;
+  const ReplicationResult result = replicate_experiment(small_spec(), n);
+  const Summary& s = result.pe_mj.summary;
+  ASSERT_EQ(s.count, n);
+  const double expected =
+      student_t_975(n - 1) * s.stddev / std::sqrt(static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(result.pe_mj.ci95_halfwidth(), expected);
+  EXPECT_GT(student_t_975(n - 1), 1.96);  // wider than the old fixed-z interval
 }
 
 }  // namespace

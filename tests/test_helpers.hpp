@@ -76,10 +76,11 @@ inline SlotContext make_context(const std::vector<TestUser>& users,
     UserSlotInfo info;
     info.signal_dbm = user.signal_dbm;
     info.bitrate_kbps = user.bitrate_kbps;
+    info.throughput_kbps = link.throughput->throughput_kbps(user.signal_dbm);
+    info.energy_per_kb = link.power->energy_per_kb(user.signal_dbm);
     info.remaining_kb = user.remaining_kb;
     info.needs_data = user.remaining_kb > 0.0;
-    info.link_units =
-        params.link_units(link.throughput->throughput_kbps(user.signal_dbm));
+    info.link_units = params.link_units(info.throughput_kbps);
     const auto remaining_units =
         static_cast<std::int64_t>(std::ceil(user.remaining_kb / params.delta_kb));
     info.alloc_cap_units =
