@@ -11,9 +11,11 @@
 //     N in {40, 200, 1000} x {default, rtma, ema-fast, ema}. This binary
 //     replaces the global operator new to count allocations.
 //
-// Results land in BENCH_PR2.json (override with --out <path>); the JSON
+// Results land in BENCH_PR3.json (override with --out <path>); the JSON
 // schema is documented in docs/PERFORMANCE.md. REPRO_SLOTS in the
-// environment shrinks every loop for smoke runs.
+// environment shrinks every loop for smoke runs. The paper-invariant
+// validator must stay at its compiled-out-of-the-hot-path default here: the
+// gate pins the zero-alloc slot path, and validation is not part of it.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -229,7 +231,7 @@ SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
 // ---------------------------------------------------------------------------
 
 int run(int argc, const char* const* argv) {
-  std::string out_path = "BENCH_PR2.json";
+  std::string out_path = "BENCH_PR3.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {

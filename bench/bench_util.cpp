@@ -5,6 +5,7 @@
 #include <exception>
 #include <filesystem>
 
+#include "analysis/invariant_checker.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -33,6 +34,9 @@ Cli make_cli(const std::string& program, const std::string& description,
   cli.add_flag("threads", "0", "sweep worker threads (0 = hardware concurrency)");
   cli.add_flag("telemetry", "false",
                "print the telemetry registry dump after the run");
+  cli.add_flag("validate", "false",
+               "check every slot against the paper invariants (Eq. 1/2/7/8/16, RRC); "
+               "the run aborts on the first violation");
   return cli;
 }
 
@@ -52,8 +56,10 @@ CommonArgs parse_common(Cli& cli, int argc, const char* const* argv) {
   args.csv_dir = cli.get_string("csv");
   args.threads = static_cast<std::size_t>(cli.get_int("threads"));
   args.telemetry = cli.get_bool("telemetry");
+  args.validate = cli.get_bool("validate");
   require(args.users > 0, "--users must be positive");
   require(args.slots > 0, "--slots must be positive");
+  if (args.validate) analysis::set_validation_enabled(true);
   g_telemetry_csv_dir = args.csv_dir;
   g_print_telemetry = args.telemetry;
   return args;

@@ -1,7 +1,7 @@
 // Shared plumbing for the experiment binaries: common flags (--users,
-// --slots, --seed, --csv, --threads, --telemetry), the REPRO_SLOTS
-// environment override, CSV export of figure series, and the telemetry
-// artifact every figure bench drops next to its CSV results.
+// --slots, --seed, --csv, --threads, --telemetry, --validate), the
+// REPRO_SLOTS environment override, CSV export of figure series, and the
+// telemetry artifact every figure bench drops next to its CSV results.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +24,7 @@ struct CommonArgs {
   std::string csv_dir;     ///< empty = no CSV export
   std::size_t threads = 0; ///< sweep parallelism; 0 = hardware concurrency
   bool telemetry = false;  ///< print the registry dump when the bench exits
+  bool validate = false;   ///< run every slot through the paper-invariant validator
 };
 
 /// Builds a Cli pre-populated with the common flags.

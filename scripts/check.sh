@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Full local correctness gauntlet — the five gates a PR must pass. Stops at
+# the first failing stage with a nonzero exit. Each stage can be skipped via
+# its environment variable (set to 1), e.g. a machine without the disk for
+# three build trees can run just the plain stage:
+#
+#   SKIP_ASAN=1 SKIP_TSAN=1 scripts/check.sh
+#
+# Stages:
+#   1. plain build + full ctest            (SKIP_PLAIN)
+#   2. clang-tidy wall over src/           (SKIP_TIDY; auto-skips if absent)
+#   3. ASan/UBSan build + full ctest       (SKIP_ASAN)
+#   4. TSan build + `ctest -L concurrency` (SKIP_TSAN)
+#   5. smoke benches under --validate      (SKIP_SMOKE)
+#
+# Build trees: build/ (plain), build-asan/, build-tsan/. JOBS controls -j
+# (default: nproc).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+cd "${repo_root}"
+
+stage() { printf '\n=== %s ===\n' "$1"; }
+
+if [[ "${SKIP_PLAIN:-0}" != 1 ]]; then
+  stage "1/5 plain build + ctest"
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" -LE smoke
+else
+  stage "1/5 plain build + ctest — SKIPPED (SKIP_PLAIN=1)"
+fi
+
+if [[ "${SKIP_TIDY:-0}" != 1 ]]; then
+  stage "2/5 clang-tidy wall"
+  scripts/run_clang_tidy.sh build
+else
+  stage "2/5 clang-tidy wall — SKIPPED (SKIP_TIDY=1)"
+fi
+
+if [[ "${SKIP_ASAN:-0}" != 1 ]]; then
+  stage "3/5 ASan/UBSan build + ctest"
+  cmake -B build-asan -S . -DJSTREAM_SANITIZE="address;undefined" > /dev/null
+  cmake --build build-asan -j "${jobs}"
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -LE smoke
+else
+  stage "3/5 ASan/UBSan — SKIPPED (SKIP_ASAN=1)"
+fi
+
+if [[ "${SKIP_TSAN:-0}" != 1 ]]; then
+  stage "4/5 TSan build + concurrency suites"
+  cmake -B build-tsan -S . -DJSTREAM_SANITIZE="thread" > /dev/null
+  cmake --build build-tsan -j "${jobs}"
+  ctest --test-dir build-tsan --output-on-failure -L concurrency
+else
+  stage "4/5 TSan — SKIPPED (SKIP_TSAN=1)"
+fi
+
+if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
+  stage "5/5 smoke benches (--validate, REPRO_SLOTS=50)"
+  ctest --test-dir build --output-on-failure -L smoke
+else
+  stage "5/5 smoke benches — SKIPPED (SKIP_SMOKE=1)"
+fi
+
+printf '\nAll requested stages passed.\n'

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# clang-tidy wall over src/: fails (exit 1) on ANY warning in first-party
+# sources. Uses the curated .clang-tidy at the repo root (WarningsAsErrors is
+# '*' there, so every emitted diagnostic is fatal).
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir must have been configured already (any cmake invocation works:
+# CMAKE_EXPORT_COMPILE_COMMANDS is ON unconditionally in the top-level
+# CMakeLists). The script copies build/compile_commands.json to the repo root
+# so editors and standalone clang-tidy invocations resolve includes the same
+# way the gate does.
+#
+# When clang-tidy is not installed (this container ships only gcc), the gate
+# is SKIPPED with exit 0 — the repo policy is "stub or gate missing deps",
+# and the tidy wall re-arms automatically on any machine that has the tool.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found — configure first:" >&2
+  echo "  cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+# Keep the repo-root copy fresh for editors / bare clang-tidy runs.
+cp "${build_dir}/compile_commands.json" "${repo_root}/compile_commands.json"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" > /dev/null 2>&1; then
+  echo "[clang-tidy] SKIPPED: '${tidy_bin}' not installed on this machine."
+  echo "[clang-tidy] compile_commands.json exported to repo root; install"
+  echo "[clang-tidy] clang-tidy (or set CLANG_TIDY=<path>) to arm the gate."
+  exit 0
+fi
+
+# First-party translation units only: src/**/*.cpp. Headers are pulled in via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+echo "[clang-tidy] checking ${#sources[@]} translation units under src/ ..."
+
+status=0
+for source in "${sources[@]}"; do
+  # WarningsAsErrors='*' in .clang-tidy makes any diagnostic a nonzero exit.
+  if ! "${tidy_bin}" --quiet -p "${build_dir}" "${source}"; then
+    status=1
+    echo "[clang-tidy] FAILED: ${source}" >&2
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "[clang-tidy] wall failed — fix the diagnostics above (the checks and" >&2
+  echo "[clang-tidy] the rationale for each disabled one live in .clang-tidy)." >&2
+  exit 1
+fi
+echo "[clang-tidy] clean."

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 #include "common/rng.hpp"
 #include "net/base_station.hpp"
 #include "radio/rrc.hpp"
@@ -105,8 +106,8 @@ AbrRunMetrics simulate_abr(const AbrScenarioConfig& config,
 
   AbrRunMetrics metrics;
   metrics.per_user.resize(base.users);
-  const auto tail_flush = static_cast<std::int64_t>(
-      std::ceil(base.radio.tail_duration_s() / base.slot.tau_s)) + 1;
+  const std::int64_t tail_flush =
+      ceil_to_count(base.radio.tail_duration_s() / base.slot.tau_s) + 1;
   std::int64_t idle_streak = 0;
 
   for (std::int64_t slot = 0; slot < base.max_slots; ++slot) {
@@ -131,8 +132,8 @@ AbrRunMetrics simulate_abr(const AbrScenarioConfig& config,
       info.remaining_kb = user.client->estimated_remaining_kb();
       info.needs_data = info.remaining_kb > 0.0;
       info.link_units = base.slot.link_units(info.throughput_kbps);
-      const auto remaining_units = static_cast<std::int64_t>(
-          std::ceil(info.remaining_kb / base.slot.delta_kb));
+      const std::int64_t remaining_units =
+          ceil_to_count(info.remaining_kb / base.slot.delta_kb);
       info.alloc_cap_units =
           std::max<std::int64_t>(0, std::min(info.link_units, remaining_units));
       info.buffer_s = user.client->buffer().occupancy_s();

@@ -4,12 +4,13 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
 
 std::int64_t segment_count(double duration_s, double segment_s) {
-  return static_cast<std::int64_t>(std::ceil(duration_s / segment_s));
+  return ceil_to_count(duration_s / segment_s);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -33,8 +34,8 @@ Allocation EStreamerScheduler::allocate(const SlotContext& ctx) {
     // Burst: fill the remaining buffer capacity as fast as the link allows,
     // regardless of the current signal strength (signal-blind by design).
     const double deficit_s = std::max(params_.buffer_capacity_s - user.buffer_s, 0.0);
-    const auto wanted = static_cast<std::int64_t>(
-        std::ceil(deficit_s * user.bitrate_kbps / ctx.params.delta_kb));
+    const std::int64_t wanted =
+        ceil_to_count(deficit_s * user.bitrate_kbps / ctx.params.delta_kb);
     const std::int64_t grant = std::min({wanted, user.alloc_cap_units, remaining});
     if (grant <= 0) continue;
     alloc.units[i] = grant;

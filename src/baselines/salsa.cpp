@@ -5,6 +5,7 @@
 
 #include "baselines/rotation.hpp"
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -42,8 +43,8 @@ Allocation SalsaScheduler::allocate(const SlotContext& ctx) {
 
     // Fill toward the target buffer level.
     const double deficit_s = std::max(params_.target_buffer_s - user.buffer_s, 0.0);
-    const auto wanted = static_cast<std::int64_t>(
-        std::ceil(deficit_s * user.bitrate_kbps / ctx.params.delta_kb));
+    const std::int64_t wanted =
+        ceil_to_count(deficit_s * user.bitrate_kbps / ctx.params.delta_kb);
     const std::int64_t grant = std::min({wanted, user.alloc_cap_units, remaining});
     if (grant <= 0) continue;
     alloc.units[i] = grant;

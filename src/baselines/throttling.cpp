@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -21,8 +22,8 @@ Allocation ThrottlingScheduler::allocate(const SlotContext& ctx) {
   for (std::size_t k = 0; k < n && remaining > 0; ++k) {
     const std::size_t i = (start + k) % n;
     const UserSlotInfo& user = ctx.users[i];
-    const auto paced = static_cast<std::int64_t>(std::ceil(
-        rate_factor_ * ctx.params.tau_s * user.bitrate_kbps / ctx.params.delta_kb));
+    const std::int64_t paced = ceil_to_count(
+        rate_factor_ * ctx.params.tau_s * user.bitrate_kbps / ctx.params.delta_kb);
     const std::int64_t grant =
         std::min({paced, user.alloc_cap_units, remaining});
     if (grant <= 0) continue;

@@ -15,7 +15,58 @@
 // decimal conversions so they cannot silently diverge between modules.
 #pragma once
 
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
 namespace jstream {
+
+// Index/size conversions. Unit counts are std::int64_t (paper quantities,
+// may be compared/subtracted) while container indices are std::size_t; the
+// boundary between the two is crossed through these helpers instead of raw
+// static_casts so the sign/width assumptions are asserted in debug builds
+// and grep-able in release ones ('static_cast<std::size_t>' scattered at
+// call sites is exactly the -Wsign-conversion suppression pattern the
+// clang-tidy narrowing checks exist to catch).
+
+/// Non-negative count -> container size/index.
+[[nodiscard]] constexpr std::size_t checked_size(std::int64_t value) noexcept {
+  assert(value >= 0);
+  return static_cast<std::size_t>(value);
+}
+
+/// Container size/index -> signed count (must fit; sizes in this library are
+/// user populations and slot horizons, far below 2^63).
+[[nodiscard]] constexpr std::int64_t checked_index(std::size_t value) noexcept {
+  assert(value <= static_cast<std::size_t>(std::numeric_limits<std::int64_t>::max()));
+  return static_cast<std::int64_t>(value);
+}
+
+/// Explicit integral -> double at arithmetic boundaries (unit counts entering
+/// paper formulas). Exact for |value| < 2^53, which every unit count in a
+/// slot satisfies by the Eq. 2 capacity bound.
+template <typename Int>
+  requires std::is_integral_v<Int>
+[[nodiscard]] constexpr double as_double(Int value) noexcept {
+  return static_cast<double>(value);
+}
+
+/// floor(value) as a unit count — the paper's quantizations (Eq. 1 link
+/// units, Eq. 2 capacity units) all floor a non-negative rate*time product.
+[[nodiscard]] inline std::int64_t floor_to_count(double value) noexcept {
+  assert(value >= 0.0 && value < 9.2e18);
+  return static_cast<std::int64_t>(std::floor(value));
+}
+
+/// ceil(value) as a unit count (demand-side quantities: units needed to
+/// carry a given number of kilobytes or sustain a bitrate).
+[[nodiscard]] inline std::int64_t ceil_to_count(double value) noexcept {
+  assert(value >= 0.0 && value < 9.2e18);
+  return static_cast<std::int64_t>(std::ceil(value));
+}
 
 /// Kilobytes per megabyte (decimal, matching the paper's MB figures).
 inline constexpr double kKbPerMb = 1000.0;

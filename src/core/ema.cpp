@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 #include "radio/rrc.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scoped_timer.hpp"
@@ -118,7 +119,7 @@ void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> 
   if (n == 0 || m_max == 0) return;
   require(m_max < std::numeric_limits<std::int32_t>::max(),
           "capacity exceeds DP index range");
-  const auto width = static_cast<std::size_t>(m_max) + 1;
+  const auto width = checked_size(m_max) + 1;
 
   ws.prev.assign(width, kInf);
   ws.cur.resize(width);
@@ -160,7 +161,7 @@ void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> 
     std::size_t tail = 0;
     double prev_m = prev[0];  // rolls forward: the push key at column m uses prev[m-1]
     for (std::size_t m = 1; m < width; ++m) {
-      const double key = prev_m - slope * static_cast<double>(m - 1);
+      const double key = prev_m - slope * as_double(m - 1);
       while (tail > head && key <= dq_key[tail - 1]) --tail;
       dq_key[tail] = key;
       dq[tail] = static_cast<std::int32_t>(m - 1);
@@ -168,13 +169,13 @@ void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> 
       // The window lower bound m - cap advances by one per column, so at most
       // one eviction per step; j = m-1 (just pushed, >= m - cap) survives it,
       // so the deque is never left empty.
-      if (static_cast<std::int64_t>(dq[head]) < static_cast<std::int64_t>(m) - cap) ++head;
+      if (static_cast<std::int64_t>(dq[head]) < checked_index(m) - cap) ++head;
       prev_m = prev[m];
       double best = prev_m + idle;
       std::int32_t best_phi = 0;
-      const auto j = static_cast<std::size_t>(dq[head]);
-      const auto phi = static_cast<std::int64_t>(m - j);
-      const double candidate = prev[j] + base + slope * static_cast<double>(phi);
+      const auto j = checked_size(dq[head]);
+      const auto phi = checked_index(m - j);
+      const double candidate = prev[j] + base + slope * as_double(phi);
       if (candidate < best) {
         best = candidate;
         best_phi = static_cast<std::int32_t>(phi);
@@ -193,7 +194,7 @@ void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> 
   for (std::size_t i = n; i-- > 0;) {
     const std::int32_t phi = ws.choice[i * width + m];
     out.units[i] = phi;
-    m -= static_cast<std::size_t>(phi);
+    m -= checked_size(phi);
   }
 }
 
@@ -204,7 +205,7 @@ Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
   const std::int64_t m_max = dp_bound(costs, caps, capacity_units);
   Allocation alloc = Allocation::zeros(n);
   if (n == 0) return alloc;
-  const auto width = static_cast<std::size_t>(m_max) + 1;
+  const auto width = checked_size(m_max) + 1;
 
   std::vector<double> prev(width, kInf);
   std::vector<double> cur(width, kInf);
@@ -213,7 +214,7 @@ Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
   prev[0] = 0.0;
 
   for (std::size_t i = 0; i < n; ++i) {
-    const auto cap = static_cast<std::int64_t>(caps[i]);
+    const std::int64_t cap = caps[i];
     const double idle = costs.idle_cost[i];
     const double base = costs.active_base[i];
     const double slope = costs.slope[i];
@@ -223,10 +224,10 @@ Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
       double best = prev[m] + idle;
       std::int32_t best_phi = 0;
       // phi >= 1 branches.
-      const auto phi_max = std::min<std::int64_t>(cap, static_cast<std::int64_t>(m));
+      const auto phi_max = std::min(cap, checked_index(m));
       for (std::int64_t phi = 1; phi <= phi_max; ++phi) {
-        const double candidate = prev[m - static_cast<std::size_t>(phi)] + base +
-                                 slope * static_cast<double>(phi);
+        const double candidate = prev[m - checked_size(phi)] + base +
+                                 slope * as_double(phi);
         if (candidate < best) {
           best = candidate;
           best_phi = static_cast<std::int32_t>(phi);
@@ -246,7 +247,7 @@ Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
   for (std::size_t i = n; i-- > 0;) {
     const std::int32_t phi = choice[i * width + m];
     alloc.units[i] = phi;
-    m -= static_cast<std::size_t>(phi);
+    m -= checked_size(phi);
   }
   return alloc;
 }

@@ -123,6 +123,11 @@ class EmaScheduler : public Scheduler {
   [[nodiscard]] const LyapunovQueues& queues() const noexcept { return queues_; }
   [[nodiscard]] const EmaConfig& config() const noexcept { return config_; }
 
+  /// Exposes the Eq. 16 queues to the paper-invariant validator.
+  [[nodiscard]] std::span<const double> virtual_queues() const override {
+    return queues_.values();
+  }
+
  protected:
   /// Slot-problem solver; EmaFastScheduler overrides with the greedy solver.
   /// Writes the decision into `out` (storage recycled by the caller).

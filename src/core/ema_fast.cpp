@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 #include "telemetry/registry.hpp"
 
 namespace jstream {
@@ -59,7 +60,7 @@ void solve_min_cost_greedy(const EmaSlotCosts& costs,
 
   // Largest improvement per occupied unit first.
   std::sort(ws.wants.begin(), ws.wants.end(), [](const Want& a, const Want& b) {
-    return a.gain / static_cast<double>(a.phi) > b.gain / static_cast<double>(b.phi);
+    return a.gain / as_double(a.phi) > b.gain / as_double(b.phi);
   });
 
   std::int64_t remaining = capacity_units;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -63,15 +64,13 @@ Allocation LookaheadScheduler::allocate(const SlotContext& ctx) {
       // (which would bleed tail energy).
       const double deficit_s =
           config_.safety_buffer_s + config_.catchup_margin_s - user.buffer_s;
-      wanted = static_cast<std::int64_t>(
-          std::ceil(deficit_s * user.bitrate_kbps / ctx.params.delta_kb));
+      wanted = ceil_to_count(deficit_s * user.bitrate_kbps / ctx.params.delta_kb);
     } else {
       const double now_price = ctx.power->energy_per_kb(user.signal_dbm);
       if (now_price <= config_.price_slack * best_future_price(ctx, i)) {
         const double deficit_s =
             std::max(config_.prefetch_buffer_s - user.buffer_s, 0.0);
-        wanted = static_cast<std::int64_t>(
-            std::ceil(deficit_s * user.bitrate_kbps / ctx.params.delta_kb));
+        wanted = ceil_to_count(deficit_s * user.bitrate_kbps / ctx.params.delta_kb);
       }
     }
     const std::int64_t grant = std::min({wanted, user.alloc_cap_units, remaining});

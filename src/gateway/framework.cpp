@@ -41,6 +41,7 @@ Framework::Framework(InfoCollector collector, std::unique_ptr<Scheduler> schedul
       receiver_(users, backhaul_kbps) {
   require(scheduler_ != nullptr, "framework needs a scheduler");
   scheduler_->reset(users);
+  validator_.reset(scheduler_->name(), users);
 }
 
 const SlotOutcome& Framework::run_slot(std::int64_t slot,
@@ -58,6 +59,13 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   {
     telemetry::ScopedTimer timer(probes.decision_latency_us);
     scheduler_->allocate_into(last_ctx_, last_alloc_);
+  }
+
+  // Latched once per slot: the validator sees either both hooks or neither,
+  // so its shadow state never observes half a slot.
+  const bool validate = analysis::validation_enabled();
+  if (validate) {
+    validator_.check_allocation(last_ctx_, last_alloc_, scheduler_->virtual_queues());
   }
 
   // Observation-only accounting of which constraint bound each grant:
@@ -86,7 +94,7 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   }
 
   const bool trace_rrc = telemetry::enabled();
-  if (trace_rrc) {
+  if (trace_rrc || validate) {
     rrc_before_.resize(endpoints.size());
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
       rrc_before_[i] = endpoints[i].rrc.state();
@@ -94,6 +102,11 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   }
 
   transmitter_.apply_into(last_ctx_, last_alloc_, endpoints, receiver_, last_outcome_);
+
+  if (validate) {
+    validator_.check_outcome(last_ctx_, last_alloc_, last_outcome_, endpoints,
+                             rrc_before_);
+  }
 
   if (trace_rrc) {
     for (std::size_t i = 0; i < endpoints.size(); ++i) {

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/invariant_checker.hpp"
 #include "gateway/data_receiver.hpp"
 #include "gateway/data_transmitter.hpp"
 #include "gateway/info_collector.hpp"
@@ -61,6 +62,12 @@ class Framework {
   [[nodiscard]] DataReceiver& receiver() noexcept { return receiver_; }
   [[nodiscard]] const InfoCollector& collector() const noexcept { return collector_; }
 
+  /// The paper-invariant validator attached to this framework. Active only
+  /// while analysis::validation_enabled(); see docs/STATIC_ANALYSIS.md.
+  [[nodiscard]] const analysis::InvariantChecker& validator() const noexcept {
+    return validator_;
+  }
+
  private:
   InfoCollector collector_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -70,7 +77,8 @@ class Framework {
   SlotContext last_ctx_;
   Allocation last_alloc_;
   SlotOutcome last_outcome_;
-  std::vector<RrcState> rrc_before_;  ///< per-slot RRC snapshot scratch (tracing)
+  analysis::InvariantChecker validator_;
+  std::vector<RrcState> rrc_before_;  ///< per-slot RRC snapshot (tracing + validation)
 };
 
 }  // namespace jstream

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -48,8 +49,8 @@ void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endp
     info.remaining_kb = endpoint.remaining_kb();
     info.needs_data = info.arrived && info.remaining_kb > 0.0;
     info.link_units = params_.link_units(info.throughput_kbps);
-    const auto remaining_units = static_cast<std::int64_t>(
-        std::ceil(info.remaining_kb / params_.delta_kb));
+    const std::int64_t remaining_units =
+        ceil_to_count(info.remaining_kb / params_.delta_kb);
     info.alloc_cap_units =
         info.arrived ? std::max<std::int64_t>(
                            0, std::min(info.link_units, remaining_units))

@@ -6,6 +6,7 @@
 // DataTransmitter validates every allocation before applying it.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "gateway/slot_context.hpp"
@@ -36,6 +37,12 @@ class Scheduler {
   virtual void allocate_into(const SlotContext& ctx, Allocation& out) {
     out = allocate(ctx);
   }
+
+  /// Lyapunov virtual-queue levels PC_i (Eq. 16) *after* the current slot's
+  /// decision, for schedulers that maintain them (EMA family); empty
+  /// otherwise. The paper-invariant validator cross-checks these against the
+  /// Eq. 16 shadow recursion (see src/analysis/invariant_checker.hpp).
+  [[nodiscard]] virtual std::span<const double> virtual_queues() const { return {}; }
 };
 
 }  // namespace jstream

@@ -6,8 +6,9 @@
 // the library default is 100 KB (see DESIGN.md).
 #pragma once
 
-#include <cmath>
 #include <cstdint>
+
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -19,29 +20,29 @@ struct SlotParams {
   /// Constraint (1) bound: units one user's link supports in a slot,
   /// floor(tau * v / delta).
   [[nodiscard]] std::int64_t link_units(double throughput_kbps) const noexcept {
-    return static_cast<std::int64_t>(std::floor(tau_s * throughput_kbps / delta_kb));
+    return floor_to_count(tau_s * throughput_kbps / delta_kb);
   }
 
   /// Constraint (2) bound: units the base station supports in a slot,
   /// floor(tau * S / delta).
   [[nodiscard]] std::int64_t capacity_units(double capacity_kbps) const noexcept {
-    return static_cast<std::int64_t>(std::floor(tau_s * capacity_kbps / delta_kb));
+    return floor_to_count(tau_s * capacity_kbps / delta_kb);
   }
 
   /// RTMA's per-slot need (Algorithm 1 step 3): ceil(tau * p / delta).
   [[nodiscard]] std::int64_t need_units(double bitrate_kbps) const noexcept {
-    return static_cast<std::int64_t>(std::ceil(tau_s * bitrate_kbps / delta_kb));
+    return ceil_to_count(tau_s * bitrate_kbps / delta_kb);
   }
 
   /// Bytes-to-playback-time conversion helper: seconds of playback carried by
   /// `units` data units at `bitrate_kbps` (t_i(n) = d_i(n) / p_i(n)).
   [[nodiscard]] double playback_seconds(std::int64_t units, double bitrate_kbps) const noexcept {
-    return static_cast<double>(units) * delta_kb / bitrate_kbps;
+    return as_double(units) * delta_kb / bitrate_kbps;
   }
 
   /// KB carried by `units` data units.
   [[nodiscard]] double units_to_kb(std::int64_t units) const noexcept {
-    return static_cast<double>(units) * delta_kb;
+    return as_double(units) * delta_kb;
   }
 };
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 #include "net/base_station.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scoped_timer.hpp"
@@ -49,8 +50,8 @@ RunMetrics Simulator::run(bool keep_series) {
 
   // After the last session ends, run a few more slots so outstanding RRC
   // tails are charged (Eq. 4 energy does not vanish when content runs out).
-  const auto tail_flush_slots = static_cast<std::int64_t>(
-      std::ceil(config_.radio.tail_duration_s() / config_.slot.tau_s)) + 1;
+  const std::int64_t tail_flush_slots =
+      ceil_to_count(config_.radio.tail_duration_s() / config_.slot.tau_s) + 1;
   std::int64_t idle_streak = 0;
 
   auto& probes = SimulatorTelemetry::instance();

@@ -1,0 +1,68 @@
+// Replication under concurrency: parallel replicate_experiment runs must be
+// (a) TSan-clean — Simulators on pool workers all record into the global
+// telemetry registry — and (b) deterministic: a run parallelized over N
+// workers produces bit-identical metrics to the same run on one worker, and
+// two replications racing each other in separate pools don't perturb each
+// other's results.
+
+#include "sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/scenario.hpp"
+
+namespace jstream {
+namespace {
+
+ExperimentSpec small_spec(const char* scheduler) {
+  ExperimentSpec spec;
+  spec.label = scheduler;
+  spec.scheduler = scheduler;
+  spec.scenario = paper_scenario(4, /*seed=*/7);
+  spec.scenario.max_slots = 60;
+  return spec;
+}
+
+void expect_same_runs(const ReplicationResult& a, const ReplicationResult& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    EXPECT_EQ(a.runs[r].slots_run, b.runs[r].slots_run);
+    EXPECT_DOUBLE_EQ(a.runs[r].total_energy_mj(), b.runs[r].total_energy_mj());
+    EXPECT_DOUBLE_EQ(a.runs[r].total_rebuffer_s(), b.runs[r].total_rebuffer_s());
+  }
+  EXPECT_DOUBLE_EQ(a.pe_mj.summary.mean, b.pe_mj.summary.mean);
+  EXPECT_DOUBLE_EQ(a.pc_s.summary.mean, b.pc_s.summary.mean);
+}
+
+TEST(ReplicationConcurrent, ParallelMatchesSerial) {
+  const ExperimentSpec spec = small_spec("default");
+  const ReplicationResult serial = replicate_experiment(spec, 4, /*threads=*/1);
+  const ReplicationResult parallel = replicate_experiment(spec, 4, /*threads=*/4);
+  expect_same_runs(serial, parallel);
+}
+
+TEST(ReplicationConcurrent, SimultaneousReplicationsDontInterfere) {
+  // Two replications race in separate pools, each itself multi-threaded.
+  // Results must equal an undisturbed serial baseline of the same spec.
+  const ExperimentSpec spec_a = small_spec("default");
+  const ExperimentSpec spec_b = small_spec("ema");
+  const ReplicationResult base_a = replicate_experiment(spec_a, 3, 1);
+  const ReplicationResult base_b = replicate_experiment(spec_b, 3, 1);
+
+  ReplicationResult racy_a;
+  ReplicationResult racy_b;
+  std::thread runner_a(
+      [&] { racy_a = replicate_experiment(spec_a, 3, /*threads=*/2); });
+  std::thread runner_b(
+      [&] { racy_b = replicate_experiment(spec_b, 3, /*threads=*/2); });
+  runner_a.join();
+  runner_b.join();
+
+  expect_same_runs(base_a, racy_a);
+  expect_same_runs(base_b, racy_b);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,123 @@
+// Telemetry stress tests under concurrency: SlotTracer writers racing a
+// snapshotting reader, metric writers racing the process-wide enable flag,
+// and scoped timers observed from pool workers. All must be TSan-clean —
+// telemetry records from thread_pool workers during replication runs, so a
+// race here corrupts production artifacts silently.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/slot_tracer.hpp"
+
+namespace jstream::telemetry {
+namespace {
+
+TEST(TelemetryStress, ConcurrentTracerWritersCountEveryEvent) {
+  SlotTracer tracer(128);  // small ring: forces constant overwrites
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&tracer, w] {
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        tracer.record(i, w, TraceEventKind::kGrant, static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(tracer.total_recorded(), kWriters * kEventsPerWriter);
+  EXPECT_EQ(tracer.size(), tracer.capacity());
+}
+
+TEST(TelemetryStress, TracerSnapshotRacesWithWriters) {
+  SlotTracer tracer(64);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto events = tracer.snapshot();
+      EXPECT_LE(events.size(), tracer.capacity());
+      // Every snapshotted event must be internally consistent (written under
+      // the same lock), never a half-updated slot.
+      for (const SlotTraceEvent& e : events) {
+        EXPECT_EQ(e.kind, TraceEventKind::kQueueLevel);
+        EXPECT_DOUBLE_EQ(e.value, static_cast<double>(e.slot));
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&tracer] {
+      for (int i = 0; i < 8000; ++i) {
+        tracer.record(i, 0, TraceEventKind::kQueueLevel, static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(tracer.total_recorded(), 2 * 8000);
+}
+
+TEST(TelemetryStress, EnableFlagRacesWithRecorders) {
+  // set_enabled flips the process-wide gate while writers record into a local
+  // registry. Recording while disabled drops events (by design); the
+  // requirement here is only that the gate itself is a clean atomic and no
+  // recorded value is torn.
+  Registry registry;
+  Counter& hits = registry.counter("flip.hits");
+  SlotTracer& tracer = registry.tracer();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    bool on = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      set_enabled(on);
+      on = !on;
+    }
+    set_enabled(true);
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&hits, &tracer] {
+      for (int i = 0; i < 5000; ++i) {
+        hits.add(1);
+        tracer.record(i, 0, TraceEventKind::kAdmit, -70.0);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  flipper.join();
+  set_enabled(true);  // leave the process-wide gate as other tests expect it
+  // Both Counter::add and tracer.record honor the gate, so attempts made in
+  // a disabled window are dropped by design — counts are bounded, not exact.
+  EXPECT_LE(hits.value(), 2 * 5000);
+  EXPECT_LE(tracer.total_recorded(), 2 * 5000);
+  EXPECT_GE(hits.value(), 0);
+}
+
+TEST(TelemetryStress, HistogramConcurrentObserversPreserveSum) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kObs = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kObs; ++i) histogram.observe(2.5);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.count(), kThreads * kObs);
+  // The double sum uses a CAS loop; identical addends make the expected
+  // total exact regardless of interleaving order.
+  EXPECT_DOUBLE_EQ(histogram.sum(), 2.5 * kThreads * kObs);
+}
+
+}  // namespace
+}  // namespace jstream::telemetry
