@@ -20,12 +20,15 @@ int run(int argc, const char* const* argv) {
 
   ScenarioConfig scenario = paper_scenario(args.users, args.seed);
   scenario.max_slots = args.slots;
-  const DefaultReference reference = run_default_reference(scenario);
+  const DefaultReference reference =
+      run_default_reference(scenario, &global_trace_cache());
 
-  const RunMetrics default_metrics =
-      run_experiment({"default", "default", scenario, {}}, true);
-  const RunMetrics rtma_metrics = run_experiment(
-      {"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)}, true);
+  const std::vector<ExperimentSpec> specs{
+      {"default", "default", scenario, {}},
+      {"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)}};
+  const std::vector<RunMetrics> results = run_grid(args, specs, /*keep_series=*/true);
+  const RunMetrics& default_metrics = results[0];
+  const RunMetrics& rtma_metrics = results[1];
 
   print_cdf_table("Fig. 3 series: default per-slot rebuffering CDF", "rebuffer_s",
                   default_metrics.rebuffer_samples_s);

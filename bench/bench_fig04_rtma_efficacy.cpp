@@ -30,14 +30,15 @@ void run_panel(const std::string& title, const std::string& x_label,
     series_names.push_back("rtma a=" + format_double(alpha, 1));
   }
   for (const auto& [x, scenario] : points) {
-    const DefaultReference reference = run_default_reference(scenario);
+    const DefaultReference reference =
+        run_default_reference(scenario, &global_trace_cache());
     specs.push_back({"default@" + x, "default", scenario, {}});
     for (double alpha : kAlphas) {
       specs.push_back({"rtma@" + x, "rtma", scenario,
                        rtma_options_for_alpha(alpha, reference)});
     }
   }
-  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::vector<RunMetrics> results = run_grid(args, specs);
 
   Table table(title, [&] {
     std::vector<std::string> header{x_label};

@@ -30,7 +30,8 @@ int run(int argc, const char* const* argv) {
   for (std::size_t users : user_counts) {
     ScenarioConfig scenario = paper_scenario(users, args.seed);
     scenario.max_slots = args.slots;
-    const DefaultReference reference = run_default_reference(scenario);
+    const DefaultReference reference =
+        run_default_reference(scenario, &global_trace_cache());
     for (const char* name : kSchedulers) {
       ExperimentSpec spec{name, name, scenario, {}};
       if (spec.scheduler == "rtma") {
@@ -39,7 +40,7 @@ int run(int argc, const char* const* argv) {
       specs.push_back(std::move(spec));
     }
   }
-  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::vector<RunMetrics> results = run_grid(args, specs);
   const std::size_t stride = std::size(kSchedulers);
 
   Table rebuffer("Fig. 5a: average rebuffering time (ms per user-slot)",

@@ -19,20 +19,25 @@ int run(int argc, const char* const* argv) {
 
   ScenarioConfig scenario = paper_scenario(args.users, args.seed);
   scenario.max_slots = args.slots;
-  const DefaultReference reference = run_default_reference(scenario);
+  // Reference, calibration probes (a dozen sims), and both figure runs all
+  // replay one cached channel trace.
+  TraceCache& cache = global_trace_cache();
+  const DefaultReference reference = run_default_reference(scenario, &cache);
 
   const double beta = cli.get_double("beta");
   SchedulerOptions ema_options;
   ema_options.ema.v_weight = calibrate_v_for_rebuffer(
-      scenario, beta * reference.rebuffer_per_user_slot_s);
+      scenario, beta * reference.rebuffer_per_user_slot_s, 1e-4, 10.0, 10, &cache);
   std::printf("calibrated V = %.4f for Omega = %.1f ms/user-slot (beta = %.1f)\n\n",
               ema_options.ema.v_weight,
               1000.0 * beta * reference.rebuffer_per_user_slot_s, beta);
 
-  const RunMetrics default_metrics =
-      run_experiment({"default", "default", scenario, {}}, true);
-  const RunMetrics ema_metrics =
-      run_experiment({"ema", "ema", scenario, ema_options}, true);
+  const std::vector<ExperimentSpec> specs{
+      {"default", "default", scenario, {}},
+      {"ema", "ema", scenario, ema_options}};
+  const std::vector<RunMetrics> results = run_grid(args, specs, /*keep_series=*/true);
+  const RunMetrics& default_metrics = results[0];
+  const RunMetrics& ema_metrics = results[1];
 
   print_cdf_table("Fig. 6 series: default fairness CDF", "fairness",
                   default_metrics.slot_fairness);

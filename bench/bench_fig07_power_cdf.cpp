@@ -26,16 +26,20 @@ int run(int argc, const char* const* argv) {
 
   ScenarioConfig scenario = paper_scenario(args.users, args.seed);
   scenario.max_slots = args.slots;
-  const DefaultReference reference = run_default_reference(scenario);
+  TraceCache& cache = global_trace_cache();
+  const DefaultReference reference = run_default_reference(scenario, &cache);
 
   SchedulerOptions ema_options;
   ema_options.ema.v_weight = calibrate_v_for_rebuffer(
-      scenario, cli.get_double("beta") * reference.rebuffer_per_user_slot_s);
+      scenario, cli.get_double("beta") * reference.rebuffer_per_user_slot_s, 1e-4,
+      10.0, 10, &cache);
 
-  const RunMetrics default_metrics =
-      run_experiment({"default", "default", scenario, {}}, true);
-  const RunMetrics ema_metrics =
-      run_experiment({"ema", "ema", scenario, ema_options}, true);
+  const std::vector<ExperimentSpec> specs{
+      {"default", "default", scenario, {}},
+      {"ema", "ema", scenario, ema_options}};
+  const std::vector<RunMetrics> results = run_grid(args, specs, /*keep_series=*/true);
+  const RunMetrics& default_metrics = results[0];
+  const RunMetrics& ema_metrics = results[1];
 
   const std::vector<double> default_power = to_joules(default_metrics.slot_energy_mj);
   const std::vector<double> ema_power = to_joules(ema_metrics.slot_energy_mj);

@@ -25,13 +25,16 @@ void run_panel(const std::string& title, const std::string& x_label,
                const std::vector<std::pair<std::string, ScenarioConfig>>& points,
                const ScenarioConfig& calibration_scenario, const CommonArgs& args,
                const std::string& csv_name) {
-  // Calibrate V once per beta on the calibration scenario.
+  // Calibrate V once per beta on the calibration scenario; the reference run
+  // and all three bisections replay one cached trace.
+  TraceCache& cache = global_trace_cache();
   const DefaultReference calibration_ref =
-      run_default_reference(calibration_scenario);
+      run_default_reference(calibration_scenario, &cache);
   std::vector<double> v_for_beta;
   for (double beta : kBetas) {
     v_for_beta.push_back(calibrate_v_for_rebuffer(
-        calibration_scenario, beta * calibration_ref.rebuffer_per_user_slot_s));
+        calibration_scenario, beta * calibration_ref.rebuffer_per_user_slot_s, 1e-4,
+        10.0, 10, &cache));
   }
   std::printf("calibrated V: ");
   for (std::size_t b = 0; b < std::size(kBetas); ++b) {
@@ -48,7 +51,7 @@ void run_panel(const std::string& title, const std::string& x_label,
       specs.push_back({"ema@" + x, "ema", scenario, options});
     }
   }
-  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::vector<RunMetrics> results = run_grid(args, specs);
 
   std::vector<std::string> header{x_label, "default (kJ)"};
   for (double beta : kBetas) header.push_back("ema b=" + format_double(beta, 1) + " (kJ)");

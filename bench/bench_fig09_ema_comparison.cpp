@@ -29,11 +29,14 @@ int run(int argc, const char* const* argv) {
   // Omega = EStreamer's rebuffering on the mid-sweep scenario.
   ScenarioConfig calibration = paper_scenario(user_counts[2], args.seed);
   calibration.max_slots = args.slots;
+  TraceCache& cache = global_trace_cache();
   const RunMetrics estreamer_reference =
-      run_experiment({"estreamer", "estreamer", calibration, {}}, false);
+      run_experiment({"estreamer", "estreamer", calibration, {}}, false,
+                     cache.get_or_generate(calibration));
   const double omega = estreamer_reference.avg_rebuffer_per_user_slot_s();
   SchedulerOptions ema_options;
-  ema_options.ema.v_weight = calibrate_v_for_rebuffer(calibration, omega);
+  ema_options.ema.v_weight =
+      calibrate_v_for_rebuffer(calibration, omega, 1e-4, 10.0, 10, &cache);
   std::printf("Omega = EStreamer rebuffering = %.1f ms/user-slot -> V = %.4f\n\n",
               1000.0 * omega, ema_options.ema.v_weight);
 
@@ -47,7 +50,7 @@ int run(int argc, const char* const* argv) {
       specs.push_back(std::move(spec));
     }
   }
-  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::vector<RunMetrics> results = run_grid(args, specs);
   const std::size_t stride = std::size(kSchedulers);
 
   Table energy("Fig. 9a: average energy (mJ per user-slot), tail in brackets",

@@ -25,21 +25,22 @@ int run(int argc, const char* const* argv) {
   // Anchor alpha/beta on the mid-sweep scenario.
   ScenarioConfig calibration = paper_scenario(user_counts[2], args.seed);
   calibration.max_slots = args.slots;
-  const DefaultReference calibration_ref = run_default_reference(calibration);
+  TraceCache& cache = global_trace_cache();
+  const DefaultReference calibration_ref = run_default_reference(calibration, &cache);
   SchedulerOptions ema_options;
   ema_options.ema.v_weight = calibrate_v_for_rebuffer(
-      calibration, calibration_ref.rebuffer_per_user_slot_s);
+      calibration, calibration_ref.rebuffer_per_user_slot_s, 1e-4, 10.0, 10, &cache);
 
   std::vector<ExperimentSpec> specs;
   for (std::size_t users : user_counts) {
     ScenarioConfig scenario = paper_scenario(users, args.seed);
     scenario.max_slots = args.slots;
-    const DefaultReference reference = run_default_reference(scenario);
+    const DefaultReference reference = run_default_reference(scenario, &cache);
     specs.push_back({"default", "default", scenario, {}});
     specs.push_back({"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)});
     specs.push_back({"ema", "ema", scenario, ema_options});
   }
-  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::vector<RunMetrics> results = run_grid(args, specs);
 
   Table table("Fig. 10: (total energy, total rebuffering) per scheduler and user count",
               {"users", "scheduler", "total energy (kJ)", "total rebuffer (s)"});

@@ -1,24 +1,31 @@
 // Perf regression gate for the slot engine (see docs/PERFORMANCE.md).
 //
-// Two measurement families, both on pinned deterministic workloads:
+// Three measurement families, all on pinned deterministic workloads:
 //
 //  1. Solver microbench: the O(N*M) sliding-window EMA DP vs the
 //     paper-literal O(N*M*phi_max) reference on the same instances. The gate
 //     requires >= 5x speedup at N = 40 users with M >= 200 capacity units
 //     (the paper's evaluation scale); the binary exits nonzero otherwise.
-//  2. Slot-path matrix: end-to-end Framework::run_slot cost (ns/slot), the
-//     scheduler decision alone (ns/solve), and heap allocations per slot for
-//     N in {40, 200, 1000} x {default, rtma, ema-fast, ema}. This binary
-//     replaces the global operator new to count allocations.
+//  2. Slot-path matrix: end-to-end Framework::run_slot cost (ns/slot, both
+//     the per-run SignalModel path and the campaign engine's cached-trace
+//     path), the scheduler decision alone (ns/solve), and heap allocations
+//     per slot for N in {40, 200, 1000} x {default, rtma, ema-fast, ema}.
+//     This binary replaces the global operator new to count allocations.
+//  3. Campaign gate: a 7-scheduler x 8-seed grid at N = 200 over the full
+//     10000-slot horizon, run once with per-cell trace regeneration and once
+//     through the shared trace cache. Cached results must be bit-identical,
+//     and (at the full horizon; REPRO_SLOTS runs report only) >= 3x faster.
 //
-// Results land in BENCH_PR3.json (override with --out <path>); the JSON
+// Results land in BENCH_PR4.json (override with --out <path>); the JSON
 // schema is documented in docs/PERFORMANCE.md. REPRO_SLOTS in the
 // environment shrinks every loop for smoke runs. The paper-invariant
 // validator must stay at its compiled-out-of-the-hot-path default here: the
 // gate pins the zero-alloc slot path, and validation is not part of it.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,7 +39,9 @@
 #include "core/ema.hpp"
 #include "gateway/framework.hpp"
 #include "net/base_station.hpp"
+#include "sim/campaign.hpp"
 #include "sim/scenario.hpp"
+#include "sim/trace_cache.hpp"
 
 namespace {
 
@@ -181,6 +190,7 @@ struct SlotCase {
   std::size_t users = 0;
   std::int64_t measured_slots = 0;
   double ns_per_slot = 0.0;
+  double ns_per_slot_traced = 0.0;  ///< same slots against the cached substrate
   double ns_per_solve = 0.0;
   double allocs_per_slot = 0.0;
 };
@@ -216,6 +226,29 @@ SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
   result.allocs_per_slot = static_cast<double>(allocs_after - allocs_before) /
                            static_cast<double>(measured);
 
+  // Same slots against the campaign engine's cached substrate: fresh
+  // endpoints reading signal/throughput/energy out of the precomputed
+  // slot-major matrices instead of evaluating the models per slot. The trace
+  // horizon is trimmed to the measured window so generation stays cheap.
+  ScenarioConfig traced_scenario = scenario;
+  traced_scenario.max_slots = warmup + measured;
+  const std::shared_ptr<const SignalTraceSet> trace =
+      generate_signal_trace_set(traced_scenario);
+  std::vector<UserEndpoint> traced_endpoints = build_endpoints(scenario);
+  for (std::size_t i = 0; i < traced_endpoints.size(); ++i) {
+    traced_endpoints[i].attach_trace(trace.get(), i);
+  }
+  Framework traced(InfoCollector(scenario.slot, scenario.link, scenario.radio),
+                   make_scheduler(scheduler_name, options),
+                   SchedulingMode::kEnergyMinimization, users);
+  for (std::int64_t slot = 0; slot < warmup; ++slot) {
+    (void)traced.run_slot(slot, traced_endpoints, bs);
+  }
+  result.ns_per_slot_traced = time_ns_per_iter(measured, [&, slot = warmup]() mutable {
+    (void)traced.run_slot(slot, traced_endpoints, bs);
+    ++slot;
+  });
+
   // Decision cost alone, on the warm steady-state snapshot.
   Allocation decision;
   Scheduler& scheduler = framework.scheduler();
@@ -226,12 +259,89 @@ SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Campaign gate: scheduler x seed grid, cached trace vs per-cell regeneration.
+// ---------------------------------------------------------------------------
+
+struct CampaignResult {
+  std::size_t users = 0;
+  std::size_t schedulers = 0;
+  std::size_t replications = 0;
+  std::int64_t horizon_slots = 0;
+  double uncached_wall_s = 0.0;
+  double cached_wall_s = 0.0;
+  double speedup = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+CampaignResult bench_campaign(std::int64_t horizon) {
+  // Every factory scheduler with paper-scale cost (the exact EMA DP at
+  // N = 200 is benched separately in the slot matrix; ema-fast stands in for
+  // it here so the grid stays minutes, not hours).
+  const std::vector<std::string> names{"default", "throttling", "onoff",
+                                       "salsa",   "estreamer",  "rtma",
+                                       "ema-fast"};
+  SchedulerOptions options;
+  options.ema.v_weight = 0.05;
+  std::vector<CampaignSeries> series;
+  for (const std::string& name : names) series.push_back({name, name, options});
+
+  ScenarioConfig base = paper_scenario(200, 42);
+  base.max_slots = horizon;
+  base.capacity_kbps = 500.0 * static_cast<double>(base.users);
+  // Shorter sessions than the figure scenarios (not part of the trace key, so
+  // generation cost is untouched): the gate measures how well the grid
+  // amortizes trace generation, and early-stopped sims keep the generation
+  // share of an uncached cell at its realistic full-horizon cost.
+  base.video_min_mb = 100.0;
+  base.video_max_mb = 200.0;
+  const std::vector<ExperimentSpec> specs = make_campaign_grid(base, series, 8);
+
+  CampaignResult result;
+  result.users = base.users;
+  result.schedulers = names.size();
+  result.replications = 8;
+  result.horizon_slots = horizon;
+
+  CampaignOptions uncached_options;
+  uncached_options.use_trace_cache = false;
+  auto start = Clock::now();
+  const std::vector<RunMetrics> uncached = run_campaign(specs, uncached_options);
+  result.uncached_wall_s = seconds_since(start);
+
+  TraceCache cache;
+  CampaignOptions cached_options;
+  cached_options.cache = &cache;
+  start = Clock::now();
+  const std::vector<RunMetrics> cached = run_campaign(specs, cached_options);
+  result.cached_wall_s = seconds_since(start);
+  result.cache_hits = cache.hits();
+  result.cache_misses = cache.misses();
+  result.speedup =
+      result.cached_wall_s > 0.0 ? result.uncached_wall_s / result.cached_wall_s : 0.0;
+
+  // The differential guarantee the cache rests on: every cell bit-identical.
+  require(cached.size() == uncached.size(), "campaign grids differ in size");
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    require(cached[i].slots_run == uncached[i].slots_run &&
+                cached[i].total_energy_mj() == uncached[i].total_energy_mj() &&
+                cached[i].total_rebuffer_s() == uncached[i].total_rebuffer_s(),
+            "campaign cached cell diverged from per-run regeneration");
+  }
+  return result;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 
 int run(int argc, const char* const* argv) {
-  std::string out_path = "BENCH_PR3.json";
+  std::string out_path = "BENCH_PR4.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -271,19 +381,49 @@ int run(int argc, const char* const* argv) {
     for (const std::string& name : schedulers) {
       slot_cases.push_back(bench_slot_path(name, users, warmup, measured, solve_iters));
       const SlotCase& c = slot_cases.back();
-      std::printf("  %-9s N=%-4zu %12.0f ns/slot %12.0f ns/solve %8.2f allocs/slot\n",
-                  c.scheduler.c_str(), c.users, c.ns_per_slot, c.ns_per_solve,
-                  c.allocs_per_slot);
+      std::printf(
+          "  %-9s N=%-4zu %12.0f ns/slot %12.0f ns/slot(traced) %12.0f ns/solve %8.2f allocs/slot\n",
+          c.scheduler.c_str(), c.users, c.ns_per_slot, c.ns_per_slot_traced,
+          c.ns_per_solve, c.allocs_per_slot);
     }
   }
+
+  // Campaign gate: amortizing trace generation across the grid must pay off.
+  // REPRO_SLOTS shrinks the horizon so far that the sims dominate and the
+  // ratio is meaningless; the >= 3x bar is enforced only at full scale.
+  constexpr double kMinCampaignSpeedup = 3.0;
+  std::printf("campaign grid (7 schedulers x 8 seeds, N=200)\n");
+  const CampaignResult campaign = bench_campaign(clamp(10000));
+  std::printf(
+      "  uncached %7.2f s   cached %7.2f s   speedup %5.2fx   cache %llu hits / %llu misses\n",
+      campaign.uncached_wall_s, campaign.cached_wall_s, campaign.speedup,
+      static_cast<unsigned long long>(campaign.cache_hits),
+      static_cast<unsigned long long>(campaign.cache_misses));
+  const bool campaign_enforced = repro == 0;
+  const bool campaign_pass =
+      !campaign_enforced || campaign.speedup >= kMinCampaignSpeedup;
 
   std::ofstream json(out_path);
   require(json.good(), "cannot open perf-gate output file");
   json << "{\n";
-  json << "  \"schema\": \"jstream-perf-gate-v1\",\n";
+  json << "  \"schema\": \"jstream-perf-gate-v2\",\n";
   json << "  \"workload\": \"paper_scenario(users, seed=42), capacity 500 KB/s per user\",\n";
   json << "  \"gate\": {\"metric\": \"solver[0].speedup_vs_reference\", \"min_speedup\": "
        << kMinSpeedup << ", \"pass\": " << (gate_pass ? "true" : "false") << "},\n";
+  json << "  \"campaign_gate\": {\"metric\": \"campaign.speedup_cached_vs_uncached\", "
+       << "\"min_speedup\": " << kMinCampaignSpeedup
+       << ", \"enforced\": " << (campaign_enforced ? "true" : "false")
+       << ", \"pass\": " << (campaign_pass ? "true" : "false") << "},\n";
+  json << "  \"campaign\": {\"users\": " << campaign.users
+       << ", \"schedulers\": " << campaign.schedulers
+       << ", \"replications\": " << campaign.replications
+       << ", \"horizon_slots\": " << campaign.horizon_slots
+       << ", \"uncached_wall_s\": " << campaign.uncached_wall_s
+       << ", \"cached_wall_s\": " << campaign.cached_wall_s
+       << ", \"speedup_cached_vs_uncached\": " << campaign.speedup
+       << ", \"cache_hits\": " << campaign.cache_hits
+       << ", \"cache_misses\": " << campaign.cache_misses
+       << ", \"bit_identical\": true},\n";
   json << "  \"solver\": [\n";
   for (std::size_t i = 0; i < solver_results.size(); ++i) {
     const SolverResult& r = solver_results[i];
@@ -302,6 +442,7 @@ int run(int argc, const char* const* argv) {
     json << "    {\"scheduler\": \"" << c.scheduler << "\", \"users\": " << c.users
          << ", \"measured_slots\": " << c.measured_slots
          << ", \"ns_per_slot\": " << c.ns_per_slot
+         << ", \"ns_per_slot_traced\": " << c.ns_per_slot_traced
          << ", \"ns_per_solve\": " << c.ns_per_solve
          << ", \"allocs_per_slot\": " << c.allocs_per_slot << "}"
          << (i + 1 < slot_cases.size() ? "," : "") << "\n";
@@ -317,8 +458,16 @@ int run(int argc, const char* const* argv) {
                  solver_results.front().speedup, kMinSpeedup);
     return 1;
   }
-  std::printf("perf gate passed (speedup %.1fx >= %.1fx)\n",
-              solver_results.front().speedup, kMinSpeedup);
+  if (!campaign_pass) {
+    std::fprintf(stderr,
+                 "PERF GATE FAILED: campaign cached speedup %.2fx < %.1fx on the "
+                 "7x8 grid at N=200\n",
+                 campaign.speedup, kMinCampaignSpeedup);
+    return 1;
+  }
+  std::printf("perf gate passed (solver %.1fx >= %.1fx; campaign %.2fx%s)\n",
+              solver_results.front().speedup, kMinSpeedup, campaign.speedup,
+              campaign_enforced ? " >= 3.0x" : ", informational under REPRO_SLOTS");
   return 0;
 }
 

@@ -44,7 +44,7 @@ int run(int argc, const char* const* argv) {
     options.ema.v_weight = v;
     specs.push_back({"ema", "ema", scenario, options});
   }
-  const std::vector<RunMetrics> results = run_sweep(specs, args.threads);
+  const std::vector<RunMetrics> results = run_grid(args, specs);
 
   Table table("Theorem 1 sweep: PE falls ~1/V toward E*, PC grows ~V",
               {"V", "PE (mJ/user-slot)", "PC (ms/user-slot)", "B/V (mJ)"});

@@ -65,6 +65,16 @@ CommonArgs parse_common(Cli& cli, int argc, const char* const* argv) {
   return args;
 }
 
+std::vector<RunMetrics> run_grid(const CommonArgs& args,
+                                 std::span<const ExperimentSpec> specs,
+                                 bool keep_series) {
+  CampaignOptions options;
+  options.threads = args.threads;
+  options.keep_series = keep_series;
+  options.cache = &global_trace_cache();
+  return run_campaign(specs, options);
+}
+
 void maybe_write_csv(const std::string& csv_dir, const std::string& file,
                      const std::vector<std::string>& header,
                      const std::vector<std::vector<std::string>>& rows) {

@@ -11,6 +11,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
 
@@ -34,6 +35,14 @@ struct CommonArgs {
 
 /// Parses argv; prints help and exits(0) on --help; applies REPRO_SLOTS.
 [[nodiscard]] CommonArgs parse_common(Cli& cli, int argc, const char* const* argv);
+
+/// Runs a spec grid through the campaign engine: sharded over --threads
+/// workers with every cell reading its channel from the process-wide trace
+/// cache (one generation per scenario/seed instead of one per cell). Results
+/// are order-preserving, bit-identical to run_sweep.
+[[nodiscard]] std::vector<RunMetrics> run_grid(const CommonArgs& args,
+                                               std::span<const ExperimentSpec> specs,
+                                               bool keep_series = false);
 
 /// Writes `rows` to `<csv_dir>/<file>` when csv_dir is non-empty.
 void maybe_write_csv(const std::string& csv_dir, const std::string& file,

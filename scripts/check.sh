@@ -60,6 +60,10 @@ fi
 if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
   stage "5/5 smoke benches (--validate, REPRO_SLOTS=50)"
   ctest --test-dir build --output-on-failure -L smoke
+  # One figure explicitly through the campaign engine: run_grid -> run_campaign
+  # shards the scheduler x population grid over the thread pool with the shared
+  # trace cache, and --validate keeps the paper-invariant checks on every cell.
+  REPRO_SLOTS=50 build/bench/bench_fig09_ema_comparison --validate > /dev/null
 else
   stage "5/5 smoke benches — SKIPPED (SKIP_SMOKE=1)"
 fi

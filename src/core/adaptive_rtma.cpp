@@ -38,7 +38,13 @@ void AdaptiveRtmaScheduler::reset(std::size_t users) {
 }
 
 Allocation AdaptiveRtmaScheduler::allocate(const SlotContext& ctx) {
-  const Allocation alloc = inner_.allocate(ctx);
+  Allocation alloc;
+  allocate_into(ctx, alloc);
+  return alloc;
+}
+
+void AdaptiveRtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
+  inner_.allocate_into(ctx, out);
 
   // Self-estimate the transmission energy of this decision from the same
   // Eq. 3 model the transmitter applies. Phi is commensurable with the
@@ -46,9 +52,9 @@ Allocation AdaptiveRtmaScheduler::allocate(const SlotContext& ctx) {
   // idle users' tail energy stays out of the controller signal.
   for (std::size_t i = 0; i < ctx.user_count(); ++i) {
     const UserSlotInfo& user = ctx.users[i];
-    if (alloc.units[i] > 0) {
+    if (out.units[i] > 0) {
       const double kb =
-          std::min(ctx.params.units_to_kb(alloc.units[i]), user.remaining_kb);
+          std::min(ctx.params.units_to_kb(out.units[i]), user.remaining_kb);
       window_energy_mj_ += ctx.power->energy_per_kb(user.signal_dbm) * kb;
       ++window_tx_user_slots_;
     }
@@ -72,7 +78,6 @@ Allocation AdaptiveRtmaScheduler::allocate(const SlotContext& ctx) {
     window_energy_mj_ = 0.0;
     window_tx_user_slots_ = 0;
   }
-  return alloc;
 }
 
 }  // namespace jstream

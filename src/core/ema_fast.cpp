@@ -51,6 +51,8 @@ void solve_min_cost_greedy(const EmaSlotCosts& costs,
   // Unconstrained per-user optimum: cost is idle at 0, slope*phi on [1, cap],
   // so the minimum sits at one of {0, 1, cap}.
   ws.wants.clear();
+  ws.wants.reserve(n);
+  ws.active.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (caps[i] <= 0) continue;
     const std::int64_t phi = costs.slope[i] < 0.0 ? caps[i] : 1;

@@ -38,8 +38,10 @@ RtmaScheduler::RtmaScheduler(RtmaConfig config) : config_(config) {
   require(config_.min_dbm < config_.max_dbm, "signal range is empty");
 }
 
-void RtmaScheduler::reset(std::size_t /*users*/) {
+void RtmaScheduler::reset(std::size_t users) {
   last_threshold_dbm_ = -std::numeric_limits<double>::infinity();
+  order_.reserve(users);
+  need_.reserve(users);
 }
 
 void RtmaScheduler::set_energy_budget(double budget_mj) {
@@ -48,8 +50,14 @@ void RtmaScheduler::set_energy_budget(double budget_mj) {
 }
 
 Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
+  Allocation alloc;
+  allocate_into(ctx, alloc);
+  return alloc;
+}
+
+void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   const std::size_t n = ctx.user_count();
-  Allocation alloc = Allocation::zeros(n);
+  out.units.assign(n, 0);
 
   // Eq. 12: energy budget -> admission threshold (steps 6 of Algorithm 1).
   double threshold = -std::numeric_limits<double>::infinity();
@@ -91,14 +99,16 @@ Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
   }
 
   // Steps 1-3: sort by required data rate ascending; compute per-slot needs.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  // The member workspaces recycle their storage, so steady-state slots do not
+  // allocate.
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
     return ctx.users[a].bitrate_kbps < ctx.users[b].bitrate_kbps;
   });
-  std::vector<std::int64_t> need(n, 0);
+  need_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    need[i] = ctx.params.need_units(ctx.users[i].bitrate_kbps);
+    need_[i] = ctx.params.need_units(ctx.users[i].bitrate_kbps);
   }
 
   // Steps 4-15: iterative passes; each pass grants each eligible user at most
@@ -107,21 +117,20 @@ Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
   bool progressed = true;
   while (remaining > 0 && progressed) {
     progressed = false;
-    for (std::size_t idx : order) {
+    for (std::size_t idx : order_) {
       if (remaining <= 0) break;
       const UserSlotInfo& user = ctx.users[idx];
       if (user.signal_dbm < threshold) continue;  // Eq. 12 admission filter
       const std::int64_t sup =
-          std::min(user.alloc_cap_units - alloc.units[idx], remaining);
+          std::min(user.alloc_cap_units - out.units[idx], remaining);
       if (sup <= 0) continue;
-      const std::int64_t grant = std::min(need[idx], sup);
+      const std::int64_t grant = std::min(need_[idx], sup);
       if (grant <= 0) continue;
-      alloc.units[idx] += grant;
+      out.units[idx] += grant;
       remaining -= grant;
       progressed = true;
     }
   }
-  return alloc;
 }
 
 }  // namespace jstream

@@ -14,8 +14,10 @@
 //      users buffer ahead, keeping the bandwidth fully utilized.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "gateway/scheduler.hpp"
 
@@ -43,6 +45,7 @@ class RtmaScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "rtma"; }
   void reset(std::size_t users) override;
   [[nodiscard]] Allocation allocate(const SlotContext& ctx) override;
+  void allocate_into(const SlotContext& ctx, Allocation& out) override;
 
   /// The Eq. 12 threshold used in the most recent slot (for diagnostics;
   /// -infinity when the budget is unconstrained).
@@ -57,6 +60,10 @@ class RtmaScheduler final : public Scheduler {
  private:
   RtmaConfig config_;
   double last_threshold_dbm_ = -std::numeric_limits<double>::infinity();
+  // Per-slot workspaces (sort order, per-user needs) reused across slots so
+  // the steady-state path stays allocation-free.
+  std::vector<std::size_t> order_;
+  std::vector<std::int64_t> need_;
 };
 
 }  // namespace jstream

@@ -38,14 +38,25 @@ void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endp
     UserEndpoint& endpoint = endpoints[i];
     UserSlotInfo& info = ctx.users[i];
     info.arrived = endpoint.arrived(slot);
-    info.signal_dbm = endpoint.signal->signal_dbm(slot);
+    if (endpoint.trace != nullptr) {
+      // Campaign path: the channel and both Definition 3/4 fits were batch-
+      // precomputed into the shared SoA trace — three array loads replace
+      // the virtual signal call and the two model evaluations.
+      require(slot < endpoint.trace->slots(), "slot beyond precomputed trace");
+      const std::size_t cell = endpoint.trace->index(endpoint.trace_user, slot);
+      info.signal_dbm = endpoint.trace->signal_data()[cell];
+      info.throughput_kbps = endpoint.trace->throughput_data()[cell];
+      info.energy_per_kb = endpoint.trace->energy_data()[cell];
+    } else {
+      info.signal_dbm = endpoint.signal->signal_dbm(slot);
+      // Evaluate the Definition 3/4 fits once here; every downstream consumer
+      // (cost loops, transmitter) reads the cached values.
+      info.throughput_kbps = link_.throughput->throughput_kbps(info.signal_dbm);
+      info.energy_per_kb = link_.power->energy_per_kb(info.signal_dbm);
+    }
     // The rate the scheduler must sustain is that of the content at the
     // delivery frontier (identical to the wall-clock rate for CBR sessions).
     info.bitrate_kbps = endpoint.session.bitrate_at_time(endpoint.content_time_s);
-    // Evaluate the Definition 3/4 fits once here; every downstream consumer
-    // (cost loops, transmitter) reads the cached values.
-    info.throughput_kbps = link_.throughput->throughput_kbps(info.signal_dbm);
-    info.energy_per_kb = link_.power->energy_per_kb(info.signal_dbm);
     info.remaining_kb = endpoint.remaining_kb();
     info.needs_data = info.arrived && info.remaining_kb > 0.0;
     info.link_units = params_.link_units(info.throughput_kbps);

@@ -10,6 +10,7 @@
 #include "media/video_session.hpp"
 #include "radio/rrc.hpp"
 #include "radio/signal_model.hpp"
+#include "radio/signal_trace.hpp"
 
 namespace jstream {
 
@@ -22,6 +23,19 @@ struct UserEndpoint {
   double delivered_kb = 0.0;   ///< content pushed over the air so far
   double content_time_s = 0.0; ///< playback position of the delivered prefix
   std::int64_t start_slot = 0; ///< first slot this session exists (arrivals)
+
+  /// Precomputed channel substrate (campaign engine). When attached, the
+  /// InfoCollector reads sig/v(sig)/P(sig) from the trace matrices instead
+  /// of driving `signal` — array loads replace the per-slot virtual call and
+  /// the two link-fit evaluations. Non-owning: the Simulator (or whoever
+  /// attaches it) keeps the shared_ptr alive for the run.
+  const SignalTraceSet* trace = nullptr;
+  std::size_t trace_user = 0;  ///< this endpoint's row in `trace`
+
+  void attach_trace(const SignalTraceSet* trace_set, std::size_t user) noexcept {
+    trace = trace_set;
+    trace_user = user;
+  }
 
   UserEndpoint(std::unique_ptr<SignalModel> signal_model, VideoSession video,
                RadioProfile radio, double tau_s, std::int64_t session_start_slot = 0)

@@ -1,0 +1,66 @@
+#include "radio/signal_trace.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace jstream {
+
+SignalTraceSet::SignalTraceSet(std::size_t users, std::int64_t slots)
+    : users_(users), slots_(slots) {
+  require(users > 0, "trace set needs at least one user");
+  require(slots > 0, "trace set needs at least one slot");
+  const std::size_t cells = users_ * checked_size(slots_);
+  signal_.resize(cells);
+  throughput_.resize(cells);
+  energy_.resize(cells);
+}
+
+void SignalTraceSet::fill_user(std::size_t user, SignalModel& model) {
+  require(user < users_, "trace user index out of range");
+  // Strided slot-major writes: generation is one-time, reads are the hot
+  // path, so the layout favours InfoCollector's per-slot row scans.
+  for (std::int64_t slot = 0; slot < slots_; ++slot) {
+    signal_[index(user, slot)] = model.signal_dbm(slot);
+  }
+}
+
+void SignalTraceSet::derive_link(const LinkModel& link) {
+  require(link.throughput != nullptr && link.power != nullptr,
+          "link model must be complete");
+  const ThroughputModel& throughput = *link.throughput;
+  const PowerModel& power = *link.power;
+  for (std::size_t i = 0; i < signal_.size(); ++i) {
+    throughput_[i] = throughput.throughput_kbps(signal_[i]);
+    energy_[i] = power.energy_per_kb(signal_[i]);
+  }
+  link_derived_ = true;
+}
+
+double SignalTraceSet::signal_dbm(std::size_t user, std::int64_t slot) const {
+  require(user < users_ && slot >= 0 && slot < slots_, "trace index out of range");
+  return signal_[index(user, slot)];
+}
+
+double SignalTraceSet::throughput_kbps(std::size_t user, std::int64_t slot) const {
+  require(user < users_ && slot >= 0 && slot < slots_, "trace index out of range");
+  require(link_derived_, "link quantities not derived yet");
+  return throughput_[index(user, slot)];
+}
+
+double SignalTraceSet::energy_per_kb(std::size_t user, std::int64_t slot) const {
+  require(user < users_ && slot >= 0 && slot < slots_, "trace index out of range");
+  require(link_derived_, "link quantities not derived yet");
+  return energy_[index(user, slot)];
+}
+
+std::size_t SignalTraceSet::total_bytes() const noexcept {
+  return (signal_.size() + throughput_.size() + energy_.size()) * sizeof(double);
+}
+
+std::size_t SignalTraceSet::estimate_bytes(std::size_t users,
+                                           std::int64_t slots) noexcept {
+  if (slots <= 0) return 0;
+  return 3 * sizeof(double) * users * static_cast<std::size_t>(slots);
+}
+
+}  // namespace jstream

@@ -1,0 +1,82 @@
+// Batched signal-trace substrate for the campaign engine.
+//
+// A SignalTraceSet holds the complete channel trajectory of a scenario —
+// sig_i(n) for every user i and slot n — plus the derived Definition 3/4
+// link quantities v(sig) and P(sig), as three contiguous slot-major
+// structure-of-arrays matrices (index = slot * users + user). Every figure
+// bench compares several schedulers over the *same* scenario and seeds, so
+// the trajectory is generated once, shared immutably
+// (std::shared_ptr<const SignalTraceSet>) across all schedulers and
+// replications, and read back as plain array loads on the per-slot hot path
+// instead of per-slot virtual SignalModel calls and repeated link-fit
+// evaluations. Generation walks the same SignalModel objects slot-by-slot in
+// order, so batched values are bit-identical to the incremental path (the
+// RNG stream order is preserved exactly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/link_model.hpp"
+#include "radio/signal_model.hpp"
+
+namespace jstream {
+
+/// Immutable-after-build SoA matrix set: users x slots RSSI plus derived
+/// throughput/power rows. Memory footprint: 8 * users * slots bytes per
+/// matrix, three matrices per set (see total_bytes / docs/PERFORMANCE.md).
+class SignalTraceSet {
+ public:
+  /// Allocates storage for `users` rows over `slots` slots (both > 0).
+  SignalTraceSet(std::size_t users, std::int64_t slots);
+
+  /// Fills user `user`'s row by querying `model` for slots 0..slots-1 in
+  /// order — the exact call sequence the incremental per-slot path performs,
+  /// so the stored values are bit-identical to slot-by-slot signal_dbm calls
+  /// on an identically-seeded model.
+  void fill_user(std::size_t user, SignalModel& model);
+
+  /// Evaluates the Definition 3/4 fits over the whole signal matrix into the
+  /// derived throughput (KB/s) and energy (mJ/KB) matrices. Must run after
+  /// every row is filled; required before the set can back a simulation.
+  void derive_link(const LinkModel& link);
+
+  [[nodiscard]] std::size_t users() const noexcept { return users_; }
+  [[nodiscard]] std::int64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] bool link_derived() const noexcept { return link_derived_; }
+
+  /// Flat slot-major index of (user, slot); valid for slot in [0, slots).
+  [[nodiscard]] std::size_t index(std::size_t user, std::int64_t slot) const noexcept {
+    return static_cast<std::size_t>(slot) * users_ + user;
+  }
+
+  /// Bounds-checked element accessors (tests, diagnostics).
+  [[nodiscard]] double signal_dbm(std::size_t user, std::int64_t slot) const;
+  [[nodiscard]] double throughput_kbps(std::size_t user, std::int64_t slot) const;
+  [[nodiscard]] double energy_per_kb(std::size_t user, std::int64_t slot) const;
+
+  /// Raw SoA pointers for the hot path (InfoCollector); index with index().
+  [[nodiscard]] const double* signal_data() const noexcept { return signal_.data(); }
+  [[nodiscard]] const double* throughput_data() const noexcept {
+    return throughput_.data();
+  }
+  [[nodiscard]] const double* energy_data() const noexcept { return energy_.data(); }
+
+  /// Resident bytes of the three matrices (3 * 8 * users * slots).
+  [[nodiscard]] std::size_t total_bytes() const noexcept;
+
+  /// Estimate of total_bytes for a set of the given dimensions, usable
+  /// before construction (cache budget accounting).
+  [[nodiscard]] static std::size_t estimate_bytes(std::size_t users,
+                                                  std::int64_t slots) noexcept;
+
+ private:
+  std::size_t users_;
+  std::int64_t slots_;
+  std::vector<double> signal_;      ///< sig_i(n), dBm
+  std::vector<double> throughput_;  ///< v(sig_i(n)), KB/s
+  std::vector<double> energy_;      ///< P(sig_i(n)), mJ/KB
+  bool link_derived_ = false;
+};
+
+}  // namespace jstream

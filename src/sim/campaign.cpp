@@ -1,0 +1,44 @@
+#include "sim/campaign.hpp"
+
+#include "common/thread_pool.hpp"
+#include "telemetry/registry.hpp"
+
+namespace jstream {
+
+std::vector<ExperimentSpec> make_campaign_grid(const ScenarioConfig& base,
+                                               std::span<const CampaignSeries> series,
+                                               std::size_t replications) {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(series.size() * replications);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    for (const CampaignSeries& s : series) {
+      ExperimentSpec spec;
+      spec.label = s.label;
+      spec.scheduler = s.scheduler;
+      spec.scenario = base;
+      spec.scenario.seed = base.seed + rep;
+      spec.options = s.options;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<RunMetrics> run_campaign(std::span<const ExperimentSpec> specs,
+                                     const CampaignOptions& options) {
+  telemetry::global_registry().counter("campaign.runs").add();
+  telemetry::global_registry()
+      .counter("campaign.cells")
+      .add(static_cast<std::int64_t>(specs.size()));
+  TraceCache* cache = options.cache != nullptr ? options.cache : &global_trace_cache();
+  ThreadPool pool(options.threads);
+  return parallel_map(pool, specs.size(), [&](std::size_t i) {
+    const ExperimentSpec& spec = specs[i];
+    const std::shared_ptr<const SignalTraceSet> trace =
+        options.use_trace_cache ? cache->get_or_generate(spec.scenario)
+                                : generate_signal_trace_set(spec.scenario);
+    return run_experiment(spec, options.keep_series, trace);
+  });
+}
+
+}  // namespace jstream

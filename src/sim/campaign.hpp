@@ -1,0 +1,50 @@
+// Campaign engine: runs a scheduler x seed grid of experiments on the thread
+// pool while sharing each scenario's precomputed channel substrate across
+// every scheduler and replication that needs it. Per-cell work drops from
+// "generate 10000-slot traces, then simulate" to "simulate against shared
+// matrices" — the trace is generated once per (scenario, seed) and served
+// immutably out of a byte-budgeted LRU cache.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "sim/trace_cache.hpp"
+
+namespace jstream {
+
+/// One scheduler series in a campaign grid (label + factory name + options);
+/// the grid crosses these with the replication seeds.
+struct CampaignSeries {
+  std::string label;
+  std::string scheduler;
+  SchedulerOptions options;
+};
+
+/// Execution knobs for run_campaign.
+struct CampaignOptions {
+  std::size_t threads = 0;       ///< pool size, 0 = hardware concurrency
+  bool keep_series = false;      ///< retain per-slot series in each RunMetrics
+  bool use_trace_cache = true;   ///< false = regenerate the trace per cell
+  TraceCache* cache = nullptr;   ///< trace store; null = global_trace_cache()
+};
+
+/// Builds the scheduler x seed grid: for each replication `rep` (seed =
+/// base.seed + rep), one spec per series. Results are rep-major —
+/// `result[rep * series.size() + s]` is series `s` under seed base.seed+rep —
+/// so chunked parallel execution keeps each shard on few distinct seeds and
+/// the shared trace cache hot.
+[[nodiscard]] std::vector<ExperimentSpec> make_campaign_grid(
+    const ScenarioConfig& base, std::span<const CampaignSeries> series,
+    std::size_t replications);
+
+/// Runs every spec on the pool (order-preserving, same contract as run_sweep)
+/// with the channel substrate shared through the trace cache. With
+/// `use_trace_cache` off each cell generates its own trace — same results,
+/// bit for bit; this is the baseline the perf gate measures against.
+[[nodiscard]] std::vector<RunMetrics> run_campaign(
+    std::span<const ExperimentSpec> specs, const CampaignOptions& options = {});
+
+}  // namespace jstream

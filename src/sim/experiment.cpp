@@ -6,14 +6,18 @@
 
 namespace jstream {
 
-RunMetrics run_experiment(const ExperimentSpec& spec, bool keep_series) {
-  Simulator simulator(spec.scenario, make_scheduler(spec.scheduler, spec.options));
+RunMetrics run_experiment(const ExperimentSpec& spec, bool keep_series,
+                          std::shared_ptr<const SignalTraceSet> trace) {
+  Simulator simulator(spec.scenario, make_scheduler(spec.scheduler, spec.options),
+                      SchedulingMode::kBaseline, std::move(trace));
   return simulator.run(keep_series);
 }
 
-DefaultReference run_default_reference(const ScenarioConfig& scenario) {
-  const RunMetrics metrics = simulate(scenario, make_scheduler("default"),
-                                      /*keep_series=*/false);
+DefaultReference run_default_reference(const ScenarioConfig& scenario,
+                                       TraceCache* cache) {
+  const RunMetrics metrics =
+      simulate(scenario, make_scheduler("default"), /*keep_series=*/false,
+               cache != nullptr ? cache->get_or_generate(scenario) : nullptr);
   DefaultReference reference;
   reference.energy_per_user_slot_mj = metrics.avg_energy_per_user_slot_mj();
   reference.rebuffer_per_user_slot_s = metrics.avg_rebuffer_per_user_slot_s();
@@ -38,16 +42,19 @@ SchedulerOptions rtma_options_for_alpha(double alpha, const DefaultReference& re
 }
 
 double calibrate_v_for_rebuffer(const ScenarioConfig& scenario, double omega_s,
-                                double v_min, double v_max, int iterations) {
+                                double v_min, double v_max, int iterations,
+                                TraceCache* cache) {
   require(omega_s >= 0.0, "rebuffering bound must be non-negative");
   require(v_min > 0.0 && v_min < v_max, "V search range is invalid");
   require(iterations > 0, "need at least one iteration");
 
+  const std::shared_ptr<const SignalTraceSet> trace =
+      cache != nullptr ? cache->get_or_generate(scenario) : nullptr;
   const auto rebuffer_at = [&](double v) {
     SchedulerOptions options;
     options.ema.v_weight = v;
-    const RunMetrics metrics =
-        simulate(scenario, make_scheduler("ema-fast", options), /*keep_series=*/false);
+    const RunMetrics metrics = simulate(scenario, make_scheduler("ema-fast", options),
+                                        /*keep_series=*/false, trace);
     return metrics.avg_rebuffer_per_user_slot_s();
   };
 

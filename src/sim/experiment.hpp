@@ -13,6 +13,7 @@
 
 #include "baselines/factory.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace_cache.hpp"
 
 namespace jstream {
 
@@ -24,9 +25,13 @@ struct ExperimentSpec {
   SchedulerOptions options;
 };
 
-/// Runs one spec and returns its metrics.
+/// Runs one spec and returns its metrics. When `trace` is set the run reads
+/// the channel from the precomputed substrate (see Simulator); results are
+/// bit-identical either way.
 [[nodiscard]] RunMetrics run_experiment(const ExperimentSpec& spec,
-                                        bool keep_series = true);
+                                        bool keep_series = true,
+                                        std::shared_ptr<const SignalTraceSet> trace =
+                                            nullptr);
 
 /// Reference quantities from a default-strategy run over `scenario`.
 struct DefaultReference {
@@ -44,7 +49,10 @@ struct DefaultReference {
 };
 
 /// Runs the default scheduler over `scenario` and extracts the references.
-[[nodiscard]] DefaultReference run_default_reference(const ScenarioConfig& scenario);
+/// With `cache` set, the reference run pulls its channel trace from the cache
+/// so later campaign runs over the same scenario reuse the entry.
+[[nodiscard]] DefaultReference run_default_reference(const ScenarioConfig& scenario,
+                                                     TraceCache* cache = nullptr);
 
 /// RTMA options with Phi = alpha * E_default (per user-slot, mJ).
 [[nodiscard]] SchedulerOptions rtma_options_for_alpha(double alpha,
@@ -55,8 +63,12 @@ struct DefaultReference {
 /// over `iterations` simulation runs between v_min and v_max. The probe runs
 /// use the ema-fast solver (same queue dynamics, O(N log N) per slot) so
 /// calibration stays cheap; the calibrated V is then used with either solver.
+/// With `cache` set, every probe simulation reuses one cached channel trace
+/// instead of regenerating it per probe (the bisection runs ~a dozen sims
+/// over the identical scenario).
 [[nodiscard]] double calibrate_v_for_rebuffer(const ScenarioConfig& scenario,
                                               double omega_s, double v_min = 1e-4,
-                                              double v_max = 10.0, int iterations = 10);
+                                              double v_max = 10.0, int iterations = 10,
+                                              TraceCache* cache = nullptr);
 
 }  // namespace jstream

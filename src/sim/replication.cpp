@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "sim/sweep.hpp"
+#include "sim/campaign.hpp"
 #include "telemetry/registry.hpp"
 
 namespace jstream {
@@ -23,16 +23,18 @@ ReplicationResult replicate_experiment(const ExperimentSpec& spec,
   telemetry::global_registry()
       .counter("replication.replicas")
       .add(static_cast<std::int64_t>(replications));
-  std::vector<ExperimentSpec> specs;
-  specs.reserve(replications);
-  for (std::size_t rep = 0; rep < replications; ++rep) {
-    ExperimentSpec replica = spec;
-    replica.scenario.seed = spec.scenario.seed + rep;
-    specs.push_back(std::move(replica));
-  }
+  // One-series campaign grid: specs[rep] runs seed+rep, and every replication
+  // pulls its channel trace from the shared cache (a win whenever several
+  // schedulers replicate over the same scenario in one process).
+  const CampaignSeries series[] = {{spec.label, spec.scheduler, spec.options}};
+  const std::vector<ExperimentSpec> specs =
+      make_campaign_grid(spec.scenario, series, replications);
 
   ReplicationResult result;
-  result.runs = run_sweep(specs, threads, /*keep_series=*/true);
+  CampaignOptions options;
+  options.threads = threads;
+  options.keep_series = true;
+  result.runs = run_campaign(specs, options);
 
   const auto collect = [&](auto getter) {
     std::vector<double> values;

@@ -31,14 +31,27 @@ struct SimulatorTelemetry {
 }  // namespace
 
 Simulator::Simulator(ScenarioConfig config, std::unique_ptr<Scheduler> scheduler,
-                     SchedulingMode mode)
-    : config_(std::move(config)), scheduler_(std::move(scheduler)), mode_(mode) {
+                     SchedulingMode mode, std::shared_ptr<const SignalTraceSet> trace)
+    : config_(std::move(config)),
+      scheduler_(std::move(scheduler)),
+      mode_(mode),
+      trace_(std::move(trace)) {
   validate(config_);
   require(scheduler_ != nullptr, "simulator needs a scheduler");
+  if (trace_ != nullptr) {
+    require(trace_->users() == config_.users, "trace population mismatch");
+    require(trace_->slots() >= config_.max_slots, "trace shorter than the horizon");
+    require(trace_->link_derived(), "trace is missing the derived link matrices");
+  }
 }
 
 RunMetrics Simulator::run(bool keep_series) {
   std::vector<UserEndpoint> endpoints = build_endpoints(config_);
+  if (trace_ != nullptr) {
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      endpoints[i].attach_trace(trace_.get(), i);
+    }
+  }
   const BaseStation bs(capacity_profile(config_));
   InfoCollector collector(config_.slot, config_.link, config_.radio);
   const double backhaul = config_.backhaul_kbps > 0.0
@@ -77,8 +90,9 @@ RunMetrics Simulator::run(bool keep_series) {
 }
 
 RunMetrics simulate(const ScenarioConfig& config, std::unique_ptr<Scheduler> scheduler,
-                    bool keep_series) {
-  Simulator simulator(config, std::move(scheduler));
+                    bool keep_series, std::shared_ptr<const SignalTraceSet> trace) {
+  Simulator simulator(config, std::move(scheduler), SchedulingMode::kBaseline,
+                      std::move(trace));
   return simulator.run(keep_series);
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "gateway/framework.hpp"
+#include "radio/signal_trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 
@@ -15,9 +16,14 @@ namespace jstream {
 class Simulator {
  public:
   /// Takes ownership of the scheduler. `mode` is recorded on the framework
-  /// for introspection; it does not alter behaviour.
+  /// for introspection; it does not alter behaviour. `trace` optionally
+  /// supplies the precomputed channel substrate (campaign engine): when set
+  /// it must cover the scenario (same population, >= max_slots slots, link
+  /// matrices derived) and the run reads signals from it instead of driving
+  /// the per-endpoint SignalModels — bit-identical results either way.
   Simulator(ScenarioConfig config, std::unique_ptr<Scheduler> scheduler,
-            SchedulingMode mode = SchedulingMode::kBaseline);
+            SchedulingMode mode = SchedulingMode::kBaseline,
+            std::shared_ptr<const SignalTraceSet> trace = nullptr);
 
   /// Runs to completion: until max_slots, or (with early_stop) until every
   /// session has finished and the RRC tails have been flushed. `keep_series`
@@ -30,11 +36,13 @@ class Simulator {
   ScenarioConfig config_;
   std::unique_ptr<Scheduler> scheduler_;
   SchedulingMode mode_;
+  std::shared_ptr<const SignalTraceSet> trace_;
 };
 
 /// Convenience wrapper: build, run, and return metrics in one call.
 [[nodiscard]] RunMetrics simulate(const ScenarioConfig& config,
                                   std::unique_ptr<Scheduler> scheduler,
-                                  bool keep_series = true);
+                                  bool keep_series = true,
+                                  std::shared_ptr<const SignalTraceSet> trace = nullptr);
 
 }  // namespace jstream

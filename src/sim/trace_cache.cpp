@@ -1,0 +1,255 @@
+#include "sim/trace_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "common/error.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/scoped_timer.hpp"
+
+namespace jstream {
+
+namespace {
+
+struct TraceCacheTelemetry {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& evictions;
+  telemetry::Histogram& generate_latency_us;
+
+  static TraceCacheTelemetry& instance() {
+    auto& registry = telemetry::global_registry();
+    static TraceCacheTelemetry probes{
+        registry.counter("trace_cache.hits"), registry.counter("trace_cache.misses"),
+        registry.counter("trace_cache.evictions"),
+        registry.histogram("trace_cache.generate_latency_us")};
+    return probes;
+  }
+};
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+}
+
+void fnv_mix(std::uint64_t& hash, double value) noexcept {
+  fnv_mix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t hash_trace(const std::vector<double>& trace) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  for (double sample : trace) fnv_mix(hash, sample);
+  return hash;
+}
+
+// Behavioural fingerprint: two link models that answer identically at the
+// probe signals produce bit-identical derived matrices over the clamped
+// signal range, so they can share cache entries even when the shared_ptr
+// identities differ (every paper_scenario() builds a fresh LinkModel).
+std::uint64_t link_fingerprint(const LinkModel& link) {
+  require(link.throughput != nullptr && link.power != nullptr,
+          "link model must be complete");
+  std::uint64_t hash = kFnvOffset;
+  for (double dbm : {-110.0, -95.0, -80.0, -65.0, -50.0}) {
+    fnv_mix(hash, link.throughput->throughput_kbps(dbm));
+    fnv_mix(hash, link.power->energy_per_kb(dbm));
+  }
+  return hash;
+}
+
+bool same(const SineSignalParams& a, const SineSignalParams& b) noexcept {
+  return a.min_dbm == b.min_dbm && a.max_dbm == b.max_dbm &&
+         a.period_slots == b.period_slots && a.phase_radians == b.phase_radians &&
+         a.noise_stddev_db == b.noise_stddev_db;
+}
+
+bool same(const GaussMarkovSignalModel::Params& a,
+          const GaussMarkovSignalModel::Params& b) noexcept {
+  return a.mean_dbm == b.mean_dbm && a.rho == b.rho &&
+         a.noise_stddev_db == b.noise_stddev_db && a.min_dbm == b.min_dbm &&
+         a.max_dbm == b.max_dbm;
+}
+
+}  // namespace
+
+bool TraceKey::operator==(const TraceKey& other) const noexcept {
+  return users == other.users && slots == other.slots && seed == other.seed &&
+         kind == other.kind && vbr == other.vbr && same(sine, other.sine) &&
+         same(gauss_markov, other.gauss_markov) && trace_hash == other.trace_hash &&
+         link_fingerprint == other.link_fingerprint;
+}
+
+std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, static_cast<std::uint64_t>(key.users));
+  fnv_mix(hash, static_cast<std::uint64_t>(key.slots));
+  fnv_mix(hash, key.seed);
+  fnv_mix(hash, static_cast<std::uint64_t>(key.kind));
+  fnv_mix(hash, static_cast<std::uint64_t>(key.vbr));
+  fnv_mix(hash, key.sine.min_dbm);
+  fnv_mix(hash, key.sine.max_dbm);
+  fnv_mix(hash, key.sine.period_slots);
+  fnv_mix(hash, key.sine.phase_radians);
+  fnv_mix(hash, key.sine.noise_stddev_db);
+  fnv_mix(hash, key.gauss_markov.mean_dbm);
+  fnv_mix(hash, key.gauss_markov.rho);
+  fnv_mix(hash, key.gauss_markov.noise_stddev_db);
+  fnv_mix(hash, key.gauss_markov.min_dbm);
+  fnv_mix(hash, key.gauss_markov.max_dbm);
+  fnv_mix(hash, key.trace_hash);
+  fnv_mix(hash, key.link_fingerprint);
+  return static_cast<std::size_t>(hash);
+}
+
+TraceKey make_trace_key(const ScenarioConfig& config) {
+  TraceKey key;
+  key.users = config.users;
+  key.slots = config.max_slots;
+  key.seed = config.seed;
+  key.kind = config.signal_kind;
+  // VBR switches the bitrate builder from a uniform() draw to a pure split,
+  // shifting every RNG draw that follows it (including the sine phase), so
+  // it is part of the trace identity even though bitrates are not.
+  key.vbr = config.vbr;
+  key.sine = config.signal;
+  key.gauss_markov = config.gauss_markov;
+  key.trace_hash = config.signal_kind == SignalKind::kTrace
+                       ? hash_trace(config.trace_dbm)
+                       : 0;
+  key.link_fingerprint = link_fingerprint(config.link);
+  return key;
+}
+
+std::shared_ptr<const SignalTraceSet> generate_signal_trace_set(
+    const ScenarioConfig& config) {
+  auto& probes = TraceCacheTelemetry::instance();
+  telemetry::ScopedTimer timer(probes.generate_latency_us);
+  // build_endpoints constructs every user's SignalModel with exactly the
+  // per-user RNG stream the incremental path would use; walking those models
+  // slot-by-slot reproduces its values bit-for-bit.
+  std::vector<UserEndpoint> endpoints = build_endpoints(config);
+  auto set = std::make_shared<SignalTraceSet>(config.users, config.max_slots);
+  for (std::size_t user = 0; user < endpoints.size(); ++user) {
+    set->fill_user(user, *endpoints[user].signal);
+  }
+  set->derive_link(config.link);
+  return set;
+}
+
+TraceCache::TraceCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::shared_ptr<const SignalTraceSet> TraceCache::get_or_generate(
+    const ScenarioConfig& config) {
+  auto& probes = TraceCacheTelemetry::instance();
+  const TraceKey key = make_trace_key(config);
+  TraceFuture future;
+  std::promise<std::shared_ptr<const SignalTraceSet>> promise;
+  bool generate = false;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, found->second);
+      future = found->second->future;
+    } else {
+      ++misses_;
+      generate = true;
+      future = promise.get_future().share();
+      lru_.push_front(Entry{key, future,
+                            SignalTraceSet::estimate_bytes(config.users,
+                                                           config.max_slots)});
+      resident_bytes_ += lru_.front().bytes;
+      index_.emplace(key, lru_.begin());
+      evict_locked();
+    }
+  }
+  if (telemetry::enabled()) {
+    (generate ? probes.misses : probes.hits).add();
+  }
+  if (generate) {
+    try {
+      promise.set_value(generate_signal_trace_set(config));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Forget the poisoned entry so a later call retries; waiters already
+      // holding the future still observe the exception.
+      const std::lock_guard lock(mutex_);
+      const auto found = index_.find(key);
+      if (found != index_.end()) {
+        resident_bytes_ -= found->second->bytes;
+        lru_.erase(found->second);
+        index_.erase(found);
+      }
+      throw;
+    }
+  }
+  return future.get();
+}
+
+std::size_t TraceCache::max_bytes() const {
+  const std::lock_guard lock(mutex_);
+  return max_bytes_;
+}
+
+void TraceCache::set_max_bytes(std::size_t max_bytes) {
+  const std::lock_guard lock(mutex_);
+  max_bytes_ = max_bytes;
+  evict_locked();
+}
+
+void TraceCache::evict_locked() {
+  auto& probes = TraceCacheTelemetry::instance();
+  while (lru_.size() > 1 && resident_bytes_ > max_bytes_) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    if (telemetry::enabled()) probes.evictions.add();
+  }
+}
+
+std::size_t TraceCache::size() const {
+  const std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t TraceCache::resident_bytes() const {
+  const std::lock_guard lock(mutex_);
+  return resident_bytes_;
+}
+
+std::uint64_t TraceCache::hits() const {
+  const std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t TraceCache::misses() const {
+  const std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t TraceCache::evictions() const {
+  const std::lock_guard lock(mutex_);
+  return evictions_;
+}
+
+void TraceCache::clear() {
+  const std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  resident_bytes_ = 0;
+}
+
+TraceCache& global_trace_cache() {
+  static TraceCache cache;
+  return cache;
+}
+
+}  // namespace jstream

@@ -1,0 +1,115 @@
+// Seed-keyed LRU cache of precomputed signal-trace sets.
+//
+// A campaign grid (schedulers x seeds over one scenario) replays the same
+// channel trajectory once per cell; the cache collapses that to one
+// generation per (scenario, seed) and hands every cell the same immutable
+// std::shared_ptr<const SignalTraceSet>. Keys capture exactly the
+// ScenarioConfig fields that influence the signal matrix — the population,
+// horizon, seed, RSSI process parameters, the VBR flag (it changes the
+// per-user RNG draw order ahead of the signal-model construction), and a
+// behavioural fingerprint of the link model (probed, not pointer-compared,
+// so two configs holding separately-constructed paper link models share
+// entries). Entries are evicted least-recently-used once the resident-byte
+// budget is exceeded; the most recent entry is always retained. Concurrent
+// lookups are safe: the first shard to miss generates while the map lock is
+// released, and racing shards block on a shared future instead of
+// duplicating the work.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "radio/signal_trace.hpp"
+#include "sim/scenario.hpp"
+
+namespace jstream {
+
+/// Identity of one cached trace set. Two configs with equal keys produce
+/// bit-identical SignalTraceSets.
+struct TraceKey {
+  std::size_t users = 0;
+  std::int64_t slots = 0;
+  std::uint64_t seed = 0;
+  SignalKind kind = SignalKind::kSine;
+  bool vbr = false;
+  SineSignalParams sine;
+  GaussMarkovSignalModel::Params gauss_markov;
+  std::uint64_t trace_hash = 0;      ///< FNV over trace_dbm bit patterns
+  std::uint64_t link_fingerprint = 0;  ///< hash of link-fit probes
+
+  [[nodiscard]] bool operator==(const TraceKey& other) const noexcept;
+};
+
+/// Hash functor for unordered_map<TraceKey, ...>.
+struct TraceKeyHash {
+  [[nodiscard]] std::size_t operator()(const TraceKey& key) const noexcept;
+};
+
+/// Extracts the trace identity of a scenario (see TraceKey).
+[[nodiscard]] TraceKey make_trace_key(const ScenarioConfig& config);
+
+/// Generates the full trace set for a scenario: builds the per-user signal
+/// models exactly as build_endpoints does (same RNG stream order), walks
+/// them over [0, max_slots), and derives the link matrices. Bit-identical to
+/// the incremental per-slot path by construction.
+[[nodiscard]] std::shared_ptr<const SignalTraceSet> generate_signal_trace_set(
+    const ScenarioConfig& config);
+
+/// Thread-safe byte-budgeted LRU cache over generate_signal_trace_set.
+class TraceCache {
+ public:
+  /// `max_bytes` budgets the resident trace matrices (estimate_bytes per
+  /// entry); the most recently used entry is never evicted, so a single
+  /// oversized scenario still caches. Default: 1 GiB.
+  explicit TraceCache(std::size_t max_bytes = kDefaultMaxBytes);
+
+  /// Returns the cached set for the config's trace key, generating it on a
+  /// miss. Concurrent callers for the same key share one generation.
+  /// Propagates generation failures (and forgets the entry so later calls
+  /// retry).
+  [[nodiscard]] std::shared_ptr<const SignalTraceSet> get_or_generate(
+      const ScenarioConfig& config);
+
+  [[nodiscard]] std::size_t max_bytes() const;
+  void set_max_bytes(std::size_t max_bytes);
+
+  [[nodiscard]] std::size_t size() const;            ///< resident entries
+  [[nodiscard]] std::size_t resident_bytes() const;  ///< estimate over entries
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+  void clear();
+
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{1} << 30;
+
+ private:
+  using TraceFuture = std::shared_future<std::shared_ptr<const SignalTraceSet>>;
+
+  struct Entry {
+    TraceKey key;
+    TraceFuture future;
+    std::size_t bytes = 0;  ///< estimate_bytes at insert time
+  };
+
+  /// Drops LRU entries until the budget holds (keeps >= 1 entry). Caller
+  /// must hold mutex_.
+  void evict_locked();
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<TraceKey, std::list<Entry>::iterator, TraceKeyHash> index_;
+  std::size_t max_bytes_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Process-wide cache shared by the campaign runner and the bench harness.
+[[nodiscard]] TraceCache& global_trace_cache();
+
+}  // namespace jstream

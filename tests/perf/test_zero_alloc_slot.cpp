@@ -12,9 +12,13 @@
 #include <new>
 
 #include "baselines/default_scheduler.hpp"
+#include "core/adaptive_rtma.hpp"
 #include "core/ema.hpp"
 #include "core/ema_fast.hpp"
+#include "core/rtma.hpp"
 #include "gateway/framework.hpp"
+#include "radio/link_model.hpp"
+#include "radio/signal_trace.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -105,6 +109,36 @@ TEST(ZeroAllocSlot, EmaGreedySteadyStateIsAllocationFree) {
 
 TEST(ZeroAllocSlot, DefaultSchedulerSteadyStateIsAllocationFree) {
   EXPECT_EQ(steady_state_allocs(std::make_unique<DefaultScheduler>()), 0u);
+}
+
+TEST(ZeroAllocSlot, RtmaSteadyStateIsAllocationFree) {
+  // Finite budget so the Eq. 12 threshold bisection runs every slot too.
+  RtmaConfig config;
+  config.energy_budget_mj = 1000.0;
+  EXPECT_EQ(steady_state_allocs(std::make_unique<RtmaScheduler>(config)), 0u);
+}
+
+TEST(ZeroAllocSlot, AdaptiveRtmaSteadyStateIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocs(std::make_unique<AdaptiveRtmaScheduler>()), 0u);
+}
+
+TEST(ZeroAllocSlot, TracedSlotPathIsAllocationFree) {
+  // Campaign path: endpoints read the precomputed SoA matrices instead of
+  // driving their SignalModels — still zero allocations per slot.
+  auto endpoints = make_endpoints({-65.0, -75.0, -85.0, -95.0, -105.0}, 400.0, 1e9);
+  SignalTraceSet trace(endpoints.size(), /*slots=*/300);
+  for (std::size_t user = 0; user < endpoints.size(); ++user) {
+    trace.fill_user(user, *endpoints[user].signal);
+  }
+  trace.derive_link(make_paper_link_model());
+  for (std::size_t user = 0; user < endpoints.size(); ++user) {
+    endpoints[user].attach_trace(&trace, user);
+  }
+  const BaseStation bs(2000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kEnergyMinimization, endpoints.size());
+  (void)allocations_over_slots(framework, endpoints, bs, 0, 50);
+  EXPECT_EQ(allocations_over_slots(framework, endpoints, bs, 50, 200), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+// Differential correctness of batched trace generation: for every signal
+// model kind, filling a SignalTraceSet row must be bit-identical (EXPECT_EQ
+// on the doubles, no tolerance) to querying an identically-constructed model
+// slot-by-slot — the cached campaign path is only sound if the batch and the
+// incremental path read the exact same RNG stream in the exact same order.
+
+#include "radio/signal_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "radio/link_model.hpp"
+#include "radio/signal_model.hpp"
+
+namespace jstream {
+namespace {
+
+constexpr std::int64_t kSlots = 400;
+
+// Fills row 0 of a fresh single-user set from `batch` and checks it against
+// slot-by-slot queries of `incremental` (an identically-seeded twin).
+void expect_batch_matches_incremental(SignalModel& batch, SignalModel& incremental) {
+  SignalTraceSet set(/*users=*/1, kSlots);
+  set.fill_user(0, batch);
+  for (std::int64_t slot = 0; slot < kSlots; ++slot) {
+    EXPECT_EQ(set.signal_dbm(0, slot), incremental.signal_dbm(slot))
+        << "slot " << slot;
+  }
+}
+
+TEST(SignalTraceSet, SineBatchBitIdenticalToIncremental) {
+  SineSignalParams params;
+  params.phase_radians = 1.25;
+  const Rng rng(2024);
+  SineSignalModel batch(params, rng.split(7));
+  SineSignalModel incremental(params, rng.split(7));
+  expect_batch_matches_incremental(batch, incremental);
+}
+
+TEST(SignalTraceSet, GaussMarkovBatchBitIdenticalToIncremental) {
+  GaussMarkovSignalModel::Params params;
+  const Rng rng(99);
+  GaussMarkovSignalModel batch(params, rng.split(3));
+  GaussMarkovSignalModel incremental(params, rng.split(3));
+  expect_batch_matches_incremental(batch, incremental);
+}
+
+TEST(SignalTraceSet, TraceBatchBitIdenticalToIncremental) {
+  const std::vector<double> trace{-60.0, -72.5, -81.25, -99.0, -105.5};
+  TraceSignalModel batch(trace);
+  TraceSignalModel incremental(trace);
+  expect_batch_matches_incremental(batch, incremental);
+}
+
+TEST(SignalTraceSet, ConstantBatchBitIdenticalToIncremental) {
+  ConstantSignalModel batch(-77.0);
+  ConstantSignalModel incremental(-77.0);
+  expect_batch_matches_incremental(batch, incremental);
+}
+
+TEST(SignalTraceSet, DeriveLinkMatchesModelEvaluations) {
+  GaussMarkovSignalModel::Params params;
+  const Rng rng(5);
+  GaussMarkovSignalModel model(params, rng.split(1));
+  SignalTraceSet set(/*users=*/1, kSlots);
+  set.fill_user(0, model);
+  EXPECT_FALSE(set.link_derived());
+
+  const LinkModel link = make_paper_link_model();
+  set.derive_link(link);
+  ASSERT_TRUE(set.link_derived());
+  for (std::int64_t slot = 0; slot < kSlots; ++slot) {
+    const double sig = set.signal_dbm(0, slot);
+    EXPECT_EQ(set.throughput_kbps(0, slot), link.throughput->throughput_kbps(sig));
+    EXPECT_EQ(set.energy_per_kb(0, slot), link.power->energy_per_kb(sig));
+  }
+}
+
+TEST(SignalTraceSet, SlotMajorLayoutAndAccounting) {
+  SignalTraceSet set(/*users=*/3, /*slots=*/5);
+  // index() is slot-major: consecutive users of one slot are adjacent.
+  EXPECT_EQ(set.index(0, 0), 0u);
+  EXPECT_EQ(set.index(2, 0), 2u);
+  EXPECT_EQ(set.index(0, 1), 3u);
+  EXPECT_EQ(set.total_bytes(), 3u * 8u * 3u * 5u);
+  EXPECT_EQ(SignalTraceSet::estimate_bytes(3, 5), set.total_bytes());
+}
+
+TEST(SignalTraceSet, RejectsInvalidUse) {
+  EXPECT_THROW(SignalTraceSet(0, 10), Error);
+  EXPECT_THROW(SignalTraceSet(1, 0), Error);
+  SignalTraceSet set(/*users=*/1, /*slots=*/4);
+  ConstantSignalModel model(-70.0);
+  EXPECT_THROW(set.fill_user(1, model), Error);
+  EXPECT_THROW((void)set.signal_dbm(0, 4), Error);
+  // Derived accessors refuse to serve before derive_link.
+  set.fill_user(0, model);
+  EXPECT_THROW((void)set.throughput_kbps(0, 0), Error);
+}
+
+}  // namespace
+}  // namespace jstream

@@ -1,0 +1,170 @@
+// Trace cache behaviour: key identity mirrors exactly the scenario fields
+// that shape the signal matrix, generation reproduces the per-endpoint
+// models bit-for-bit, and the LRU honours its byte budget while never
+// evicting the most recent entry.
+
+#include "sim/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t seed = 7) {
+  ScenarioConfig config = paper_scenario(/*users=*/4, seed);
+  config.max_slots = 120;
+  return config;
+}
+
+TEST(TraceKey, EqualConfigsShareAKey) {
+  // paper_scenario builds a fresh LinkModel each call; the behavioural
+  // fingerprint must still identify the two configs as cache-equal.
+  const TraceKey a = make_trace_key(small_scenario());
+  const TraceKey b = make_trace_key(small_scenario());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(TraceKeyHash{}(a), TraceKeyHash{}(b));
+}
+
+TEST(TraceKey, SensitiveToSignalShapingFields) {
+  const ScenarioConfig base = small_scenario();
+  const TraceKey key = make_trace_key(base);
+
+  ScenarioConfig other = base;
+  other.seed = base.seed + 1;
+  EXPECT_FALSE(key == make_trace_key(other));
+
+  other = base;
+  other.users += 1;
+  EXPECT_FALSE(key == make_trace_key(other));
+
+  other = base;
+  other.max_slots += 1;
+  EXPECT_FALSE(key == make_trace_key(other));
+
+  other = base;
+  other.signal_kind = SignalKind::kGaussMarkov;
+  EXPECT_FALSE(key == make_trace_key(other));
+
+  other = base;
+  other.signal.period_slots *= 2.0;
+  EXPECT_FALSE(key == make_trace_key(other));
+
+  // VBR flips the bitrate builder from a uniform() draw to a split, shifting
+  // every later per-user draw (including the sine phase) — different trace.
+  other = base;
+  other.vbr = true;
+  EXPECT_FALSE(key == make_trace_key(other));
+}
+
+TEST(TraceKey, InsensitiveToNonSignalFields) {
+  // Capacity, horizon-independent knobs, and metric ranges that consume a
+  // fixed number of RNG draws do not alter the signal matrix.
+  const ScenarioConfig base = small_scenario();
+  ScenarioConfig other = base;
+  other.capacity_kbps *= 2.0;
+  other.video_min_mb += 50.0;
+  other.video_max_mb += 50.0;
+  other.bitrate_min_kbps += 10.0;
+  other.bitrate_max_kbps += 10.0;
+  other.arrival_spread_slots = 40;
+  other.early_stop = false;
+  EXPECT_TRUE(make_trace_key(base) == make_trace_key(other));
+}
+
+TEST(TraceCacheTest, GenerateMatchesEndpointModelsBitForBit) {
+  for (const SignalKind kind :
+       {SignalKind::kSine, SignalKind::kGaussMarkov, SignalKind::kTrace}) {
+    ScenarioConfig config = small_scenario();
+    config.signal_kind = kind;
+    if (kind == SignalKind::kTrace) {
+      config.trace_dbm = {-55.0, -65.0, -75.0, -85.0, -95.0, -105.0};
+    }
+    const std::shared_ptr<const SignalTraceSet> set =
+        generate_signal_trace_set(config);
+    ASSERT_TRUE(set->link_derived());
+    ASSERT_EQ(set->users(), config.users);
+    ASSERT_EQ(set->slots(), config.max_slots);
+
+    std::vector<UserEndpoint> endpoints = build_endpoints(config);
+    for (std::size_t user = 0; user < endpoints.size(); ++user) {
+      for (std::int64_t slot = 0; slot < config.max_slots; ++slot) {
+        EXPECT_EQ(set->signal_dbm(user, slot), endpoints[user].signal->signal_dbm(slot))
+            << "kind " << static_cast<int>(kind) << " user " << user << " slot "
+            << slot;
+      }
+    }
+  }
+}
+
+TEST(TraceCacheTest, HitsAndMissesAreCounted) {
+  TraceCache cache;
+  const ScenarioConfig config = small_scenario();
+  const auto first = cache.get_or_generate(config);
+  const auto second = cache.get_or_generate(config);
+  EXPECT_EQ(first.get(), second.get());  // same immutable set, not a copy
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.resident_bytes(),
+            SignalTraceSet::estimate_bytes(config.users, config.max_slots));
+}
+
+TEST(TraceCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  const ScenarioConfig a = small_scenario(1);
+  const ScenarioConfig b = small_scenario(2);
+  const ScenarioConfig c = small_scenario(3);
+  const std::size_t entry_bytes =
+      SignalTraceSet::estimate_bytes(a.users, a.max_slots);
+  TraceCache cache(2 * entry_bytes);  // room for two entries
+
+  (void)cache.get_or_generate(a);
+  (void)cache.get_or_generate(b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  (void)cache.get_or_generate(a);  // touch a: b becomes the LRU victim
+  (void)cache.get_or_generate(c);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  const std::uint64_t misses = cache.misses();
+  (void)cache.get_or_generate(a);  // still resident
+  EXPECT_EQ(cache.misses(), misses);
+  (void)cache.get_or_generate(b);  // evicted: regenerates
+  EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+TEST(TraceCacheTest, MostRecentEntrySurvivesATinyBudget) {
+  TraceCache cache(/*max_bytes=*/1);  // smaller than any entry
+  const ScenarioConfig config = small_scenario();
+  const auto set = cache.get_or_generate(config);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(cache.size(), 1u);  // kept despite the budget
+  (void)cache.get_or_generate(small_scenario(99));
+  EXPECT_EQ(cache.size(), 1u);  // previous entry gave way
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(TraceCacheTest, ShrinkingTheBudgetEvicts) {
+  const ScenarioConfig a = small_scenario(1);
+  const ScenarioConfig b = small_scenario(2);
+  TraceCache cache;
+  (void)cache.get_or_generate(a);
+  (void)cache.get_or_generate(b);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.set_max_bytes(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.max_bytes(), 1u);
+}
+
+TEST(TraceCacheTest, ClearEmptiesTheCache) {
+  TraceCache cache;
+  (void)cache.get_or_generate(small_scenario());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace jstream
