@@ -64,6 +64,11 @@ if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
   # shards the scheduler x population grid over the thread pool with the shared
   # trace cache, and --validate keeps the paper-invariant checks on every cell.
   REPRO_SLOTS=50 build/bench/bench_fig09_ema_comparison --validate > /dev/null
+  # Fault layer gate: every factory scheduler x fault intensity level under
+  # the paper-invariant validator, then the golden-run digests (which include
+  # a faulted case). See docs/ROBUSTNESS.md.
+  REPRO_SLOTS=50 build/bench/bench_fault_sweep --validate > /dev/null
+  ctest --test-dir build --output-on-failure -L golden
 else
   stage "5/5 smoke benches — SKIPPED (SKIP_SMOKE=1)"
 fi

@@ -137,6 +137,10 @@ void InvariantChecker::check_allocation(const SlotContext& ctx, const Allocation
       raise("Eq. (1)", slot, uid,
             "granted phi=" + std::to_string(phi) + " before session arrival");
     }
+    if (user.departed && phi != 0) {
+      raise("Eq. (1)", slot, uid,
+            "granted phi=" + std::to_string(phi) + " after session departure");
+    }
     total += phi;
   }
   if (total > ctx.capacity_units) {
@@ -265,10 +269,13 @@ void InvariantChecker::check_outcome(const SlotContext& ctx, const Allocation& a
     }
 
     // Eq. (8): c_i(n) = max(tau - r_i(n), 0) while m_i < M_i; zero once
-    // playback finished and zero before the session arrives.
+    // playback finished, zero before the session arrives, and zero after a
+    // mid-stream abort (a departed user no longer stalls anyone).
     const bool finished = elapsed >= total_play - kPlaybackCompletionEps_s;
     const double expected_rebuffer =
-        (!info.arrived || finished) ? 0.0 : std::max(tau - occupancy, 0.0);
+        (!info.arrived || info.departed || finished)
+            ? 0.0
+            : std::max(tau - occupancy, 0.0);
     if (std::abs(outcome.rebuffer_s[i] - expected_rebuffer) > kTightEps) {
       raise("Eq. (8)", slot, uid,
             "rebuffer c=" + fmt(outcome.rebuffer_s[i]) + " s != max(tau - r, 0)=" +
@@ -290,10 +297,12 @@ void InvariantChecker::check_outcome(const SlotContext& ctx, const Allocation& a
                   " without a transmission");
       }
       // Tail timer: an idle slot advances the inactivity clock by exactly tau
-      // (a never-promoted radio has no clock to advance).
+      // (a never-promoted radio has no clock to advance, and a departed
+      // user's radio left the framework's accounting — its clock freezes).
       if (idle_known_[i]) {
         const double expected_idle =
-            endpoint.rrc.never_transmitted() ? idle_prev_[i] : idle_prev_[i] + tau;
+            (info.departed || endpoint.rrc.never_transmitted()) ? idle_prev_[i]
+                                                                : idle_prev_[i] + tau;
         if (std::abs(idle_after - expected_idle) > kTightEps) {
           raise("RRC", slot, uid,
                 "idle timer " + fmt(idle_after) + " s != expected " +
@@ -332,6 +341,10 @@ void InvariantChecker::check_outcome(const SlotContext& ctx, const Allocation& a
       raise("RRC", slot, uid,
             "Eq. 5 accounting charged tail energy " + fmt(tail) +
                 " mJ on a transmission slot");
+    }
+    if (info.departed && tail > kTightEps) {
+      raise("RRC", slot, uid,
+            "tail energy " + fmt(tail) + " mJ charged after session departure");
     }
   }
 

@@ -25,6 +25,13 @@
 //            exactly tau on idle slots and rewinds only on transmission, and
 //            per-slot tail energy stays within the Eq. 4 power envelope.
 //
+// Degraded-cell slots (gateway/fault_hook.hpp, sim/fault.hpp) are first-class:
+// check_allocation validates the decision against the view the scheduler
+// actually saw (stale reports, faded signals, scaled capacity included),
+// check_outcome validates the executed slot against the reconciled truth, and
+// departed users must receive no grants, accrue no stall time or tail energy,
+// and keep a frozen RRC clock.
+//
 // The checker is compiled in unconditionally but off by default; it costs one
 // relaxed atomic load per slot while disabled. `--validate` on the bench
 // binaries (or JSTREAM_VALIDATE=ON at configure time) turns it on. All scratch

@@ -66,6 +66,11 @@ void DataTransmitter::apply_into(const SlotContext& ctx, const Allocation& alloc
     const UserSlotInfo& info = ctx.users[i];
     const std::int64_t phi = allocation.units[i];
 
+    // An aborted session has left the cell: no demand, no stall, and its
+    // radio — RRC tail included — is no longer this base station's to charge.
+    // The fault hook zeroes its allocation cap, so phi is already 0 here.
+    if (info.departed) continue;
+
     // Rebuffering (Eq. 8) depends only on the occupancy at slot start; the
     // shard delivered this slot becomes usable next slot. Sessions that have
     // not arrived yet neither stall nor demand data.

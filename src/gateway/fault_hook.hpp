@@ -1,0 +1,44 @@
+// Degraded-cell hook: the seam through which a fault layer perturbs the
+// per-slot pipeline without the gateway depending on any fault machinery.
+//
+// Framework::run_slot drives an attached hook at two points:
+//
+//   degrade_context       after the Information Collector snapshots the slot
+//                         and before the Scheduler decides — this is where
+//                         outages override the channel, capacity degradation
+//                         scales the Eq. 2 bound, departures zero a user's
+//                         demand, and stale feedback substitutes the last
+//                         fresh report;
+//   reconcile_allocation  after the decision (and its Eq. 1/2/16 validation)
+//                         and before the Data Transmitter executes — ground
+//                         truth is restored for users the scheduler saw
+//                         through stale reports, and their grants are clipped
+//                         to what the true link can actually carry.
+//
+// The scheduler is validated against the context it saw; the transmitter and
+// the outcome checks run against the truth. With no hook attached the slot
+// path is byte-for-byte the unfaulted pipeline.
+#pragma once
+
+#include "gateway/slot_context.hpp"
+#include "net/allocation.hpp"
+
+namespace jstream {
+
+/// Interface implemented by the fault layer (see sim/fault.hpp). Implementors
+/// must not allocate in steady state — the slot path is pinned to zero heap
+/// allocations by tests/perf/test_zero_alloc_slot.cpp.
+class SlotFaultHook {
+ public:
+  virtual ~SlotFaultHook() = default;
+
+  /// Mutates the freshly collected snapshot before the scheduler sees it.
+  virtual void degrade_context(SlotContext& ctx) = 0;
+
+  /// Restores ground truth into `ctx` and clips `alloc` to the true per-user
+  /// caps for users that were served a stale view. Must only ever reduce
+  /// grants, so a feasible decision stays feasible.
+  virtual void reconcile_allocation(SlotContext& ctx, Allocation& alloc) = 0;
+};
+
+}  // namespace jstream

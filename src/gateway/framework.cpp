@@ -56,6 +56,10 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   for (auto& endpoint : endpoints) endpoint.buffer.begin_slot();
 
   collector_.collect_into(slot, endpoints, bs, last_ctx_);
+  // Degraded-cell seam: the scheduler decides — and is validated — against
+  // the perturbed view; truth is restored (and stale-view grants clipped)
+  // before the transmitter executes and the outcome is checked.
+  if (fault_hook_ != nullptr) fault_hook_->degrade_context(last_ctx_);
   {
     telemetry::ScopedTimer timer(probes.decision_latency_us);
     scheduler_->allocate_into(last_ctx_, last_alloc_);
@@ -67,6 +71,8 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   if (validate) {
     validator_.check_allocation(last_ctx_, last_alloc_, scheduler_->virtual_queues());
   }
+
+  if (fault_hook_ != nullptr) fault_hook_->reconcile_allocation(last_ctx_, last_alloc_);
 
   // Observation-only accounting of which constraint bound each grant:
   // constraint (1) when a user's grant saturated its per-user cap while the

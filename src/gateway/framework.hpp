@@ -21,6 +21,7 @@
 #include "analysis/invariant_checker.hpp"
 #include "gateway/data_receiver.hpp"
 #include "gateway/data_transmitter.hpp"
+#include "gateway/fault_hook.hpp"
 #include "gateway/info_collector.hpp"
 #include "gateway/scheduler.hpp"
 #include "net/base_station.hpp"
@@ -68,6 +69,12 @@ class Framework {
     return validator_;
   }
 
+  /// Attaches a degraded-cell hook (non-owning; the caller keeps it alive
+  /// across run_slot calls — see docs/ROBUSTNESS.md). Null detaches. With no
+  /// hook attached the slot path is the unfaulted pipeline, bit for bit.
+  void attach_fault_hook(SlotFaultHook* hook) noexcept { fault_hook_ = hook; }
+  [[nodiscard]] const SlotFaultHook* fault_hook() const noexcept { return fault_hook_; }
+
  private:
   InfoCollector collector_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -78,6 +85,7 @@ class Framework {
   Allocation last_alloc_;
   SlotOutcome last_outcome_;
   analysis::InvariantChecker validator_;
+  SlotFaultHook* fault_hook_ = nullptr;  ///< degraded-cell seam (sim/fault.hpp)
   std::vector<RrcState> rrc_before_;  ///< per-slot RRC snapshot (tracing + validation)
 };
 

@@ -38,6 +38,7 @@ void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endp
     UserEndpoint& endpoint = endpoints[i];
     UserSlotInfo& info = ctx.users[i];
     info.arrived = endpoint.arrived(slot);
+    info.departed = false;  // only a SlotFaultHook marks departures
     if (endpoint.trace != nullptr) {
       // Campaign path: the channel and both Definition 3/4 fits were batch-
       // precomputed into the shared SoA trace — three array loads replace

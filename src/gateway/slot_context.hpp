@@ -38,6 +38,11 @@ struct UserSlotInfo {
   double rrc_idle_s = 0.0;      ///< time since last transmission
   bool rrc_promoted = false;    ///< radio has transmitted at least once
   bool playback_done = false;   ///< client finished playing the whole session
+  /// Session aborted mid-stream (fault injection): the user is gone — zero
+  /// allocation cap, no demand, no stall accounting, and its radio is no
+  /// longer charged. Set by the attached SlotFaultHook, never by the
+  /// collector; implies alloc_cap_units == 0 and needs_data == false.
+  bool departed = false;
 };
 
 /// Immutable per-slot snapshot handed to Scheduler::allocate.

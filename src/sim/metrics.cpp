@@ -87,8 +87,7 @@ void MetricsCollector::record_slot(const SlotContext& ctx, const SlotOutcome& ou
   ++metrics_.slots_run;
 
   double slot_energy = 0.0;
-  std::vector<double> shares;
-  shares.reserve(n);
+  shares_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     UserTotals& user = metrics_.per_user[i];
     const UserSlotInfo& info = ctx.users[i];
@@ -98,21 +97,26 @@ void MetricsCollector::record_slot(const SlotContext& ctx, const SlotOutcome& ou
     if (outcome.units[i] > 0) ++user.tx_slots;
     slot_energy += outcome.trans_mj[i] + outcome.tail_mj[i];
 
-    const bool in_playback = info.arrived && !info.playback_done;
+    // A departed user's session is over without finishing: it stops accruing
+    // session slots and stall time the moment it aborts.
+    const bool in_playback = info.arrived && !info.playback_done && !info.departed;
     if (in_playback) {
       user.rebuffer_s += outcome.rebuffer_s[i];
       ++user.session_slots;
       if (keep_series_) metrics_.rebuffer_samples_s.push_back(outcome.rebuffer_s[i]);
-    } else if (info.playback_done) {
+    } else if (info.playback_done && !info.departed) {
       user.playback_finished = true;
     }
     if (outcome.need_kb[i] > 0.0) {
-      shares.push_back(outcome.kb[i] / outcome.need_kb[i]);
+      shares_.push_back(outcome.kb[i] / outcome.need_kb[i]);
     }
   }
   if (keep_series_) {
     metrics_.slot_energy_mj.push_back(slot_energy);
-    if (!shares.empty()) metrics_.slot_fairness.push_back(jain_index(shares));
+    // A slot where every demanding user is starved (all shares zero — e.g.
+    // everyone outaged) is uniformly unfair to no one: jain_index defines it
+    // as 1.0. A slot with no demand at all contributes no sample.
+    if (!shares_.empty()) metrics_.slot_fairness.push_back(jain_index(shares_));
   }
 }
 

@@ -75,6 +75,7 @@ class MetricsCollector {
  private:
   RunMetrics metrics_;
   bool keep_series_;
+  std::vector<double> shares_;  ///< per-slot fairness workspace (reused)
 };
 
 }  // namespace jstream

@@ -100,6 +100,14 @@ void validate(const ScenarioConfig& config) {
   require(config.link.throughput != nullptr && config.link.power != nullptr,
           "link model must be complete");
   validate(config.radio);
+  validate(config.faults);
+  if (config.faults.outage_rate_per_kslot > 0.0) {
+    // The fault injector re-evaluates the Definition 3/4 fits at the fade
+    // depth; both throw here if the depth falls outside their positive range
+    // (the paper's Eq. 24 fit turns non-positive below roughly -115 dBm).
+    (void)config.link.throughput->throughput_kbps(config.faults.outage_dbm);
+    (void)config.link.power->energy_per_kb(config.faults.outage_dbm);
+  }
 }
 
 std::vector<UserEndpoint> build_endpoints(const ScenarioConfig& config) {

@@ -15,6 +15,7 @@
 #include "radio/link_model.hpp"
 #include "radio/radio_profile.hpp"
 #include "radio/signal_model.hpp"
+#include "sim/fault.hpp"
 
 namespace jstream {
 
@@ -70,6 +71,14 @@ struct ScenarioConfig {
 
   RadioProfile radio = paper_3g_profile();
   LinkModel link = make_paper_link_model();
+
+  /// Degraded-cell fault intensities (outages, capacity dips, departures,
+  /// stale feedback — see sim/fault.hpp). Default: all off, the paper's
+  /// benign cell; with every intensity at zero the run is bit-identical to a
+  /// config without faults. The schedule is derived from this plus `seed` on
+  /// RNG streams independent of the endpoint streams, so enabling faults
+  /// changes nothing about the channel or the content.
+  FaultConfig faults;
 
   /// Stop once every session has finished (plus a tail-flush margin) instead
   /// of idling to max_slots. Keeps metrics focused on session activity.

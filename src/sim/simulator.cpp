@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "net/base_station.hpp"
+#include "sim/fault.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scoped_timer.hpp"
 
@@ -59,6 +60,17 @@ RunMetrics Simulator::run(bool keep_series) {
                               : std::numeric_limits<double>::infinity();
   Framework framework(std::move(collector), std::move(scheduler_), mode_,
                       config_.users, backhaul);
+  // Degraded-cell faults: the schedule is a pure function of the config, so
+  // cached-trace and live runs fault identically; an inactive config attaches
+  // nothing and leaves the slot path byte-for-byte unfaulted.
+  std::unique_ptr<FaultInjector> fault_injector;
+  const FaultSchedule* faults = nullptr;
+  if (config_.faults.any()) {
+    fault_injector = std::make_unique<FaultInjector>(
+        std::make_shared<const FaultSchedule>(make_fault_schedule(config_)));
+    faults = &fault_injector->schedule();
+    framework.attach_fault_hook(fault_injector.get());
+  }
   MetricsCollector metrics(config_.users, keep_series);
 
   // After the last session ends, run a few more slots so outstanding RRC
@@ -78,9 +90,16 @@ RunMetrics Simulator::run(bool keep_series) {
       ++slots_run;
 
       if (!config_.early_stop) continue;
-      const bool all_done =
-          std::all_of(endpoints.begin(), endpoints.end(),
-                      [](const UserEndpoint& e) { return !e.active(); });
+      // A departed user never drains its remaining content, so for early-stop
+      // purposes it counts as done the moment it aborts.
+      bool all_done = true;
+      for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        if (faults != nullptr && faults->departed(i, slot)) continue;
+        if (endpoints[i].active()) {
+          all_done = false;
+          break;
+        }
+      }
       idle_streak = all_done ? idle_streak + 1 : 0;
       if (idle_streak >= tail_flush_slots) break;
     }

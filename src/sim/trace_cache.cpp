@@ -81,7 +81,8 @@ bool TraceKey::operator==(const TraceKey& other) const noexcept {
   return users == other.users && slots == other.slots && seed == other.seed &&
          kind == other.kind && vbr == other.vbr && same(sine, other.sine) &&
          same(gauss_markov, other.gauss_markov) && trace_hash == other.trace_hash &&
-         link_fingerprint == other.link_fingerprint;
+         link_fingerprint == other.link_fingerprint &&
+         fault_fingerprint == other.fault_fingerprint;
 }
 
 std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
@@ -103,6 +104,7 @@ std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
   fnv_mix(hash, key.gauss_markov.max_dbm);
   fnv_mix(hash, key.trace_hash);
   fnv_mix(hash, key.link_fingerprint);
+  fnv_mix(hash, key.fault_fingerprint);
   return static_cast<std::size_t>(hash);
 }
 
@@ -122,6 +124,7 @@ TraceKey make_trace_key(const ScenarioConfig& config) {
                        ? hash_trace(config.trace_dbm)
                        : 0;
   key.link_fingerprint = link_fingerprint(config.link);
+  key.fault_fingerprint = fault_fingerprint(config.faults);
   return key;
 }
 

@@ -9,7 +9,11 @@
 // per-user RNG draw order ahead of the signal-model construction), and a
 // behavioural fingerprint of the link model (probed, not pointer-compared,
 // so two configs holding separately-constructed paper link models share
-// entries). Entries are evicted least-recently-used once the resident-byte
+// entries). Fault intensities also join the key, as a fingerprint that is 0
+// when faults are inactive: they never alter the matrices (faults apply at
+// collect time, post-trace), but the isolation guarantees a faulted campaign
+// and an unfaulted one can never serve each other's entries.
+// Entries are evicted least-recently-used once the resident-byte
 // budget is exceeded; the most recent entry is always retained. Concurrent
 // lookups are safe: the first shard to miss generates while the map lock is
 // released, and racing shards block on a shared future instead of
@@ -40,6 +44,11 @@ struct TraceKey {
   GaussMarkovSignalModel::Params gauss_markov;
   std::uint64_t trace_hash = 0;      ///< FNV over trace_dbm bit patterns
   std::uint64_t link_fingerprint = 0;  ///< hash of link-fit probes
+  /// fault_fingerprint(config.faults): 0 when faults are inactive. Faults are
+  /// applied at collect time, so the matrices of a faulted and an unfaulted
+  /// run are bit-identical — the key still separates them so a faulted
+  /// campaign can never alias (or be aliased by) an unfaulted entry.
+  std::uint64_t fault_fingerprint = 0;
 
   [[nodiscard]] bool operator==(const TraceKey& other) const noexcept;
 };

@@ -1,0 +1,155 @@
+// Golden-run regression suite: every factory scheduler is run over a small
+// fixed scenario set (benign and faulted) and its outcome digest — slot
+// count, energy split, rebuffering, delivered bytes, fairness, completion —
+// is compared against the checked-in tests/integration/golden_runs.csv.
+//
+// The digests pin the numerical behaviour of the whole pipeline (channel
+// generation, scheduling, fault injection, transmission, metrics): any
+// unintended change to a scheduler decision or an energy/stall formula fails
+// here with the exact drifted column. Intentional changes regenerate the
+// file via scripts/regen_golden.sh (GOLDEN_REGEN=1 rewrites the CSV in the
+// source tree) — review the diff like code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "common/csv.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+
+#ifndef JSTREAM_GOLDEN_CSV
+#error "build must define JSTREAM_GOLDEN_CSV (path to golden_runs.csv)"
+#endif
+
+namespace jstream {
+namespace {
+
+struct GoldenCase {
+  std::string name;
+  ScenarioConfig config;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  // Small enough to run all schedulers in seconds, long enough that sessions
+  // finish, tails flush, and the faulted variant exercises all four families.
+  ScenarioConfig benign = paper_scenario(/*users=*/6, /*seed=*/20260805);
+  benign.video_min_mb = 15.0;
+  benign.video_max_mb = 30.0;
+  benign.max_slots = 300;
+
+  ScenarioConfig faulted = benign;
+  faulted.faults.outage_rate_per_kslot = 8.0;
+  faulted.faults.staleness_rate_per_kslot = 12.0;
+  faulted.faults.departure_fraction = 0.5;
+  faulted.faults.capacity_rate_per_kslot = 6.0;
+  faulted.faults.capacity_min_slots = 10;
+  faulted.faults.capacity_max_slots = 40;
+  faulted.faults.capacity_scale = 0.5;
+
+  return {{"benign", benign}, {"faulted", faulted}};
+}
+
+const std::vector<std::string> kColumns = {
+    "case",        "scheduler",  "slots_run",  "trans_mj", "tail_mj",
+    "rebuffer_s",  "delivered_kb", "fairness", "completion"};
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::vector<std::string> digest_row(const GoldenCase& golden,
+                                    const std::string& scheduler) {
+  const RunMetrics m =
+      simulate(golden.config, make_scheduler(scheduler), /*keep_series=*/true);
+  double delivered_kb = 0.0;
+  for (const UserTotals& user : m.per_user) delivered_kb += user.delivered_kb;
+  return {golden.name,
+          scheduler,
+          std::to_string(m.slots_run),
+          fmt(m.total_trans_mj()),
+          fmt(m.total_tail_mj()),
+          fmt(m.total_rebuffer_s()),
+          fmt(delivered_kb),
+          fmt(m.mean_fairness()),
+          fmt(m.completion_rate())};
+}
+
+/// Digest doubles must reproduce to round-trip precision; the slack covers
+/// only the decimal round trip through the CSV, not behavioural drift.
+constexpr double kRelTol = 1e-12;
+
+void expect_cell_matches(const std::string& expected, const std::string& actual,
+                         const std::string& column, const std::string& key) {
+  if (expected == actual) return;
+  const double want = std::strtod(expected.c_str(), nullptr);
+  const double got = std::strtod(actual.c_str(), nullptr);
+  const double slack = kRelTol * std::max(1.0, std::abs(want));
+  EXPECT_LE(std::abs(got - want), slack)
+      << key << " drifted in column '" << column << "': golden " << expected
+      << ", run " << actual
+      << "\nIf the change is intentional, regenerate with scripts/regen_golden.sh "
+         "and review the CSV diff.";
+}
+
+TEST(GoldenRuns, EveryFactorySchedulerMatchesTheCheckedInDigests) {
+  const std::vector<GoldenCase> cases = golden_cases();
+  const std::vector<std::string> schedulers = scheduler_names();
+
+  if (std::getenv("GOLDEN_REGEN") != nullptr) {
+    CsvWriter writer(JSTREAM_GOLDEN_CSV, kColumns);
+    for (const GoldenCase& golden : cases) {
+      for (const std::string& scheduler : schedulers) {
+        writer.row(digest_row(golden, scheduler));
+      }
+    }
+    GTEST_SKIP() << "GOLDEN_REGEN=1: rewrote " << JSTREAM_GOLDEN_CSV << " with "
+                 << writer.rows_written() << " digests";
+  }
+
+  const CsvTable table = read_csv(JSTREAM_GOLDEN_CSV);
+  ASSERT_EQ(table.header, kColumns)
+      << "golden_runs.csv header drifted — regenerate via scripts/regen_golden.sh";
+
+  std::map<std::string, std::vector<std::string>> golden_rows;
+  for (const std::vector<std::string>& row : table.rows) {
+    golden_rows[row[0] + "/" + row[1]] = row;
+  }
+  ASSERT_EQ(golden_rows.size(), cases.size() * schedulers.size())
+      << "golden_runs.csv row set does not cover the case x scheduler grid";
+
+  for (const GoldenCase& golden : cases) {
+    for (const std::string& scheduler : schedulers) {
+      const std::string key = golden.name + "/" + scheduler;
+      const auto it = golden_rows.find(key);
+      ASSERT_NE(it, golden_rows.end()) << "no golden row for " << key;
+      const std::vector<std::string> actual = digest_row(golden, scheduler);
+      for (std::size_t col = 2; col < kColumns.size(); ++col) {
+        expect_cell_matches(it->second[col], actual[col], kColumns[col], key);
+      }
+    }
+  }
+}
+
+TEST(GoldenRuns, FaultedCaseActuallyInjectsEveryFamily) {
+  // Guards the suite's coverage: if a refactor quietly stopped the faulted
+  // case from drawing windows, its digests would degenerate into a second
+  // benign run and the regression net would have a hole.
+  const GoldenCase faulted = golden_cases().back();
+  ASSERT_EQ(faulted.name, "faulted");
+  const FaultSchedule schedule = make_fault_schedule(faulted.config);
+  EXPECT_GT(schedule.total_outage_slots(), 0);
+  EXPECT_GT(schedule.total_stale_slots(), 0);
+  EXPECT_GT(schedule.departures(), 0u);
+  EXPECT_FALSE(schedule.capacity_windows().empty());
+}
+
+}  // namespace
+}  // namespace jstream

@@ -19,6 +19,7 @@
 #include "gateway/framework.hpp"
 #include "radio/link_model.hpp"
 #include "radio/signal_trace.hpp"
+#include "sim/fault.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -120,6 +121,35 @@ TEST(ZeroAllocSlot, RtmaSteadyStateIsAllocationFree) {
 
 TEST(ZeroAllocSlot, AdaptiveRtmaSteadyStateIsAllocationFree) {
   EXPECT_EQ(steady_state_allocs(std::make_unique<AdaptiveRtmaScheduler>()), 0u);
+}
+
+TEST(ZeroAllocSlot, FaultedSlotPathIsAllocationFree) {
+  // Degraded-cell path: the FaultInjector's degrade/reconcile hooks run on
+  // every slot with all four fault families firing inside the measured
+  // region — workspaces are sized at construction, window queries are binary
+  // searches, so the steady state must stay allocation-free.
+  auto endpoints = make_endpoints({-65.0, -75.0, -85.0, -95.0, -105.0}, 400.0, 1e9);
+  const BaseStation bs(2000.0);
+  FaultSchedule schedule(endpoints.size(), /*horizon=*/300, /*outage_dbm=*/-112.0);
+  for (std::size_t user = 0; user < endpoints.size(); ++user) {
+    // Alternating deep fades and stale windows, staggered per user.
+    for (std::int64_t begin = 60 + static_cast<std::int64_t>(user);
+         begin + 14 < 300; begin += 24) {
+      schedule.add_outage(user, {begin, begin + 6});
+      schedule.add_stale_window(user, {begin + 8, begin + 14});
+    }
+  }
+  for (std::int64_t begin = 50; begin + 10 < 300; begin += 40) {
+    schedule.add_capacity_window({begin, begin + 10}, 0.5);
+  }
+  schedule.set_departure(0, 120);  // aborts mid-measurement
+  FaultInjector injector(
+      std::make_shared<const FaultSchedule>(std::move(schedule)));
+  Framework framework(make_collector(), std::make_unique<EmaScheduler>(),
+                      SchedulingMode::kEnergyMinimization, endpoints.size());
+  framework.attach_fault_hook(&injector);
+  (void)allocations_over_slots(framework, endpoints, bs, 0, 50);
+  EXPECT_EQ(allocations_over_slots(framework, endpoints, bs, 50, 200), 0u);
 }
 
 TEST(ZeroAllocSlot, TracedSlotPathIsAllocationFree) {

@@ -1,0 +1,193 @@
+// Fault-layer properties, checked for every factory scheduler:
+//   - zero fault intensity is the exact identity — RunMetrics (aggregates,
+//     per-user totals, and full per-slot series) match an unfaulted run
+//     bit for bit, and an inactive schedule attached as a hook changes
+//     nothing either;
+//   - a departed user accrues no delivery, energy, or rebuffering after its
+//     abort slot;
+//   - the paper-invariant validator accepts every slot of a moderately
+//     faulted run (the degraded cell stays inside the Eq. 1/2/7/8 feasibility
+//     region as redefined by the fault layer).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/invariant_checker.hpp"
+#include "baselines/default_scheduler.hpp"
+#include "baselines/factory.hpp"
+#include "gateway/framework.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace jstream {
+namespace {
+
+using testing::make_collector;
+using testing::make_endpoints;
+
+ScenarioConfig small_scenario(std::uint64_t seed = 77) {
+  ScenarioConfig config = paper_scenario(/*users=*/5, seed);
+  config.video_min_mb = 4.0;
+  config.video_max_mb = 10.0;
+  config.max_slots = 1200;
+  return config;
+}
+
+FaultConfig medium_faults() {
+  FaultConfig faults;
+  faults.outage_rate_per_kslot = 6.0;
+  faults.staleness_rate_per_kslot = 10.0;
+  faults.departure_fraction = 0.3;
+  faults.capacity_rate_per_kslot = 3.0;
+  faults.capacity_min_slots = 10;
+  faults.capacity_max_slots = 60;
+  faults.capacity_scale = 0.5;
+  return faults;
+}
+
+void expect_identical(const RunMetrics& a, const RunMetrics& b) {
+  ASSERT_EQ(a.slots_run, b.slots_run);
+  ASSERT_EQ(a.per_user.size(), b.per_user.size());
+  for (std::size_t i = 0; i < a.per_user.size(); ++i) {
+    EXPECT_EQ(a.per_user[i].trans_mj, b.per_user[i].trans_mj) << i;
+    EXPECT_EQ(a.per_user[i].tail_mj, b.per_user[i].tail_mj) << i;
+    EXPECT_EQ(a.per_user[i].rebuffer_s, b.per_user[i].rebuffer_s) << i;
+    EXPECT_EQ(a.per_user[i].delivered_kb, b.per_user[i].delivered_kb) << i;
+    EXPECT_EQ(a.per_user[i].session_slots, b.per_user[i].session_slots) << i;
+    EXPECT_EQ(a.per_user[i].tx_slots, b.per_user[i].tx_slots) << i;
+    EXPECT_EQ(a.per_user[i].playback_finished, b.per_user[i].playback_finished) << i;
+  }
+  ASSERT_EQ(a.slot_energy_mj.size(), b.slot_energy_mj.size());
+  for (std::size_t i = 0; i < a.slot_energy_mj.size(); ++i) {
+    ASSERT_EQ(a.slot_energy_mj[i], b.slot_energy_mj[i]) << "slot " << i;
+  }
+  ASSERT_EQ(a.slot_fairness, b.slot_fairness);
+  ASSERT_EQ(a.rebuffer_samples_s, b.rebuffer_samples_s);
+}
+
+class FaultProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultProperty, ZeroIntensityIsBitIdenticalToTheBaseline) {
+  // Rates of zero (even with a nonzero salt) must leave the run untouched:
+  // no hook attaches, no fault RNG draw happens, and the metrics — down to
+  // every per-slot sample — equal the unfaulted scenario's exactly.
+  ScenarioConfig zero = small_scenario();
+  zero.faults.salt = 99;  // salt without intensity is still inactive
+  const RunMetrics faulted =
+      simulate(zero, make_scheduler(GetParam()), /*keep_series=*/true);
+  const RunMetrics baseline =
+      simulate(small_scenario(), make_scheduler(GetParam()), /*keep_series=*/true);
+  expect_identical(faulted, baseline);
+}
+
+TEST_P(FaultProperty, ValidatorAcceptsModeratelyFaultedRuns) {
+  // The invariant checker re-derives Eq. 1/2/7/8 and the RRC energy terms on
+  // every slot; a fault-layer bug (caps not rewritten, truth not restored,
+  // departed users still charged) surfaces as a throw here.
+  struct ValidationGuard {
+    bool previous = analysis::validation_enabled();
+    ValidationGuard() { analysis::set_validation_enabled(true); }
+    ~ValidationGuard() { analysis::set_validation_enabled(previous); }
+  } guard;
+  ScenarioConfig config = small_scenario();
+  config.faults = medium_faults();
+  const RunMetrics metrics = simulate(config, make_scheduler(GetParam()));
+  EXPECT_GT(metrics.slots_run, 0);
+}
+
+TEST_P(FaultProperty, FaultedRunsAreDeterministic) {
+  ScenarioConfig config = small_scenario();
+  config.faults = medium_faults();
+  const RunMetrics a = simulate(config, make_scheduler(GetParam()), true);
+  const RunMetrics b = simulate(config, make_scheduler(GetParam()), true);
+  expect_identical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, FaultProperty,
+                         ::testing::ValuesIn(scheduler_names()),
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(FaultIdentity, InactiveScheduleAttachedAsAHookChangesNothing) {
+  // Stronger than the config-level identity: even with the hook physically on
+  // the slot path, an empty schedule must leave every outcome bit-identical.
+  const std::vector<double> signals{-65.0, -80.0, -95.0};
+  const BaseStation bs(5000.0);
+
+  auto baseline_endpoints = make_endpoints(signals, 400.0, 20000.0);
+  Framework baseline(make_collector(), std::make_unique<DefaultScheduler>(),
+                     SchedulingMode::kEnergyMinimization, signals.size());
+
+  auto hooked_endpoints = make_endpoints(signals, 400.0, 20000.0);
+  Framework hooked(make_collector(), std::make_unique<DefaultScheduler>(),
+                   SchedulingMode::kEnergyMinimization, signals.size());
+  FaultInjector injector(std::make_shared<const FaultSchedule>(
+      FaultSchedule(signals.size(), /*horizon=*/200, /*outage_dbm=*/-112.0)));
+  hooked.attach_fault_hook(&injector);
+
+  for (std::int64_t slot = 0; slot < 200; ++slot) {
+    const SlotOutcome& a = baseline.run_slot(slot, baseline_endpoints, bs);
+    const SlotOutcome& b = hooked.run_slot(slot, hooked_endpoints, bs);
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      ASSERT_EQ(a.units[i], b.units[i]) << "slot " << slot << " user " << i;
+      ASSERT_EQ(a.kb[i], b.kb[i]) << "slot " << slot << " user " << i;
+      ASSERT_EQ(a.trans_mj[i], b.trans_mj[i]) << "slot " << slot << " user " << i;
+      ASSERT_EQ(a.tail_mj[i], b.tail_mj[i]) << "slot " << slot << " user " << i;
+      ASSERT_EQ(a.rebuffer_s[i], b.rebuffer_s[i]) << "slot " << slot << " user " << i;
+    }
+  }
+}
+
+TEST(FaultDeparture, DepartedUsersAccrueNothingAfterTheAbortSlot) {
+  constexpr std::int64_t kDeparture = 10;
+  constexpr std::int64_t kHorizon = 60;
+  const std::vector<double> signals{-70.0, -85.0};
+  auto endpoints = make_endpoints(signals, 400.0, 1e6);  // never drains
+  const BaseStation bs(5000.0);
+
+  FaultSchedule schedule(signals.size(), kHorizon, -112.0);
+  schedule.set_departure(0, kDeparture);
+  FaultInjector injector(
+      std::make_shared<const FaultSchedule>(std::move(schedule)));
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kEnergyMinimization, signals.size());
+  framework.attach_fault_hook(&injector);
+
+  MetricsCollector metrics(signals.size());
+  double user0_pre_energy = 0.0;
+  for (std::int64_t slot = 0; slot < kHorizon; ++slot) {
+    const SlotOutcome& outcome = framework.run_slot(slot, endpoints, bs);
+    metrics.record_slot(framework.last_context(), outcome);
+    if (slot < kDeparture) {
+      user0_pre_energy += outcome.trans_mj[0] + outcome.tail_mj[0];
+    } else {
+      EXPECT_EQ(outcome.units[0], 0) << slot;
+      EXPECT_EQ(outcome.kb[0], 0.0) << slot;
+      EXPECT_EQ(outcome.trans_mj[0], 0.0) << slot;
+      EXPECT_EQ(outcome.tail_mj[0], 0.0) << slot;
+      EXPECT_EQ(outcome.rebuffer_s[0], 0.0) << slot;
+      EXPECT_TRUE(framework.last_context().users[0].departed) << slot;
+      // The survivor keeps streaming.
+      EXPECT_GT(outcome.kb[1], 0.0) << slot;
+    }
+  }
+  EXPECT_GT(user0_pre_energy, 0.0);  // it really was active before the abort
+
+  const RunMetrics run = metrics.finish();
+  // Totals froze at the abort: exactly the pre-departure accrual, and the
+  // session-slot clock stopped with them.
+  EXPECT_DOUBLE_EQ(run.per_user[0].energy_mj(), user0_pre_energy);
+  EXPECT_EQ(run.per_user[0].session_slots, kDeparture);
+  EXPECT_FALSE(run.per_user[0].playback_finished);
+  EXPECT_EQ(run.per_user[1].session_slots, kHorizon);
+}
+
+}  // namespace
+}  // namespace jstream

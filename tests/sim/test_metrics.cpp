@@ -133,6 +133,81 @@ TEST(Metrics, RejectsSizeMismatch) {
   EXPECT_THROW(collector.record_slot(ctx, make_outcome(1)), Error);
 }
 
+TEST(Metrics, AllDepartedSlotContributesNothing) {
+  // Fault layer's worst case: every session aborted. The slot still records
+  // (energy could in principle exist from tails of earlier slots) but no
+  // session clock ticks, no stall samples accrue, and fairness has no sample.
+  MetricsCollector collector(2);
+  SlotContext ctx = make_context({TestUser{}, TestUser{}});
+  for (auto& info : ctx.users) {
+    info.departed = true;
+    info.needs_data = false;
+    info.alloc_cap_units = 0;
+  }
+  collector.record_slot(ctx, make_outcome(2));
+  const RunMetrics metrics = collector.finish();
+  EXPECT_EQ(metrics.slots_run, 1);
+  EXPECT_EQ(metrics.per_user[0].session_slots, 0);
+  EXPECT_EQ(metrics.per_user[1].session_slots, 0);
+  EXPECT_TRUE(metrics.slot_fairness.empty());
+  EXPECT_TRUE(metrics.rebuffer_samples_s.empty());
+  EXPECT_DOUBLE_EQ(metrics.mean_fairness(), 1.0);  // vacuous, not NaN
+  EXPECT_DOUBLE_EQ(metrics.avg_energy_per_user_slot_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_rebuffer_per_user_slot_s(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 0.0);  // aborted != finished
+}
+
+TEST(Metrics, AllOutagedSlotIsVacuouslyFair) {
+  // Every user demands data but none is served (cell-wide deep fade): all
+  // shares are zero, and the Jain index defines the all-zero slot as 1.0
+  // rather than 0/0.
+  MetricsCollector collector(2);
+  const SlotContext ctx = make_context({TestUser{}, TestUser{}});
+  SlotOutcome outcome = make_outcome(2);
+  outcome.need_kb = {400.0, 400.0};
+  collector.record_slot(ctx, outcome);
+  const RunMetrics metrics = collector.finish();
+  ASSERT_EQ(metrics.slot_fairness.size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.slot_fairness[0], 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_fairness(), 1.0);
+}
+
+TEST(Metrics, DepartureFreezesSessionAccrual) {
+  MetricsCollector collector(1);
+  SlotOutcome active = make_outcome(1);
+  active.rebuffer_s = {0.5};
+  active.trans_mj = {10.0};
+  collector.record_slot(make_context({TestUser{}}), active);
+
+  SlotContext gone = make_context({TestUser{}});
+  gone.users[0].departed = true;
+  const SlotOutcome quiet = make_outcome(1);
+  collector.record_slot(gone, quiet);
+  collector.record_slot(gone, quiet);
+  const RunMetrics metrics = collector.finish();
+  EXPECT_EQ(metrics.slots_run, 3);
+  EXPECT_EQ(metrics.per_user[0].session_slots, 1);  // clock froze at the abort
+  EXPECT_DOUBLE_EQ(metrics.per_user[0].rebuffer_s, 0.5);
+  EXPECT_EQ(metrics.rebuffer_samples_s.size(), 1u);
+  EXPECT_FALSE(metrics.per_user[0].playback_finished);
+  // Per-slot averages normalize by the frozen session-slot clock.
+  EXPECT_DOUBLE_EQ(metrics.avg_energy_per_user_slot_mj(), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_rebuffer_per_user_slot_s(), 0.5);
+}
+
+TEST(Metrics, DepartedUserDoesNotCountAsFinished) {
+  // Even when playback_done flips in the same slot as the abort, departed
+  // wins: the session did not complete.
+  MetricsCollector collector(1);
+  SlotContext ctx = make_context({TestUser{}});
+  ctx.users[0].departed = true;
+  ctx.users[0].playback_done = true;
+  collector.record_slot(ctx, make_outcome(1));
+  const RunMetrics metrics = collector.finish();
+  EXPECT_FALSE(metrics.per_user[0].playback_finished);
+  EXPECT_DOUBLE_EQ(metrics.completion_rate(), 0.0);
+}
+
 // Degenerate runs (zero users, zero slots, series disabled) must summarize
 // without dividing by zero.
 TEST(Metrics, EmptyRunSummarizesToZeros) {

@@ -73,6 +73,57 @@ TEST(TraceKey, InsensitiveToNonSignalFields) {
   EXPECT_TRUE(make_trace_key(base) == make_trace_key(other));
 }
 
+TEST(TraceKey, FaultFingerprintIsolatesFaultedCampaigns) {
+  const ScenarioConfig base = small_scenario();
+  EXPECT_EQ(make_trace_key(base).fault_fingerprint, 0u);
+
+  ScenarioConfig faulted = base;
+  faulted.faults.outage_rate_per_kslot = 5.0;
+  const TraceKey faulted_key = make_trace_key(faulted);
+  EXPECT_NE(faulted_key.fault_fingerprint, 0u);
+  EXPECT_FALSE(make_trace_key(base) == faulted_key);
+
+  // Different intensities and salts are distinct key spaces too.
+  ScenarioConfig retuned = faulted;
+  retuned.faults.outage_rate_per_kslot = 6.0;
+  EXPECT_FALSE(faulted_key == make_trace_key(retuned));
+  ScenarioConfig salted = faulted;
+  salted.faults.salt = 3;
+  EXPECT_FALSE(faulted_key == make_trace_key(salted));
+
+  // Zero intensity with a nonzero salt is still the unfaulted key: no fault
+  // can fire, so sharing the unfaulted entry is correct.
+  ScenarioConfig inactive = base;
+  inactive.faults.salt = 9;
+  EXPECT_TRUE(make_trace_key(base) == make_trace_key(inactive));
+}
+
+TEST(TraceCacheTest, FaultedAndUnfaultedRunsNeverShareEntries) {
+  TraceCache cache;
+  const ScenarioConfig base = small_scenario();
+  ScenarioConfig faulted = base;
+  faulted.faults.staleness_rate_per_kslot = 8.0;
+
+  const auto clean_set = cache.get_or_generate(base);
+  const auto faulted_set = cache.get_or_generate(faulted);
+  EXPECT_NE(clean_set.get(), faulted_set.get());  // isolated entries
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.get_or_generate(faulted).get(), faulted_set.get());
+  EXPECT_EQ(cache.get_or_generate(base).get(), clean_set.get());
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // The isolation is about keys, not content: faults apply at collect time,
+  // so the generated matrices are bit-identical across the two entries.
+  for (std::size_t user = 0; user < base.users; ++user) {
+    for (std::int64_t slot = 0; slot < base.max_slots; ++slot) {
+      ASSERT_EQ(clean_set->signal_dbm(user, slot),
+                faulted_set->signal_dbm(user, slot))
+          << "user " << user << " slot " << slot;
+    }
+  }
+}
+
 TEST(TraceCacheTest, GenerateMatchesEndpointModelsBitForBit) {
   for (const SignalKind kind :
        {SignalKind::kSine, SignalKind::kGaussMarkov, SignalKind::kTrace}) {
