@@ -68,6 +68,12 @@ if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
   # the paper-invariant validator, then the golden-run digests (which include
   # a faulted case). See docs/ROBUSTNESS.md.
   REPRO_SLOTS=50 build/bench/bench_fault_sweep --validate > /dev/null
+  # Service-mode gate: every factory scheduler over the Poisson steady-state
+  # grid, the admission overload comparison, and the zero-arrival batch
+  # equivalence, all under the validator; then the session suites and the
+  # golden digests (batch + service). See docs/SERVICE.md.
+  REPRO_SLOTS=50 build/bench/bench_service_steady --validate > /dev/null
+  ctest --test-dir build --output-on-failure -L session -LE smoke
   ctest --test-dir build --output-on-failure -L golden
 else
   stage "5/5 smoke benches — SKIPPED (SKIP_SMOKE=1)"

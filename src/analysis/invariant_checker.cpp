@@ -84,6 +84,7 @@ void InvariantChecker::reset(std::string scheduler_name, std::size_t users) {
   shadow_queue_.assign(users, 0.0);
   idle_prev_.assign(users, 0.0);
   idle_known_.assign(users, false);
+  epoch_seen_.assign(users, 0);
   queues_synced_ = false;
   slots_checked_ = 0;
   last_slot_ = -1;
@@ -175,6 +176,13 @@ void InvariantChecker::check_allocation(const SlotContext& ctx, const Allocation
     if (queues_synced_) {
       for (std::size_t i = 0; i < n; ++i) {
         const UserSlotInfo& user = ctx.users[i];
+        if (user.session_epoch != epoch_seen_[i]) {
+          // A fresh session took over this population slot; its queue was
+          // reset at the rebind, so the shadow re-anchors on the scheduler's
+          // post-decision level (check_outcome records the new epoch).
+          shadow_queue_[i] = queues[i];
+          continue;
+        }
         if (user.needs_data) {
           const double kb = std::min(ctx.params.units_to_kb(alloc.units[i]),
                                      user.remaining_kb);
@@ -218,6 +226,13 @@ void InvariantChecker::check_outcome(const SlotContext& ctx, const Allocation& a
     const auto uid = static_cast<std::int32_t>(i);
     const std::int64_t phi = outcome.units[i];
     const double kb = outcome.kb[i];
+
+    // Mid-run rebind: the slot hosts a brand-new session with a fresh radio,
+    // so the RRC clock baseline from the previous occupant is meaningless.
+    if (info.session_epoch != epoch_seen_[i]) {
+      idle_known_[i] = false;
+      epoch_seen_[i] = info.session_epoch;
+    }
 
     // The transmitter must execute exactly the validated decision.
     if (phi != alloc.units[i]) {

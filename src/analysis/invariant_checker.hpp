@@ -124,6 +124,12 @@ class InvariantChecker {
   std::vector<double> shadow_queue_;  ///< Eq. 16 shadow recursion PC_i(n)
   std::vector<double> idle_prev_;     ///< RRC inactivity clock at last validated slot
   std::vector<bool> idle_known_;      ///< idle_prev_ valid for this user
+  /// Session epoch last validated per population slot. A mismatch means the
+  /// session layer rebound the slot to a fresh session mid-run: the Eq. 16
+  /// shadow adopts the scheduler's (reset) queue level and the RRC clock
+  /// baseline is re-learned, instead of reporting ghost divergences against
+  /// the departed occupant's state.
+  std::vector<std::int32_t> epoch_seen_;
   bool queues_synced_ = false;        ///< shadow adopted the scheduler's levels
   std::int64_t slots_checked_ = 0;
   std::int64_t last_slot_ = -1;

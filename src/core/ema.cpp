@@ -258,6 +258,8 @@ EmaScheduler::EmaScheduler(EmaConfig config) : config_(config) {
 
 void EmaScheduler::reset(std::size_t users) { queues_.reset(users); }
 
+void EmaScheduler::reset_user(std::size_t user) { queues_.reset_user(user); }
+
 Allocation EmaScheduler::allocate(const SlotContext& ctx) {
   Allocation alloc;
   allocate_into(ctx, alloc);

@@ -117,6 +117,7 @@ class EmaScheduler : public Scheduler {
 
   [[nodiscard]] std::string name() const override { return "ema"; }
   void reset(std::size_t users) override;
+  void reset_user(std::size_t user) override;
   [[nodiscard]] Allocation allocate(const SlotContext& ctx) override;
   void allocate_into(const SlotContext& ctx, Allocation& out) override;
 

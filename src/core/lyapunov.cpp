@@ -8,6 +8,11 @@ LyapunovQueues::LyapunovQueues(std::size_t users) : queues_(users, 0.0) {}
 
 void LyapunovQueues::reset(std::size_t users) { queues_.assign(users, 0.0); }
 
+void LyapunovQueues::reset_user(std::size_t user) {
+  require(user < queues_.size(), "unknown queue");
+  queues_[user] = 0.0;
+}
+
 void LyapunovQueues::update(std::size_t user, double tau_s, double shard_playback_s) {
   require(user < queues_.size(), "unknown queue");
   require(tau_s > 0.0, "slot length must be positive");

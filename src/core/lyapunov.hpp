@@ -24,6 +24,10 @@ class LyapunovQueues {
   /// Reinitializes all queues to zero for `users` users.
   void reset(std::size_t users);
 
+  /// Zeroes one user's queue (session rebind: a fresh session starts with no
+  /// accumulated rebuffering pressure).
+  void reset_user(std::size_t user);
+
   /// Applies Eq. 16 for one user: PC_i += tau - shard_playback_s.
   void update(std::size_t user, double tau_s, double shard_playback_s);
 

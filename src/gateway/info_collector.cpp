@@ -38,7 +38,8 @@ void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endp
     UserEndpoint& endpoint = endpoints[i];
     UserSlotInfo& info = ctx.users[i];
     info.arrived = endpoint.arrived(slot);
-    info.departed = false;  // only a SlotFaultHook marks departures
+    info.departed = endpoint.departed(slot);
+    info.session_epoch = endpoint.session_epoch;
     if (endpoint.trace != nullptr) {
       // Campaign path: the channel and both Definition 3/4 fits were batch-
       // precomputed into the shared SoA trace — three array loads replace
@@ -59,14 +60,14 @@ void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endp
     // delivery frontier (identical to the wall-clock rate for CBR sessions).
     info.bitrate_kbps = endpoint.session.bitrate_at_time(endpoint.content_time_s);
     info.remaining_kb = endpoint.remaining_kb();
-    info.needs_data = info.arrived && info.remaining_kb > 0.0;
+    info.needs_data = info.arrived && !info.departed && info.remaining_kb > 0.0;
     info.link_units = params_.link_units(info.throughput_kbps);
     const std::int64_t remaining_units =
         ceil_to_count(info.remaining_kb / params_.delta_kb);
     info.alloc_cap_units =
-        info.arrived ? std::max<std::int64_t>(
-                           0, std::min(info.link_units, remaining_units))
-                     : 0;
+        (info.arrived && !info.departed)
+            ? std::max<std::int64_t>(0, std::min(info.link_units, remaining_units))
+            : 0;
     info.buffer_s = endpoint.buffer.occupancy_s();
     info.elapsed_play_s = endpoint.buffer.elapsed_s();
     info.total_play_s = endpoint.buffer.total_s();

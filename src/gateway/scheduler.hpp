@@ -25,6 +25,13 @@ class Scheduler {
   /// Clears internal state for a fresh run over `users` users.
   virtual void reset(std::size_t users) = 0;
 
+  /// Clears any per-user state for population slot `user` only, leaving the
+  /// rest of the run untouched. The session layer calls this when a departed
+  /// slot is rebound to a freshly arrived session, so stale virtual queues or
+  /// rotation state never leak across sessions. Stateless schedulers need not
+  /// override the no-op default.
+  virtual void reset_user(std::size_t user) { (void)user; }
+
   /// Computes phi_i(n) for every user. Must satisfy:
   ///   0 <= phi_i <= ctx.users[i].alloc_cap_units      (constraint (1))
   ///   sum phi_i <= ctx.capacity_units                 (constraint (2))

@@ -38,11 +38,16 @@ struct UserSlotInfo {
   double rrc_idle_s = 0.0;      ///< time since last transmission
   bool rrc_promoted = false;    ///< radio has transmitted at least once
   bool playback_done = false;   ///< client finished playing the whole session
-  /// Session aborted mid-stream (fault injection): the user is gone — zero
-  /// allocation cap, no demand, no stall accounting, and its radio is no
-  /// longer charged. Set by the attached SlotFaultHook, never by the
-  /// collector; implies alloc_cap_units == 0 and needs_data == false.
+  /// Session ended mid-stream — a fault-injected abort or a session-layer
+  /// departure; both stamp UserEndpoint::departure_slot and the collector
+  /// derives this flag from it (one departure code path). The user is gone:
+  /// zero allocation cap, no demand, no stall accounting, and its radio is no
+  /// longer charged. Implies alloc_cap_units == 0 and needs_data == false.
   bool departed = false;
+  /// Which session currently occupies this population slot (see
+  /// UserEndpoint::session_epoch). Lets per-user shadow state (the
+  /// paper-invariant validator) detect mid-run rebinds. 0 in batch runs.
+  std::int32_t session_epoch = 0;
 };
 
 /// Immutable per-slot snapshot handed to Scheduler::allocate.

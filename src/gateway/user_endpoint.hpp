@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "media/playback_buffer.hpp"
@@ -16,6 +17,9 @@ namespace jstream {
 
 /// One mobile user as seen by the gateway.
 struct UserEndpoint {
+  /// departure_slot value meaning "streams to the end of the run".
+  static constexpr std::int64_t kNeverSlot = std::numeric_limits<std::int64_t>::max();
+
   std::unique_ptr<SignalModel> signal;
   VideoSession session;
   PlaybackBuffer buffer;
@@ -23,6 +27,16 @@ struct UserEndpoint {
   double delivered_kb = 0.0;   ///< content pushed over the air so far
   double content_time_s = 0.0; ///< playback position of the delivered prefix
   std::int64_t start_slot = 0; ///< first slot this session exists (arrivals)
+  /// First slot this session no longer exists. This is the single source of
+  /// truth for every departure path — fault-injected mid-stream aborts (the
+  /// Simulator stamps the FaultSchedule's drawn slots here) and session-layer
+  /// departures alike; the InfoCollector derives UserSlotInfo::departed from
+  /// it. kNeverSlot = streams to the end.
+  std::int64_t departure_slot = kNeverSlot;
+  /// Bumped by the session layer each time this population slot is bound to a
+  /// new session, so per-user consumers (the paper-invariant validator's
+  /// shadow state) can detect mid-run rebinds. 0 for static populations.
+  std::int32_t session_epoch = 0;
 
   /// Precomputed channel substrate (campaign engine). When attached, the
   /// InfoCollector reads sig/v(sig)/P(sig) from the trace matrices instead
@@ -49,6 +63,14 @@ struct UserEndpoint {
   [[nodiscard]] bool arrived(std::int64_t slot) const noexcept {
     return slot >= start_slot;
   }
+
+  /// True once the session has ended (fault abort or session-layer departure).
+  [[nodiscard]] bool departed(std::int64_t slot) const noexcept {
+    return slot >= departure_slot;
+  }
+
+  /// Stamp the departure slot (kNeverSlot clears it).
+  void depart_at(std::int64_t slot) noexcept { departure_slot = slot; }
 
   /// Content still to be delivered, KB.
   [[nodiscard]] double remaining_kb() const noexcept {

@@ -1,0 +1,81 @@
+// Admission control for the online service mode.
+//
+// When a session arrives, the gateway may admit it, or reject it to protect
+// the sessions already streaming (Bethanabhotla/Caire/Neely, "Utility Optimal
+// Scheduling and Admission Control for Adaptive Video Streaming in Small Cell
+// Networks": admitting past the cell's service capacity trades everyone's
+// playback smoothness for concurrency). Decisions are pure functions of the
+// per-slot AdmissionSnapshot, so runs stay deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace jstream {
+
+/// What the controller sees when one arrival asks to be admitted.
+struct AdmissionSnapshot {
+  std::int64_t slot = 0;
+  std::size_t active_sessions = 0;   ///< currently admitted (incl. tail drain)
+  std::size_t capacity_slots = 0;    ///< population slots the gateway owns
+  double cell_capacity_kbps = 0.0;   ///< Eq. 2 bound S at this slot
+  /// Mean content bitrate over the active sessions, kbps (0 when idle).
+  double mean_bitrate_kbps = 0.0;
+  /// Mean Lyapunov virtual-queue backlog PC_i over the active sessions,
+  /// seconds (0 for schedulers that expose no queues). Eq. 16 pressure: a
+  /// large positive mean means the cell is already failing to keep up.
+  double mean_virtual_queue_s = 0.0;
+  /// Content bitrate of the arriving session, kbps.
+  double offered_bitrate_kbps = 0.0;
+};
+
+/// Decides admission per arriving session.
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  /// Stable identifier used in reports ("accept-all", "threshold").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True to admit the arrival described by `snapshot`.
+  [[nodiscard]] virtual bool admit(const AdmissionSnapshot& snapshot) = 0;
+};
+
+/// Threshold policy knobs.
+struct ThresholdAdmissionConfig {
+  /// Admit only while S >= (active+1) * mean_bitrate * headroom: the cell
+  /// must be able to sustain every admitted session's content rate with this
+  /// multiplicative margin (predicted per-user capacity test).
+  double capacity_headroom = 1.1;
+  /// Additionally require the mean Eq. 16 backlog to stay at or below this
+  /// bound; past it the cell is already rebuffering and must drain first.
+  double max_mean_queue_s = 30.0;
+};
+
+/// Which controller a ServiceConfig instantiates.
+enum class AdmissionKind : std::uint8_t {
+  kAcceptAll,
+  kThreshold,
+};
+
+/// Declarative admission configuration (joins ServiceConfig).
+struct AdmissionConfig {
+  AdmissionKind kind = AdmissionKind::kAcceptAll;
+  ThresholdAdmissionConfig threshold;
+};
+
+void validate(const AdmissionConfig& config);
+
+/// Baseline: admits everything the population can hold.
+[[nodiscard]] std::unique_ptr<AdmissionController> make_accept_all_admission();
+
+/// Capacity/backlog threshold policy (see ThresholdAdmissionConfig).
+[[nodiscard]] std::unique_ptr<AdmissionController> make_threshold_admission(
+    ThresholdAdmissionConfig config = {});
+
+/// Builds the controller for a config.
+[[nodiscard]] std::unique_ptr<AdmissionController> make_admission_controller(
+    const AdmissionConfig& config);
+
+}  // namespace jstream

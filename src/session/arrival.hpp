@@ -1,0 +1,100 @@
+// Session arrival processes for the online service mode.
+//
+// An ArrivalProcess answers "how many sessions arrive in slot n" as a pure
+// function of (config, seed, n): queries are deterministic, order-independent
+// and allocation-free, so sharded campaign runs, replays, and live runs all
+// see the same arrival stream. The RNG discipline mirrors src/sim/fault.hpp —
+// the arrival layer owns root streams disjoint from the per-user endpoint
+// streams (split(i)) and the fault layer's 0xfa17... root:
+//
+//   arrivals: Rng(seed).split(kArrivalRootStream + salt).split(slot)
+//   content:  Rng(seed).split(kSessionRootStream + salt).split(k)
+//
+// where k is the global arrival index (0, 1, 2, ... in arrival order). The
+// content stream draws each arriving session's video size and bitrate profile
+// and is indexed by k — NOT by admission outcome — so changing the admission
+// policy or the cell capacity never shifts the content of later sessions
+// (the "arrival purity contract", see docs/SERVICE.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "media/video_session.hpp"
+#include "sim/scenario.hpp"
+
+namespace jstream {
+
+/// Root stream of the per-slot arrival-count draws. Disjoint by construction
+/// from the per-user endpoint streams (split(i), small i) and the fault
+/// layer's 0xfa17'0000'0000'0000 root.
+inline constexpr std::uint64_t kArrivalRootStream = 0xa2210000'00000000ULL;
+
+/// Root stream of the per-arrival session-content draws.
+inline constexpr std::uint64_t kSessionRootStream = 0x5e550000'00000000ULL;
+
+/// Which arrival process drives the service run.
+enum class ArrivalKind : std::uint8_t {
+  kNone,     ///< no dynamic arrivals: the service run IS the batch run
+  kPoisson,  ///< iid Poisson(rate_per_slot) counts per slot
+  kTrace,    ///< replay explicit per-slot counts (0 beyond the trace)
+};
+
+/// Declarative arrival configuration (joins ServiceConfig).
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kNone;
+  double rate_per_slot = 0.0;  ///< Poisson intensity lambda (kPoisson)
+  std::vector<std::int64_t> trace_counts;  ///< per-slot counts (kTrace)
+  /// Decorrelates arrival streams across service scenarios sharing a seed,
+  /// like FaultConfig::salt does for fault schedules.
+  std::uint64_t salt = 0;
+
+  [[nodiscard]] bool active() const noexcept { return kind != ArrivalKind::kNone; }
+};
+
+/// Raises on non-sensical configs (negative rate, negative trace counts).
+void validate(const ArrivalConfig& config);
+
+/// Stable identity of the arrival stream a config produces, for cache keys
+/// (TraceKey::session_fingerprint) and reports. 0 iff inactive — so batch
+/// runs and zero-arrival service runs share trace-cache entries (they are
+/// bit-identical by construction), while any active arrival process isolates
+/// its campaign cells from batch ones.
+[[nodiscard]] std::uint64_t arrival_fingerprint(const ArrivalConfig& config);
+
+/// Deterministic per-slot arrival counts; see the file comment for the
+/// purity contract.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Stable identifier used in reports ("poisson", "trace", "none").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Sessions arriving in slot `slot`. Pure: any query order, any subset of
+  /// slots, any number of repeats — same answers. Allocation-free.
+  [[nodiscard]] virtual std::int64_t arrivals_at(std::int64_t slot) const = 0;
+};
+
+/// Builds the process for a config; nullptr when config.kind == kNone.
+[[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const ArrivalConfig& config, std::uint64_t seed);
+
+/// Draws the content of the k-th arriving session (global arrival index, in
+/// arrival order) from the cell's content ranges: video size uniform in
+/// [video_min_mb, video_max_mb], bitrate profile per the cell's CBR/VBR
+/// settings — the same draw family build_endpoints uses, on the session
+/// content stream. Pure in (cell content fields, seed, salt, k).
+[[nodiscard]] VideoSession draw_session_content(const ScenarioConfig& cell,
+                                                std::uint64_t salt,
+                                                std::int64_t arrival_index);
+
+/// Exact Poisson(lambda) sampler on `rng` (chunked inverse-CDF by
+/// multiplication, exact for any lambda; large intensities are split into
+/// bounded chunks so the product never underflows).
+[[nodiscard]] std::int64_t poisson_sample(Rng& rng, double lambda);
+
+}  // namespace jstream

@@ -24,21 +24,21 @@ std::vector<ExperimentSpec> make_campaign_grid(const ScenarioConfig& base,
   return specs;
 }
 
-std::vector<RunMetrics> run_campaign(std::span<const ExperimentSpec> specs,
-                                     const CampaignOptions& options) {
+void note_campaign_cells(std::size_t cells) {
   telemetry::global_registry().counter("campaign.runs").add();
   telemetry::global_registry()
       .counter("campaign.cells")
-      .add(static_cast<std::int64_t>(specs.size()));
-  TraceCache* cache = options.cache != nullptr ? options.cache : &global_trace_cache();
-  ThreadPool pool(options.threads);
-  return parallel_map(pool, specs.size(), [&](std::size_t i) {
-    const ExperimentSpec& spec = specs[i];
-    const std::shared_ptr<const SignalTraceSet> trace =
-        options.use_trace_cache ? cache->get_or_generate(spec.scenario)
-                                : generate_signal_trace_set(spec.scenario);
-    return run_experiment(spec, options.keep_series, trace);
-  });
+      .add(static_cast<std::int64_t>(cells));
+}
+
+std::vector<RunMetrics> run_campaign(std::span<const ExperimentSpec> specs,
+                                     const CampaignOptions& options) {
+  return run_campaign_cells(
+      specs.size(), options,
+      [&](std::size_t i) { return CampaignCell{&specs[i].scenario, 0}; },
+      [&](std::size_t i, std::shared_ptr<const SignalTraceSet> trace) {
+        return run_experiment(specs[i], options.keep_series, std::move(trace));
+      });
 }
 
 }  // namespace jstream

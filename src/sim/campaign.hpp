@@ -6,10 +6,12 @@
 // immutably out of a byte-budgeted LRU cache.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/sweep.hpp"
 #include "sim/trace_cache.hpp"
 
@@ -46,5 +48,38 @@ struct CampaignOptions {
 /// bit for bit; this is the baseline the perf gate measures against.
 [[nodiscard]] std::vector<RunMetrics> run_campaign(
     std::span<const ExperimentSpec> specs, const CampaignOptions& options = {});
+
+/// Trace identity of one campaign cell: the scenario that defines the channel
+/// substrate plus the extra key component service-mode runs contribute
+/// (TraceKey::session_fingerprint, 0 for batch cells).
+struct CampaignCell {
+  const ScenarioConfig* scenario = nullptr;
+  std::uint64_t session_fingerprint = 0;
+};
+
+/// Bumps the campaign.* telemetry counters (one grid of `cells` cells).
+void note_campaign_cells(std::size_t cells);
+
+/// Generic campaign driver both the batch and service engines run on: for
+/// each cell index, resolve its trace identity via `cell_of(i)` →
+/// CampaignCell, serve the shared substrate out of the trace cache (or
+/// regenerate per cell with `use_trace_cache` off), and run
+/// `run_cell(i, trace)` on the pool. Order-preserving; results are returned
+/// in cell order.
+template <typename CellOf, typename RunCell>
+[[nodiscard]] auto run_campaign_cells(std::size_t cells, const CampaignOptions& options,
+                                      CellOf&& cell_of, RunCell&& run_cell) {
+  note_campaign_cells(cells);
+  TraceCache* cache = options.cache != nullptr ? options.cache : &global_trace_cache();
+  ThreadPool pool(options.threads);
+  return parallel_map(pool, cells, [&](std::size_t i) {
+    const CampaignCell cell = cell_of(i);
+    const std::shared_ptr<const SignalTraceSet> trace =
+        options.use_trace_cache
+            ? cache->get_or_generate(*cell.scenario, cell.session_fingerprint)
+            : generate_signal_trace_set(*cell.scenario);
+    return run_cell(i, trace);
+  });
+}
 
 }  // namespace jstream

@@ -302,13 +302,14 @@ void FaultInjector::degrade_context(SlotContext& ctx) {
     UserSlotInfo& info = ctx.users[i];
     stale_now_[i] = 0;
 
-    // (c) Departure: the session aborts — no demand, zero allocation cap, and
+    // (c) Departure: the session aborted — no demand, zero allocation cap, and
     // schedulers with per-user state (EMA's Eq. 16 virtual queues, RTMA's
-    // rotation) see a user that simply never needs data again.
-    if (schedule_->departed(i, slot)) {
-      info.departed = true;
-      info.needs_data = false;
-      info.alloc_cap_units = 0;
+    // rotation) see a user that simply never needs data again. The abort slot
+    // itself lives on the endpoint (the Simulator stamps the schedule's drawn
+    // slots into UserEndpoint::departure_slot), so fault aborts and
+    // session-layer departures flow through the same collector-set flag; the
+    // injector only handles the fault-local bookkeeping.
+    if (info.departed) {
       last_fresh_[i].valid = false;
       if (departure_counted_[i] == 0) {
         departure_counted_[i] = 1;

@@ -122,4 +122,130 @@ void MetricsCollector::record_slot(const SlotContext& ctx, const SlotOutcome& ou
 
 RunMetrics MetricsCollector::finish() { return std::move(metrics_); }
 
+double ServiceMetrics::mean_concurrency() const noexcept {
+  return measured_slots == 0 ? 0.0
+                             : concurrency_sum / static_cast<double>(measured_slots);
+}
+
+double ServiceMetrics::admit_rate() const noexcept {
+  return offered == 0 ? 1.0
+                      : static_cast<double>(admitted) / static_cast<double>(offered);
+}
+
+double ServiceMetrics::session_completion_rate() const noexcept {
+  const std::int64_t ended = completed + aborted;
+  return ended == 0 ? 0.0
+                    : static_cast<double>(completed) / static_cast<double>(ended);
+}
+
+double ServiceMetrics::mean_rebuffer_per_user_slot_s() const noexcept {
+  return active_user_slots == 0
+             ? 0.0
+             : rebuffer_sum_s / static_cast<double>(active_user_slots);
+}
+
+double ServiceMetrics::mean_energy_per_user_slot_mj() const noexcept {
+  return active_user_slots == 0
+             ? 0.0
+             : energy_sum_mj / static_cast<double>(active_user_slots);
+}
+
+double ServiceMetrics::mean_session_rebuffer_s() const noexcept {
+  return sessions_measured == 0
+             ? 0.0
+             : session_rebuffer_sum_s / static_cast<double>(sessions_measured);
+}
+
+double ServiceMetrics::mean_session_energy_mj() const noexcept {
+  return sessions_measured == 0
+             ? 0.0
+             : session_energy_sum_mj / static_cast<double>(sessions_measured);
+}
+
+double ServiceMetrics::mean_session_slots() const noexcept {
+  return sessions_measured == 0
+             ? 0.0
+             : static_cast<double>(session_length_slots_sum) /
+                   static_cast<double>(sessions_measured);
+}
+
+ServiceMetricsCollector::ServiceMetricsCollector(std::size_t capacity_slots,
+                                                 std::int64_t warmup_slots,
+                                                 bool keep_records)
+    : keep_records_(keep_records),
+      session_rebuffer_s_(capacity_slots, 0.0),
+      session_energy_mj_(capacity_slots, 0.0),
+      session_start_(capacity_slots, 0),
+      session_arrival_index_(capacity_slots, -1) {
+  require(warmup_slots >= 0, "warmup must be non-negative");
+  metrics_.warmup_slots = warmup_slots;
+  metrics_.capacity_slots = capacity_slots;
+}
+
+void ServiceMetricsCollector::on_session_start(std::size_t user_slot,
+                                               std::int64_t slot,
+                                               std::int64_t arrival_index) {
+  require(user_slot < session_rebuffer_s_.size(), "unknown population slot");
+  ++metrics_.admitted;
+  session_rebuffer_s_[user_slot] = 0.0;
+  session_energy_mj_[user_slot] = 0.0;
+  session_start_[user_slot] = slot;
+  session_arrival_index_[user_slot] = arrival_index;
+}
+
+void ServiceMetricsCollector::on_session_end(std::size_t user_slot,
+                                             std::int64_t end_slot,
+                                             double delivered_kb, bool completed) {
+  require(user_slot < session_rebuffer_s_.size(), "unknown population slot");
+  ++(completed ? metrics_.completed : metrics_.aborted);
+  // Only sessions that lived entirely inside the measured window join the
+  // steady-state distributions; warmup-era sessions still count in the flow
+  // totals above.
+  if (session_start_[user_slot] >= metrics_.warmup_slots) {
+    ++metrics_.sessions_measured;
+    metrics_.session_rebuffer_sum_s += session_rebuffer_s_[user_slot];
+    metrics_.session_energy_sum_mj += session_energy_mj_[user_slot];
+    metrics_.session_delivered_sum_kb += delivered_kb;
+    metrics_.session_length_slots_sum += end_slot - session_start_[user_slot];
+    if (keep_records_) {
+      metrics_.records.push_back(SessionRecord{
+          user_slot, session_arrival_index_[user_slot], session_start_[user_slot],
+          end_slot, delivered_kb, session_rebuffer_s_[user_slot],
+          session_energy_mj_[user_slot], completed});
+    }
+  }
+  session_arrival_index_[user_slot] = -1;
+}
+
+void ServiceMetricsCollector::record_slot(std::int64_t slot,
+                                          std::size_t active_sessions,
+                                          const SlotOutcome& outcome) {
+  const std::size_t n = session_rebuffer_s_.size();
+  require(outcome.rebuffer_s.size() == n && outcome.trans_mj.size() == n &&
+              outcome.tail_mj.size() == n,
+          "service slot record size mismatch");
+  ++metrics_.slots_run;
+  double slot_rebuffer = 0.0;
+  double slot_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double energy = outcome.trans_mj[i] + outcome.tail_mj[i];
+    session_rebuffer_s_[i] += outcome.rebuffer_s[i];
+    session_energy_mj_[i] += energy;
+    slot_rebuffer += outcome.rebuffer_s[i];
+    slot_energy += energy;
+  }
+  if (slot < metrics_.warmup_slots) return;
+  ++metrics_.measured_slots;
+  metrics_.concurrency_sum += static_cast<double>(active_sessions);
+  metrics_.peak_concurrency = std::max(metrics_.peak_concurrency, active_sessions);
+  metrics_.rebuffer_sum_s += slot_rebuffer;
+  metrics_.active_user_slots += static_cast<std::int64_t>(active_sessions);
+  metrics_.energy_sum_mj += slot_energy;
+}
+
+ServiceMetrics ServiceMetricsCollector::finish(std::size_t in_flight) {
+  metrics_.in_flight_at_end = static_cast<std::int64_t>(in_flight);
+  return std::move(metrics_);
+}
+
 }  // namespace jstream

@@ -73,4 +73,62 @@ void export_run_csv(const std::string& directory, const std::string& prefix,
   }
 }
 
+std::string summarize_service(const std::string& label,
+                              const ServiceMetrics& metrics) {
+  std::ostringstream out;
+  out << label << ": " << metrics.slots_run << " slots (" << metrics.measured_slots
+      << " measured), sessions " << metrics.offered << " offered / "
+      << metrics.admitted << " admitted / " << metrics.rejected << " rejected / "
+      << metrics.blocked << " blocked, " << metrics.completed << " completed + "
+      << metrics.aborted << " aborted (" << metrics.in_flight_at_end
+      << " in flight); concurrency "
+      << format_double(metrics.mean_concurrency(), 1) << " mean / "
+      << metrics.peak_concurrency << " peak; PC "
+      << format_double(1000.0 * metrics.mean_rebuffer_per_user_slot_s(), 1)
+      << " ms/user-slot, PE "
+      << format_double(metrics.mean_energy_per_user_slot_mj(), 1)
+      << " mJ/user-slot.";
+  return out.str();
+}
+
+void export_service_csv(const std::string& directory, const std::string& prefix,
+                        const ServiceMetrics& metrics) {
+  std::filesystem::create_directories(directory);
+  {
+    CsvWriter summary(
+        directory + "/" + prefix + "_service.csv",
+        {"slots_run", "warmup_slots", "measured_slots", "capacity_slots", "offered",
+         "admitted", "rejected", "blocked", "completed", "aborted",
+         "in_flight_at_end", "mean_concurrency", "peak_concurrency",
+         "rebuffer_per_user_slot_s", "energy_per_user_slot_mj",
+         "mean_session_rebuffer_s", "mean_session_energy_mj", "mean_session_slots"});
+    summary.row(std::vector<std::string>{
+        std::to_string(metrics.slots_run), std::to_string(metrics.warmup_slots),
+        std::to_string(metrics.measured_slots),
+        std::to_string(metrics.capacity_slots), std::to_string(metrics.offered),
+        std::to_string(metrics.admitted), std::to_string(metrics.rejected),
+        std::to_string(metrics.blocked), std::to_string(metrics.completed),
+        std::to_string(metrics.aborted), std::to_string(metrics.in_flight_at_end),
+        format_double(metrics.mean_concurrency(), 3),
+        std::to_string(metrics.peak_concurrency),
+        format_double(metrics.mean_rebuffer_per_user_slot_s(), 6),
+        format_double(metrics.mean_energy_per_user_slot_mj(), 6),
+        format_double(metrics.mean_session_rebuffer_s(), 6),
+        format_double(metrics.mean_session_energy_mj(), 6),
+        format_double(metrics.mean_session_slots(), 3)});
+  }
+  if (!metrics.records.empty()) {
+    CsvWriter sessions(directory + "/" + prefix + "_sessions.csv",
+                       {"arrival_index", "user_slot", "start_slot", "end_slot",
+                        "delivered_kb", "rebuffer_s", "energy_mj", "completed"});
+    for (const SessionRecord& record : metrics.records) {
+      sessions.row(std::vector<std::string>{
+          std::to_string(record.arrival_index), std::to_string(record.user_slot),
+          std::to_string(record.start_slot), std::to_string(record.end_slot),
+          format_double(record.delivered_kb, 3), format_double(record.rebuffer_s, 3),
+          format_double(record.energy_mj, 3), record.completed ? "1" : "0"});
+    }
+  }
+}
+
 }  // namespace jstream

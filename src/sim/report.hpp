@@ -25,4 +25,16 @@ namespace jstream {
 void export_run_csv(const std::string& directory, const std::string& prefix,
                     const RunMetrics& metrics);
 
+/// One-paragraph headline summary of a service-mode run: session flow
+/// (offered/admitted/completed/aborted), steady-state concurrency, and the
+/// per-user-slot stall/energy averages over the measured window.
+[[nodiscard]] std::string summarize_service(const std::string& label,
+                                            const ServiceMetrics& metrics);
+
+/// Exports a service run into `directory`:
+///   <prefix>_service.csv   — one row of flow counters and steady-state averages
+///   <prefix>_sessions.csv  — one row per measured session (when records kept)
+void export_service_csv(const std::string& directory, const std::string& prefix,
+                        const ServiceMetrics& metrics);
+
 }  // namespace jstream

@@ -64,11 +64,16 @@ RunMetrics Simulator::run(bool keep_series) {
   // cached-trace and live runs fault identically; an inactive config attaches
   // nothing and leaves the slot path byte-for-byte unfaulted.
   std::unique_ptr<FaultInjector> fault_injector;
-  const FaultSchedule* faults = nullptr;
   if (config_.faults.any()) {
     fault_injector = std::make_unique<FaultInjector>(
         std::make_shared<const FaultSchedule>(make_fault_schedule(config_)));
-    faults = &fault_injector->schedule();
+    // Mid-stream aborts ride the session-departure path: the schedule's drawn
+    // slots are stamped on the endpoints, the collector raises the departed
+    // flag, and the injector only does its fault-local bookkeeping.
+    const FaultSchedule& schedule = fault_injector->schedule();
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      endpoints[i].depart_at(schedule.departure_slot(i));
+    }
     framework.attach_fault_hook(fault_injector.get());
   }
   MetricsCollector metrics(config_.users, keep_series);
@@ -94,7 +99,7 @@ RunMetrics Simulator::run(bool keep_series) {
       // purposes it counts as done the moment it aborts.
       bool all_done = true;
       for (std::size_t i = 0; i < endpoints.size(); ++i) {
-        if (faults != nullptr && faults->departed(i, slot)) continue;
+        if (endpoints[i].departed(slot)) continue;
         if (endpoints[i].active()) {
           all_done = false;
           break;

@@ -82,7 +82,8 @@ bool TraceKey::operator==(const TraceKey& other) const noexcept {
          kind == other.kind && vbr == other.vbr && same(sine, other.sine) &&
          same(gauss_markov, other.gauss_markov) && trace_hash == other.trace_hash &&
          link_fingerprint == other.link_fingerprint &&
-         fault_fingerprint == other.fault_fingerprint;
+         fault_fingerprint == other.fault_fingerprint &&
+         session_fingerprint == other.session_fingerprint;
 }
 
 std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
@@ -105,10 +106,12 @@ std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
   fnv_mix(hash, key.trace_hash);
   fnv_mix(hash, key.link_fingerprint);
   fnv_mix(hash, key.fault_fingerprint);
+  fnv_mix(hash, key.session_fingerprint);
   return static_cast<std::size_t>(hash);
 }
 
-TraceKey make_trace_key(const ScenarioConfig& config) {
+TraceKey make_trace_key(const ScenarioConfig& config,
+                        std::uint64_t session_fingerprint) {
   TraceKey key;
   key.users = config.users;
   key.slots = config.max_slots;
@@ -125,6 +128,7 @@ TraceKey make_trace_key(const ScenarioConfig& config) {
                        : 0;
   key.link_fingerprint = link_fingerprint(config.link);
   key.fault_fingerprint = fault_fingerprint(config.faults);
+  key.session_fingerprint = session_fingerprint;
   return key;
 }
 
@@ -147,9 +151,9 @@ std::shared_ptr<const SignalTraceSet> generate_signal_trace_set(
 TraceCache::TraceCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
 
 std::shared_ptr<const SignalTraceSet> TraceCache::get_or_generate(
-    const ScenarioConfig& config) {
+    const ScenarioConfig& config, std::uint64_t session_fingerprint) {
   auto& probes = TraceCacheTelemetry::instance();
-  const TraceKey key = make_trace_key(config);
+  const TraceKey key = make_trace_key(config, session_fingerprint);
   TraceFuture future;
   std::promise<std::shared_ptr<const SignalTraceSet>> promise;
   bool generate = false;

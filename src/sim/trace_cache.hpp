@@ -49,6 +49,13 @@ struct TraceKey {
   /// run are bit-identical — the key still separates them so a faulted
   /// campaign can never alias (or be aliased by) an unfaulted entry.
   std::uint64_t fault_fingerprint = 0;
+  /// arrival_fingerprint(...) of the service layer's arrival process: 0 for
+  /// batch runs and zero-arrival service configs (which ARE the batch run,
+  /// bit for bit, so sharing the entry is correct). Like faults, arrivals
+  /// never alter the matrices — the channel substrate belongs to the
+  /// population slot, not the session occupying it — but the key isolates
+  /// service-mode campaigns from batch ones.
+  std::uint64_t session_fingerprint = 0;
 
   [[nodiscard]] bool operator==(const TraceKey& other) const noexcept;
 };
@@ -59,7 +66,9 @@ struct TraceKeyHash {
 };
 
 /// Extracts the trace identity of a scenario (see TraceKey).
-[[nodiscard]] TraceKey make_trace_key(const ScenarioConfig& config);
+/// `session_fingerprint` joins the key for service-mode runs (0 = batch).
+[[nodiscard]] TraceKey make_trace_key(const ScenarioConfig& config,
+                                      std::uint64_t session_fingerprint = 0);
 
 /// Generates the full trace set for a scenario: builds the per-user signal
 /// models exactly as build_endpoints does (same RNG stream order), walks
@@ -81,7 +90,7 @@ class TraceCache {
   /// Propagates generation failures (and forgets the entry so later calls
   /// retry).
   [[nodiscard]] std::shared_ptr<const SignalTraceSet> get_or_generate(
-      const ScenarioConfig& config);
+      const ScenarioConfig& config, std::uint64_t session_fingerprint = 0);
 
   [[nodiscard]] std::size_t max_bytes() const;
   void set_max_bytes(std::size_t max_bytes);

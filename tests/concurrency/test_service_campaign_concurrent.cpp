@@ -1,0 +1,132 @@
+// Service-mode campaigns under concurrency (runs in the TSan configuration
+// via the `concurrency` label): sharded service grids must match an
+// undisturbed serial baseline bit for bit, and service cells must share or
+// isolate trace-cache entries exactly as their arrival fingerprints dictate —
+// zero-arrival service cells alias batch entries (they are the same run),
+// active-arrival cells never do.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "session/service_campaign.hpp"
+#include "sim/campaign.hpp"
+
+namespace jstream {
+namespace {
+
+ScenarioConfig service_cell(std::uint64_t seed) {
+  ScenarioConfig cell = paper_scenario(/*users=*/4, seed);
+  cell.max_slots = 150;
+  cell.video_min_mb = 2.0;
+  cell.video_max_mb = 4.0;
+  return cell;
+}
+
+std::vector<ServiceExperimentSpec> service_specs(std::uint64_t seed, double rate) {
+  const char* schedulers[] = {"default", "ema-fast", "rtma"};
+  std::vector<ServiceExperimentSpec> specs;
+  for (const char* name : schedulers) {
+    ServiceExperimentSpec spec;
+    spec.label = name;
+    spec.scheduler = name;
+    spec.config.cell = service_cell(seed);
+    if (rate > 0.0) {
+      spec.config.arrivals.kind = ArrivalKind::kPoisson;
+      spec.config.arrivals.rate_per_slot = rate;
+      spec.config.warmup_slots = 30;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void expect_identical(const std::vector<ServiceResult>& a,
+                      const std::vector<ServiceResult>& b,
+                      std::span<const ServiceExperimentSpec> specs) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].service.offered, b[i].service.offered) << specs[i].label;
+    EXPECT_EQ(a[i].service.admitted, b[i].service.admitted) << specs[i].label;
+    EXPECT_EQ(a[i].service.completed, b[i].service.completed) << specs[i].label;
+    EXPECT_EQ(a[i].service.aborted, b[i].service.aborted) << specs[i].label;
+    EXPECT_EQ(a[i].service.rebuffer_sum_s, b[i].service.rebuffer_sum_s)
+        << specs[i].label;
+    EXPECT_EQ(a[i].service.energy_sum_mj, b[i].service.energy_sum_mj)
+        << specs[i].label;
+    EXPECT_EQ(a[i].run.total_energy_mj(), b[i].run.total_energy_mj())
+        << specs[i].label;
+    EXPECT_EQ(a[i].run.total_rebuffer_s(), b[i].run.total_rebuffer_s())
+        << specs[i].label;
+  }
+}
+
+TEST(ServiceCampaignConcurrent, ShardedServiceGridMatchesSerialBaseline) {
+  std::vector<ServiceExperimentSpec> specs = service_specs(91, 0.3);
+  const std::vector<ServiceExperimentSpec> more = service_specs(92, 0.3);
+  specs.insert(specs.end(), more.begin(), more.end());
+
+  TraceCache serial_cache;
+  CampaignOptions serial;
+  serial.threads = 1;
+  serial.cache = &serial_cache;
+  const std::vector<ServiceResult> baseline = run_service_campaign(specs, serial);
+
+  TraceCache shared_cache;
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  parallel.cache = &shared_cache;
+  const std::vector<ServiceResult> sharded = run_service_campaign(specs, parallel);
+
+  expect_identical(sharded, baseline, specs);
+  // One substrate per (seed, arrival fingerprint): three schedulers share it.
+  EXPECT_EQ(shared_cache.misses(), 2u);
+}
+
+TEST(ServiceCampaignConcurrent, ServiceAndBatchEntriesShareOrIsolateByFingerprint) {
+  // One cache serves three key classes over the same scenario: batch cells,
+  // zero-arrival service cells (same key as batch — the runs are identical),
+  // and Poisson service cells (own entry via the arrival fingerprint).
+  const ScenarioConfig cell = service_cell(57);
+
+  std::vector<ServiceExperimentSpec> specs = service_specs(57, 0.0);  // zero-arrival
+  const std::vector<ServiceExperimentSpec> poisson = service_specs(57, 0.3);
+  specs.insert(specs.end(), poisson.begin(), poisson.end());
+  std::vector<ExperimentSpec> batch_specs;
+  for (const char* name : {"default", "ema-fast", "rtma"}) {
+    batch_specs.push_back(ExperimentSpec{name, name, cell, {}});
+  }
+
+  TraceCache cache;
+  CampaignOptions options;
+  options.threads = 4;
+  options.cache = &cache;
+  const std::vector<ServiceResult> service = run_service_campaign(specs, options);
+  const std::vector<RunMetrics> batch = run_campaign(batch_specs, options);
+
+  // Two generations total: (scenario, 0) shared by six runs across both
+  // engines, (scenario, poisson fp) for the three arrival cells.
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Sharing is sound because zero-arrival service IS the batch run.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(service[i].run.total_energy_mj(), batch[i].total_energy_mj())
+        << batch_specs[i].label;
+    EXPECT_EQ(service[i].run.total_rebuffer_s(), batch[i].total_rebuffer_s())
+        << batch_specs[i].label;
+    EXPECT_EQ(service[i].run.slots_run, batch[i].slots_run) << batch_specs[i].label;
+  }
+  // And the Poisson cells genuinely ran a different workload.
+  bool any_differs = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (service[batch.size() + i].run.total_energy_mj() !=
+        batch[i].total_energy_mj()) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+}  // namespace
+}  // namespace jstream

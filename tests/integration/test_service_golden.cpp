@@ -1,0 +1,159 @@
+// Golden-run digests for the online service mode: every factory scheduler is
+// run over two fixed Poisson-arrival scenarios (low and high load) and its
+// session-flow and steady-state digest is compared against the checked-in
+// tests/integration/service_golden_runs.csv. Any unintended change to the
+// arrival stream, admission path, session recycling, or slot accounting
+// fails here with the drifted column. Intentional changes regenerate via
+// scripts/regen_golden.sh (GOLDEN_REGEN=1) — review the diff like code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "common/csv.hpp"
+#include "session/service.hpp"
+
+#ifndef JSTREAM_SERVICE_GOLDEN_CSV
+#error "build must define JSTREAM_SERVICE_GOLDEN_CSV (path to service_golden_runs.csv)"
+#endif
+
+namespace jstream {
+namespace {
+
+struct GoldenCase {
+  std::string name;
+  ServiceConfig config;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  // Small enough to run all schedulers in seconds, busy enough that sessions
+  // arrive, complete, and recycle population slots many times over.
+  ScenarioConfig cell = paper_scenario(/*users=*/6, /*seed=*/20260808);
+  cell.max_slots = 300;
+  cell.video_min_mb = 2.0;
+  cell.video_max_mb = 4.0;
+
+  ServiceConfig low;
+  low.cell = cell;
+  low.arrivals.kind = ArrivalKind::kPoisson;
+  low.arrivals.rate_per_slot = 0.08;
+  low.warmup_slots = 60;
+
+  ServiceConfig high = low;
+  high.arrivals.rate_per_slot = 0.3;
+
+  return {{"poisson_low", low}, {"poisson_high", high}};
+}
+
+const std::vector<std::string> kColumns = {
+    "case",         "scheduler",       "slots_run",
+    "offered",      "admitted",        "blocked",
+    "completed",    "aborted",         "concurrency_sum",
+    "rebuffer_sum_s", "energy_sum_mj", "session_rebuffer_sum_s",
+    "session_delivered_sum_kb"};
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::vector<std::string> digest_row(const GoldenCase& golden,
+                                    const std::string& scheduler) {
+  const ServiceResult result =
+      simulate_service(golden.config, make_scheduler(scheduler));
+  const ServiceMetrics& m = result.service;
+  return {golden.name,
+          scheduler,
+          std::to_string(m.slots_run),
+          std::to_string(m.offered),
+          std::to_string(m.admitted),
+          std::to_string(m.blocked),
+          std::to_string(m.completed),
+          std::to_string(m.aborted),
+          fmt(m.concurrency_sum),
+          fmt(m.rebuffer_sum_s),
+          fmt(m.energy_sum_mj),
+          fmt(m.session_rebuffer_sum_s),
+          fmt(m.session_delivered_sum_kb)};
+}
+
+/// Digest doubles must reproduce to round-trip precision; the slack covers
+/// only the decimal round trip through the CSV, not behavioural drift.
+constexpr double kRelTol = 1e-12;
+
+void expect_cell_matches(const std::string& expected, const std::string& actual,
+                         const std::string& column, const std::string& key) {
+  if (expected == actual) return;
+  const double want = std::strtod(expected.c_str(), nullptr);
+  const double got = std::strtod(actual.c_str(), nullptr);
+  const double slack = kRelTol * std::max(1.0, std::abs(want));
+  EXPECT_LE(std::abs(got - want), slack)
+      << key << " drifted in column '" << column << "': golden " << expected
+      << ", run " << actual
+      << "\nIf the change is intentional, regenerate with scripts/regen_golden.sh "
+         "and review the CSV diff.";
+}
+
+TEST(ServiceGoldenRuns, EveryFactorySchedulerMatchesTheCheckedInDigests) {
+  const std::vector<GoldenCase> cases = golden_cases();
+  const std::vector<std::string> schedulers = scheduler_names();
+
+  if (std::getenv("GOLDEN_REGEN") != nullptr) {
+    CsvWriter writer(JSTREAM_SERVICE_GOLDEN_CSV, kColumns);
+    for (const GoldenCase& golden : cases) {
+      for (const std::string& scheduler : schedulers) {
+        writer.row(digest_row(golden, scheduler));
+      }
+    }
+    GTEST_SKIP() << "GOLDEN_REGEN=1: rewrote " << JSTREAM_SERVICE_GOLDEN_CSV
+                 << " with " << writer.rows_written() << " digests";
+  }
+
+  const CsvTable table = read_csv(JSTREAM_SERVICE_GOLDEN_CSV);
+  ASSERT_EQ(table.header, kColumns)
+      << "service_golden_runs.csv header drifted — regenerate via "
+         "scripts/regen_golden.sh";
+
+  std::map<std::string, std::vector<std::string>> golden_rows;
+  for (const std::vector<std::string>& row : table.rows) {
+    golden_rows[row[0] + "/" + row[1]] = row;
+  }
+  ASSERT_EQ(golden_rows.size(), cases.size() * schedulers.size())
+      << "service_golden_runs.csv row set does not cover the case x scheduler grid";
+
+  for (const GoldenCase& golden : cases) {
+    for (const std::string& scheduler : schedulers) {
+      const std::string key = golden.name + "/" + scheduler;
+      const auto it = golden_rows.find(key);
+      ASSERT_NE(it, golden_rows.end()) << "no golden row for " << key;
+      const std::vector<std::string> actual = digest_row(golden, scheduler);
+      for (std::size_t col = 2; col < kColumns.size(); ++col) {
+        expect_cell_matches(it->second[col], actual[col], kColumns[col], key);
+      }
+    }
+  }
+}
+
+TEST(ServiceGoldenRuns, CasesActuallyChurnSessions) {
+  // Guards the suite's coverage: the digests only pin the session machinery
+  // if sessions genuinely arrive, complete, and recycle slots.
+  for (const GoldenCase& golden : golden_cases()) {
+    const ServiceResult result =
+        simulate_service(golden.config, make_scheduler("default"));
+    EXPECT_GT(result.service.offered, 0) << golden.name;
+    EXPECT_GT(result.service.completed, 0) << golden.name;
+  }
+  const ServiceResult high =
+      simulate_service(golden_cases().back().config, make_scheduler("default"));
+  // High load turns over the 6 population slots several times.
+  EXPECT_GT(high.service.admitted, 12);
+}
+
+}  // namespace
+}  // namespace jstream

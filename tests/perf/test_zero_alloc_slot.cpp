@@ -19,6 +19,7 @@
 #include "gateway/framework.hpp"
 #include "radio/link_model.hpp"
 #include "radio/signal_trace.hpp"
+#include "session/service.hpp"
 #include "sim/fault.hpp"
 #include "test_helpers.hpp"
 
@@ -143,6 +144,7 @@ TEST(ZeroAllocSlot, FaultedSlotPathIsAllocationFree) {
     schedule.add_capacity_window({begin, begin + 10}, 0.5);
   }
   schedule.set_departure(0, 120);  // aborts mid-measurement
+  endpoints[0].depart_at(120);     // the endpoint carries the abort slot
   FaultInjector injector(
       std::make_shared<const FaultSchedule>(std::move(schedule)));
   Framework framework(make_collector(), std::make_unique<EmaScheduler>(),
@@ -150,6 +152,51 @@ TEST(ZeroAllocSlot, FaultedSlotPathIsAllocationFree) {
   framework.attach_fault_hook(&injector);
   (void)allocations_over_slots(framework, endpoints, bs, 0, 50);
   EXPECT_EQ(allocations_over_slots(framework, endpoints, bs, 50, 200), 0u);
+}
+
+TEST(ZeroAllocSlot, ServiceModeSteadyStateIsAllocationFree) {
+  // Online service mode: arrivals land in the first three slots (trace
+  // process), sessions are far too large to finish, so every measured slot is
+  // quiescent — the event boundary (bind/release) is the only place the
+  // service layer may allocate, and none occurs in the window.
+  ScenarioConfig cell = paper_scenario(/*users=*/5, /*seed=*/77);
+  cell.max_slots = 300;
+  cell.video_min_mb = 5000.0;  // never completes inside the horizon
+  cell.video_max_mb = 6000.0;
+  ServiceConfig config;
+  config.cell = cell;
+  config.arrivals.kind = ArrivalKind::kTrace;
+  config.arrivals.trace_counts = {2, 1, 2};
+  ServiceSimulator simulator(config, std::make_unique<EmaScheduler>());
+
+  for (std::int64_t slot = 0; slot < 50; ++slot) (void)simulator.step();
+  EXPECT_EQ(simulator.active_sessions(), 5u);
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (std::int64_t slot = 0; slot < 200; ++slot) (void)simulator.step();
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+}
+
+TEST(ZeroAllocSlot, ServiceSessionReleaseIsAllocationFree) {
+  // Mid-window aborts exercise the release path (scan_releases, free-list
+  // push, session-end accounting): with the free stack reserved at capacity
+  // and records off, releasing sessions allocates nothing either.
+  ScenarioConfig cell = paper_scenario(/*users=*/5, /*seed=*/78);
+  cell.max_slots = 300;
+  cell.video_min_mb = 5000.0;
+  cell.video_max_mb = 6000.0;
+  cell.faults.departure_fraction = 1.0;  // every bound session aborts eventually
+  ServiceConfig config;
+  config.cell = cell;
+  config.arrivals.kind = ArrivalKind::kTrace;
+  config.arrivals.trace_counts = {2, 1, 2};
+  ServiceSimulator simulator(config, std::make_unique<EmaScheduler>());
+
+  for (std::int64_t slot = 0; slot < 50; ++slot) (void)simulator.step();
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (std::int64_t slot = 0; slot < 250; ++slot) (void)simulator.step();
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  const ServiceResult result = simulator.finish();
+  EXPECT_GT(result.service.aborted + result.service.in_flight_at_end, 0);
 }
 
 TEST(ZeroAllocSlot, TracedSlotPathIsAllocationFree) {

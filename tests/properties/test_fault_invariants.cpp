@@ -154,6 +154,9 @@ TEST(FaultDeparture, DepartedUsersAccrueNothingAfterTheAbortSlot) {
 
   FaultSchedule schedule(signals.size(), kHorizon, -112.0);
   schedule.set_departure(0, kDeparture);
+  // One departure path: the abort slot lives on the endpoint (the Simulator
+  // stamps it from the schedule); the collector raises the flag.
+  endpoints[0].depart_at(kDeparture);
   FaultInjector injector(
       std::make_shared<const FaultSchedule>(std::move(schedule)));
   Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),

@@ -299,18 +299,26 @@ TEST(FaultInjector, CapacityWindowScalesTheSlotBound) {
 }
 
 TEST(FaultInjector, DepartureZeroesTheUserForGood) {
+  // Departures ride the shared session path: the abort slot is stamped on the
+  // endpoint (as the Simulator does from the schedule), the collector derives
+  // the departed flag and zeroes demand, and the injector leaves the flag
+  // alone while doing its own bookkeeping.
   FaultSchedule schedule(/*users=*/2, /*horizon=*/10, /*outage_dbm=*/-112.0);
   schedule.set_departure(0, 5);
   FaultInjector injector(share(std::move(schedule)));
 
-  SlotContext before = make_context({TestUser{}, TestUser{}}, 20000.0, SlotParams{}, 4);
+  std::vector<UserEndpoint> endpoints = testing::make_endpoints({-80.0, -80.0});
+  endpoints[0].depart_at(injector.schedule().departure_slot(0));
+  const InfoCollector collector = testing::make_collector();
+  const BaseStation bs(20000.0);
+
+  SlotContext before = collector.collect(4, endpoints, bs);
   injector.degrade_context(before);
   EXPECT_FALSE(before.users[0].departed);
   EXPECT_TRUE(before.users[0].needs_data);
 
   for (std::int64_t slot = 5; slot < 10; ++slot) {
-    SlotContext after =
-        make_context({TestUser{}, TestUser{}}, 20000.0, SlotParams{}, slot);
+    SlotContext after = collector.collect(slot, endpoints, bs);
     injector.degrade_context(after);
     EXPECT_TRUE(after.users[0].departed) << slot;
     EXPECT_FALSE(after.users[0].needs_data) << slot;
