@@ -44,6 +44,7 @@ SlotContext make_context(std::size_t users, const LinkModel& link,
     user.rrc_promoted = true;
     ctx.users.push_back(user);
   }
+  ctx.finalize();
   return ctx;
 }
 

@@ -144,6 +144,7 @@ AbrRunMetrics simulate_abr(const AbrScenarioConfig& config,
       info.playback_done = user.client->playback_finished();
       ctx.users.push_back(info);
     }
+    ctx.finalize();
 
     const Allocation alloc = scheduler->allocate(ctx);
     std::vector<std::int64_t> caps;

@@ -49,13 +49,17 @@ void AdaptiveRtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& ou
   // Self-estimate the transmission energy of this decision from the same
   // Eq. 3 model the transmitter applies. Phi is commensurable with the
   // per-SERVING-slot energy (see DefaultReference::trans_per_tx_slot_mj), so
-  // idle users' tail energy stays out of the controller signal.
+  // idle users' tail energy stays out of the controller signal. The loop
+  // reads the SoA lanes — `energy_per_kb` is the collector's cached
+  // Definition 4 fit of the same signal, so no virtual model call per user.
+  const SlotSoa& soa = ctx.soa;
+  require(soa.size() == ctx.user_count(),
+          "SlotContext::finalize() not called before allocate");
   for (std::size_t i = 0; i < ctx.user_count(); ++i) {
-    const UserSlotInfo& user = ctx.users[i];
     if (out.units[i] > 0) {
       const double kb =
-          std::min(ctx.params.units_to_kb(out.units[i]), user.remaining_kb);
-      window_energy_mj_ += ctx.power->energy_per_kb(user.signal_dbm) * kb;
+          std::min(ctx.params.units_to_kb(out.units[i]), soa.remaining_kb[i]);
+      window_energy_mj_ += soa.energy_per_kb[i] * kb;
       ++window_tx_user_slots_;
     }
   }

@@ -1,9 +1,11 @@
 #include "core/ema.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/units.hpp"
 #include "radio/rrc.hpp"
 #include "telemetry/registry.hpp"
@@ -37,21 +39,211 @@ struct EmaTelemetry {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Common validation + bound computation for the DP entry points. Returns
-/// m_max = min(capacity, sum caps), the last reachable column of the DP.
-std::int64_t dp_bound(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
-                      std::int64_t capacity_units) {
+/// Largest phi value the int16 choice table can carry. Rows whose caps all
+/// fit use the narrow table, halving the DP's dominant write bandwidth.
+constexpr std::int64_t kNarrowChoiceMax = 32767;
+
+/// Relative tie margin of the separable fast path: decisions are taken
+/// separably only when every per-user comparison clears this fraction of the
+/// instance's total cost magnitude. The full DP's accumulated FP error is
+/// bounded by ~n*eps*scale (~2e-13*scale at n=1000), so any allocation that
+/// deviates from a margin-separated separable optimum costs strictly more in
+/// the DP's own arithmetic too — the fast path is bit-identical, not just
+/// approximately right. Near-tie instances fall back to the full DP.
+constexpr double kSeparableMarginRel = 1e-12;
+
+struct DpBound {
+  std::int64_t m_max = 0;   ///< min(capacity, sum caps): last reachable column
+  std::int64_t cap_max = 0; ///< largest per-user cap (choice-table width)
+};
+
+/// Common validation + bound computation for the DP entry points.
+DpBound dp_bound(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                 std::int64_t capacity_units) {
   const std::size_t n = caps.size();
   require(costs.idle_cost.size() == n && costs.slope.size() == n &&
               costs.active_base.size() == n,
           "cost/cap size mismatch");
   require(capacity_units >= 0, "capacity must be non-negative");
   std::int64_t cap_sum = 0;
+  std::int64_t cap_max = 0;
   for (std::int64_t c : caps) {
     require(c >= 0, "caps must be non-negative");
     cap_sum += c;
+    cap_max = std::max(cap_max, c);
   }
-  return std::min(capacity_units, cap_sum);
+  return {std::min(capacity_units, cap_sum), cap_max};
+}
+
+/// Sum of the allocation's reduced costs (the DP objective).
+double total_cost(const EmaSlotCosts& costs, std::span<const std::int64_t> units) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    total += ema_cost(costs, i, units[i]);
+  }
+  return total;
+}
+
+/// Separable exact fast path. When the sum of unconstrained per-user optima
+/// fits under m_max, constraint (2) is slack at the optimum, the DP
+/// decomposes per user, and the answer is O(N). Every decision must clear a
+/// tie margin (see kSeparableMarginRel) or the caller falls back to the full
+/// DP, so the result — including all tie-breaks — is bit-identical to the
+/// deque/reference solvers. Writes into `out` (pre-zeroed); on false the
+/// caller must re-zero `out`.
+bool try_separable(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                   std::int64_t m_max, std::vector<std::int64_t>& out) {
+  const std::size_t n = caps.size();
+  const double* JSTREAM_RESTRICT idle = costs.idle_cost.data();
+  const double* JSTREAM_RESTRICT base = costs.active_base.data();
+  const double* JSTREAM_RESTRICT slope = costs.slope.data();
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scale += std::abs(idle[i]) + std::abs(base[i]) +
+             std::abs(slope[i]) * as_double(caps[i]);
+  }
+  if (scale == 0.0) {
+    // Every cost is exactly zero: all allocations tie, and the DP's
+    // tie-breaks (strict-improvement scans, smallest argmin M) resolve to the
+    // all-idle decision.
+    return true;
+  }
+  const double margin = kSeparableMarginRel * scale;
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t cap = caps[i];
+    if (cap == 0) continue;
+    const std::int64_t phi = slope[i] < 0.0 ? cap : 1;
+    const double active = base[i] + slope[i] * as_double(phi);
+    const double gain = idle[i] - active;
+    // The activate/idle decision and — when more than one phi is feasible —
+    // the endpoint choice must both be margin-robust.
+    if (!(std::abs(gain) > margin)) return false;
+    if (cap > 1 && !(std::abs(slope[i]) > margin)) return false;
+    if (gain > 0.0) {
+      out[i] = phi;
+      total += phi;
+      if (total > m_max) return false;  // capacity binds: not separable
+    }
+  }
+  return true;
+}
+
+/// One DP row: sliding-window minimum over j in [m - cap, m - 1] of
+/// key(j) = prev[j] - slope*j via a monotone deque, ties kept at the larger j
+/// (smaller phi), candidate evaluated as prev[j] + base + slope*phi — the
+/// exact arithmetic and tie rules of solve_min_cost_dp_deque, so the result
+/// is bit-identical by construction. Templated on the choice-table element so
+/// cap_max <= 32767 rows write int16 cells, halving the dominant store
+/// bandwidth of the DP; restrict-qualified aligned lanes let the compiler
+/// keep the short special-case loops (cap 0/1) vectorized.
+///
+/// A block prefix/suffix reformulation of the window minimum was measured
+/// here and lost to the deque (its running-min scans are serial dependences
+/// and its auxiliary arrays triple the memory traffic), so the deque kernel
+/// is the production row.
+template <typename ChoiceT>
+void dp_row(const double* JSTREAM_RESTRICT prev, double* JSTREAM_RESTRICT cur,
+            ChoiceT* JSTREAM_RESTRICT g, std::size_t width, std::int64_t cap,
+            double idle, double base, double slope,
+            double* JSTREAM_RESTRICT dq_key, std::int32_t* JSTREAM_RESTRICT dq) {
+  cur[0] = prev[0] + idle;
+  g[0] = 0;
+  if (cap == 0) {
+    // The user can receive nothing: the row is a pure idle shift.
+    for (std::size_t m = 1; m < width; ++m) {
+      cur[m] = prev[m] + idle;
+      g[m] = 0;
+    }
+    return;
+  }
+  if (cap == 1) {
+    // Window of one: the only active candidate at column m is phi = 1.
+    for (std::size_t m = 1; m < width; ++m) {
+      double best = prev[m] + idle;
+      ChoiceT best_phi = 0;
+      const double candidate = prev[m - 1] + base + slope * 1.0;
+      if (candidate < best) {
+        best = candidate;
+        best_phi = 1;
+      }
+      cur[m] = best;
+      g[m] = best_phi;
+    }
+    return;
+  }
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  double prev_m = prev[0];  // rolls forward: the push key at column m uses prev[m-1]
+  for (std::size_t m = 1; m < width; ++m) {
+    const double key = prev_m - slope * as_double(m - 1);
+    while (tail > head && key <= dq_key[tail - 1]) --tail;
+    dq_key[tail] = key;
+    dq[tail] = static_cast<std::int32_t>(m - 1);
+    ++tail;
+    // The window lower bound m - cap advances by one per column, so at most
+    // one eviction per step; j = m-1 (just pushed, >= m - cap) survives it,
+    // so the deque is never left empty.
+    if (static_cast<std::int64_t>(dq[head]) < checked_index(m) - cap) ++head;
+    prev_m = prev[m];
+    double best = prev_m + idle;
+    ChoiceT best_phi = 0;
+    const auto j = checked_size(dq[head]);
+    const auto phi = m - j;
+    const double candidate = prev[j] + base + slope * as_double(phi);
+    if (candidate < best) {
+      best = candidate;
+      best_phi = static_cast<ChoiceT>(phi);
+    }
+    cur[m] = best;
+    g[m] = best_phi;
+  }
+}
+
+/// Final-row argmin (smallest M on ties) + Algorithm 2 steps 15-18 backtrack.
+template <typename ChoiceT>
+void backtrack(const double* final_row, const std::vector<ChoiceT>& choice,
+               std::size_t n, std::size_t width, std::vector<std::int64_t>& out) {
+  std::size_t m = 0;
+  for (std::size_t candidate = 1; candidate < width; ++candidate) {
+    if (final_row[candidate] < final_row[m]) m = candidate;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const auto phi = static_cast<std::int64_t>(choice[i * width + m]);
+    out[i] = phi;
+    m -= checked_size(phi);
+  }
+}
+
+/// True when ws's memoized instance is value-identical to this one.
+bool same_instance(const EmaDpWorkspace& ws, const EmaSlotCosts& costs,
+                   std::span<const std::int64_t> caps, std::int64_t m_max) {
+  const std::size_t n = caps.size();
+  return ws.has_memo && ws.last_m_max == m_max && ws.last_caps.size() == n &&
+         std::equal(caps.begin(), caps.end(), ws.last_caps.begin()) &&
+         std::equal(costs.idle_cost.begin(), costs.idle_cost.end(),
+                    ws.last_idle.begin()) &&
+         std::equal(costs.active_base.begin(), costs.active_base.end(),
+                    ws.last_base.begin()) &&
+         std::equal(costs.slope.begin(), costs.slope.end(), ws.last_slope.begin());
+}
+
+void save_memo(EmaDpWorkspace& ws, const EmaSlotCosts& costs,
+               std::span<const std::int64_t> caps, std::int64_t m_max,
+               const std::vector<std::int64_t>& units) {
+  ws.last_idle.assign(costs.idle_cost.begin(), costs.idle_cost.end());
+  ws.last_base.assign(costs.active_base.begin(), costs.active_base.end());
+  ws.last_slope.assign(costs.slope.begin(), costs.slope.end());
+  ws.last_caps.assign(caps.begin(), caps.end());
+  ws.last_units.assign(units.begin(), units.end());
+  ws.last_m_max = m_max;
+  ws.has_memo = true;
+}
+
+/// Checkpoint spacing of the warm-start row cache: ~16 checkpoints per
+/// instance, never denser than every 64 rows.
+std::size_t checkpoint_stride(std::size_t n) {
+  return std::max<std::size_t>(64, n / 16);
 }
 
 }  // namespace
@@ -69,32 +261,40 @@ void compute_ema_slot_costs(const SlotContext& ctx, const LyapunovQueues& queues
   require(ctx.radio != nullptr && ctx.power != nullptr && ctx.throughput != nullptr,
           "context missing models");
   const std::size_t n = ctx.user_count();
+  // The cost build streams over the SoA mirror; a stale mirror means the
+  // snapshot producer skipped SlotContext::finalize().
+  require(ctx.soa.size() == n, "SlotContext::finalize() not called before allocate");
+  const SlotSoa& soa = ctx.soa;
   out.idle_cost.resize(n);
   out.active_base.resize(n);
   out.slope.resize(n);
+  const RadioProfile& radio = *ctx.radio;
+  const double tau = ctx.params.tau_s;
+  const double delta = ctx.params.delta_kb;
+  const bool continuous = radio.continuous_tail;
+  const double p_dch = radio.p_dch_mw;
   for (std::size_t i = 0; i < n; ++i) {
-    const UserSlotInfo& user = ctx.users[i];
     // Snapshot producers cache the Definition 3/4 fits per user per slot; a
     // zero rate means the producer predates the cached-field contract.
-    require(user.throughput_kbps > 0.0, "slot snapshot missing cached link rates");
+    require(soa.throughput_kbps[i] > 0.0, "slot snapshot missing cached link rates");
     // Tail increment of staying idle this slot (Eq. 4); a radio that never
     // transmitted has no tail to pay.
     double tail_mj = 0.0;
-    if (user.rrc_promoted) {
-      tail_mj = slot_tail_energy_mj(*ctx.radio, user.rrc_idle_s, ctx.params.tau_s);
+    if (soa.rrc_promoted(i)) {
+      tail_mj = slot_tail_energy_mj(radio, soa.rrc_idle_s[i], tau);
     }
     out.idle_cost[i] = v_weight * tail_mj;
     // Active-slot energy mirrors the transmitter's accounting: under Eq. 5 a
     // transmission slot costs P(sig)*phi*delta only; under continuous-time
     // Eq. 4 it additionally pays DCH power for the post-transfer residue,
     // i.e. Pd*tau + phi*delta*(P - Pd/v).
-    double energy_per_unit = user.energy_per_kb * ctx.params.delta_kb;
+    double energy_per_unit = soa.energy_per_kb[i] * delta;
     out.active_base[i] = 0.0;
-    if (ctx.radio->continuous_tail) {
-      out.active_base[i] = v_weight * ctx.radio->p_dch_mw * ctx.params.tau_s;
-      energy_per_unit -= ctx.radio->p_dch_mw / user.throughput_kbps * ctx.params.delta_kb;
+    if (continuous) {
+      out.active_base[i] = v_weight * p_dch * tau;
+      energy_per_unit -= p_dch / soa.throughput_kbps[i] * delta;
     }
-    const double playback_per_unit = ctx.params.delta_kb / user.bitrate_kbps;
+    const double playback_per_unit = delta / soa.bitrate_kbps[i];
     out.slope[i] = v_weight * energy_per_unit - queues.value(i) * playback_per_unit;
   }
 }
@@ -112,21 +312,127 @@ void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> 
                        std::int64_t capacity_units, EmaDpWorkspace& ws,
                        Allocation& out) {
   const std::size_t n = caps.size();
-  const std::int64_t m_max = dp_bound(costs, caps, capacity_units);
+  const DpBound bound = dp_bound(costs, caps, capacity_units);
+  const std::int64_t m_max = bound.m_max;
   out.units.assign(n, 0);
   // Fast path: nothing can be granted, so the all-idle allocation is the only
   // feasible point; skip the DP tables entirely.
   if (n == 0 || m_max == 0) return;
   require(m_max < std::numeric_limits<std::int32_t>::max(),
           "capacity exceeds DP index range");
-  const auto width = checked_size(m_max) + 1;
 
-  ws.prev.assign(width, kInf);
+  // Reuse layer 0: the instance is value-identical to the last solved one
+  // (common in drained/quiescent phases where queues and tails are frozen).
+  if (same_instance(ws, costs, caps, m_max)) {
+    ++ws.memo_hits;
+    std::copy(ws.last_units.begin(), ws.last_units.end(), out.units.begin());
+    return;
+  }
+
+  // Reuse layer 1: margin-guarded separable solve (see try_separable).
+  if (try_separable(costs, caps, m_max, out.units)) {
+    ++ws.separable_hits;
+    save_memo(ws, costs, caps, m_max, out.units);
+    ws.dp_valid = false;  // checkpoints no longer describe the memo instance
+    return;
+  }
+  std::fill(out.units.begin(), out.units.end(), 0);
+
+  const std::size_t width = checked_size(m_max) + 1;
+  const bool narrow = bound.cap_max <= kNarrowChoiceMax;
+  const std::size_t stride = checkpoint_stride(n);
+
+  // Reuse layer 2: warm-start resume. If the previous solve ran the DP over
+  // the same geometry and the first d users' inputs are unchanged, rows
+  // [0, d) would recompute identically — resume from the nearest checkpoint
+  // at or below d instead. Checkpoints below the resume point stay valid by
+  // induction (their rows were identical in the solve that wrote them).
+  std::size_t start_row = 0;
+  if (ws.dp_valid && ws.dp_width == width && ws.dp_narrow == narrow &&
+      ws.checkpoint_stride == stride && ws.last_caps.size() == n) {
+    std::size_t d = 0;
+    while (d < n && caps[d] == ws.last_caps[d] &&
+           costs.idle_cost[d] == ws.last_idle[d] &&
+           costs.active_base[d] == ws.last_base[d] &&
+           costs.slope[d] == ws.last_slope[d]) {
+      ++d;
+    }
+    start_row = d / stride * stride;
+    ws.resumed_rows += checked_index(start_row);
+  }
+
+  ws.prev.resize(width);
   ws.cur.resize(width);
   ws.window_key.resize(width);
   ws.deque.resize(width);
   // g(i, M): best phi_i when the first i+1 users received M units in total.
+  if (narrow) {
+    ws.choice16.resize(n * width);
+  } else {
+    ws.choice.resize(n * width);
+  }
+  const std::size_t n_checkpoints = (n - 1) / stride + 1;
+  ws.checkpoints.resize(n_checkpoints * width);
+
+  double* prev = ws.prev.data();
+  double* cur = ws.cur.data();
+  if (start_row == 0) {
+    std::fill_n(prev, width, kInf);
+    prev[0] = 0.0;
+  } else {
+    std::copy_n(ws.checkpoints.data() + (start_row / stride) * width, width, prev);
+  }
+
+  ++ws.dp_solves;
+  for (std::size_t i = start_row; i < n; ++i) {
+    if (i % stride == 0) {
+      std::copy_n(prev, width, ws.checkpoints.data() + (i / stride) * width);
+    }
+    if (narrow) {
+      dp_row<std::int16_t>(prev, cur, &ws.choice16[i * width], width, caps[i],
+                           costs.idle_cost[i], costs.active_base[i],
+                           costs.slope[i], ws.window_key.data(), ws.deque.data());
+    } else {
+      dp_row<std::int32_t>(prev, cur, &ws.choice[i * width], width, caps[i],
+                           costs.idle_cost[i], costs.active_base[i],
+                           costs.slope[i], ws.window_key.data(), ws.deque.data());
+    }
+    std::swap(prev, cur);
+  }
+
+  if (narrow) {
+    backtrack<std::int16_t>(prev, ws.choice16, n, width, out.units);
+  } else {
+    backtrack<std::int32_t>(prev, ws.choice, n, width, out.units);
+  }
+  save_memo(ws, costs, caps, m_max, out.units);
+  ws.dp_valid = true;
+  ws.dp_width = width;
+  ws.dp_narrow = narrow;
+  ws.checkpoint_stride = stride;
+}
+
+void solve_min_cost_dp_deque(const EmaSlotCosts& costs,
+                             std::span<const std::int64_t> caps,
+                             std::int64_t capacity_units, EmaDpWorkspace& ws,
+                             Allocation& out) {
+  const std::size_t n = caps.size();
+  const std::int64_t m_max = dp_bound(costs, caps, capacity_units).m_max;
+  out.units.assign(n, 0);
+  if (n == 0 || m_max == 0) return;
+  require(m_max < std::numeric_limits<std::int32_t>::max(),
+          "capacity exceeds DP index range");
+  const auto width = checked_size(m_max) + 1;
+  // The deque solve reuses the scratch rows but leaves the warm-start cache
+  // describing a different solve — drop it.
+  ws.invalidate();
+
+  ws.prev.resize(width);
+  ws.cur.resize(width);
+  ws.window_key.resize(width);
+  ws.deque.resize(width);
   ws.choice.resize(n * width);
+  std::fill_n(ws.prev.data(), width, kInf);
   ws.prev[0] = 0.0;
 
   double* prev = ws.prev.data();
@@ -186,23 +492,14 @@ void solve_min_cost_dp(const EmaSlotCosts& costs, std::span<const std::int64_t> 
     std::swap(prev, cur);
   }
 
-  // D_N = argmin_M a[N][M], then backtrack (Algorithm 2 steps 15-18).
-  std::size_t m = 0;
-  for (std::size_t candidate = 1; candidate < width; ++candidate) {
-    if (prev[candidate] < prev[m]) m = candidate;
-  }
-  for (std::size_t i = n; i-- > 0;) {
-    const std::int32_t phi = ws.choice[i * width + m];
-    out.units[i] = phi;
-    m -= checked_size(phi);
-  }
+  backtrack<std::int32_t>(prev, ws.choice, n, width, out.units);
 }
 
 Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
                                        std::span<const std::int64_t> caps,
                                        std::int64_t capacity_units) {
   const std::size_t n = caps.size();
-  const std::int64_t m_max = dp_bound(costs, caps, capacity_units);
+  const std::int64_t m_max = dp_bound(costs, caps, capacity_units).m_max;
   Allocation alloc = Allocation::zeros(n);
   if (n == 0) return alloc;
   const auto width = checked_size(m_max) + 1;
@@ -252,11 +549,215 @@ Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
   return alloc;
 }
 
-EmaScheduler::EmaScheduler(EmaConfig config) : config_(config) {
-  require(config_.v_weight > 0.0, "V must be positive");
+namespace {
+
+/// Lagrangian dual value g(lambda) = sum_i min(idle_i, min_{1<=phi<=cap_i}
+/// (base_i + (slope_i+lambda)*phi)) - lambda*C. For every lambda >= 0 this is
+/// a lower bound on the constrained optimum (weak duality: relaxing
+/// sum phi <= C with multiplier lambda only removes cost from feasible
+/// points). The inner minimum of a linear function sits at an endpoint.
+double dual_value(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                  std::int64_t capacity, double lambda) {
+  double total = 0.0;
+  const std::size_t n = caps.size();
+  const double* JSTREAM_RESTRICT idle = costs.idle_cost.data();
+  const double* JSTREAM_RESTRICT base = costs.active_base.data();
+  const double* JSTREAM_RESTRICT slope = costs.slope.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t cap = caps[i];
+    if (cap == 0) {
+      total += idle[i];
+      continue;
+    }
+    const double s = slope[i] + lambda;
+    const double at_one = base[i] + s;
+    const double at_cap = base[i] + s * as_double(cap);
+    total += std::min(idle[i], std::min(at_one, at_cap));
+  }
+  return total - lambda * as_double(capacity);
 }
 
-void EmaScheduler::reset(std::size_t users) { queues_.reset(users); }
+/// Maximizes the concave piecewise-linear dual over lambda in [0, hi] by
+/// ternary search; any evaluation is a valid lower bound, so the search only
+/// affects tightness, never soundness.
+double dual_lower_bound(const EmaSlotCosts& costs, std::span<const std::int64_t> caps,
+                        std::int64_t capacity) {
+  double hi = 0.0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (caps[i] == 0) continue;
+    hi = std::max(hi, -costs.slope[i]);
+    hi = std::max(hi, costs.idle_cost[i] - costs.active_base[i] - costs.slope[i]);
+  }
+  hi += 1.0;  // beyond every breakpoint: all users idle, g strictly decreasing
+  double lo = 0.0;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double third = (hi - lo) / 3.0;
+    const double m1 = lo + third;
+    const double m2 = hi - third;
+    if (dual_value(costs, caps, capacity, m1) <
+        dual_value(costs, caps, capacity, m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  const double at_bracket = dual_value(costs, caps, capacity, (lo + hi) / 2.0);
+  const double at_zero = dual_value(costs, caps, capacity, 0.0);
+  return std::max(at_bracket, at_zero);
+}
+
+}  // namespace
+
+EmaCoarseOutcome solve_min_cost_coarse(const EmaSlotCosts& costs,
+                                       std::span<const std::int64_t> caps,
+                                       std::int64_t capacity_units, std::int64_t k,
+                                       EmaCoarseWorkspace& ws, Allocation& out) {
+  require(k >= 1, "coarsening factor must be >= 1");
+  const std::size_t n = caps.size();
+  const DpBound bound = dp_bound(costs, caps, capacity_units);
+  const std::int64_t m_max = bound.m_max;
+  out.units.assign(n, 0);
+  EmaCoarseOutcome result;
+  if (n == 0) {
+    result.exact = true;
+    return result;
+  }
+  if (m_max == 0) {
+    // All-idle is the only feasible point: exact by construction.
+    result.cost = total_cost(costs, out.units);
+    result.lower_bound = result.cost;
+    result.exact = true;
+    return result;
+  }
+
+  // When capacity does not bind, the margin-guarded separable path solves the
+  // *fine* instance exactly — no reason to pay any coarsening error.
+  if (try_separable(costs, caps, m_max, out.units)) {
+    result.cost = total_cost(costs, out.units);
+    result.lower_bound = result.cost;
+    result.exact = true;
+    return result;
+  }
+  std::fill(out.units.begin(), out.units.end(), 0);
+
+  if (k == 1) {
+    solve_min_cost_dp(costs, caps, capacity_units, ws.dp, out);
+    result.cost = total_cost(costs, out.units);
+    result.lower_bound = result.cost;
+    result.exact = true;
+    return result;
+  }
+
+  // Coarse instance: units of k capacity grains. cap' = floor(cap/k),
+  // C' = floor(m_max/k), slope' = slope*k (active cost of c coarse units is
+  // base + slope*(k*c)); idle/base carry over unchanged.
+  ws.coarse_caps.resize(n);
+  ws.coarse_costs.idle_cost.resize(n);
+  ws.coarse_costs.active_base.resize(n);
+  ws.coarse_costs.slope.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.coarse_caps[i] = caps[i] / k;
+    ws.coarse_costs.idle_cost[i] = costs.idle_cost[i];
+    ws.coarse_costs.active_base[i] = costs.active_base[i];
+    ws.coarse_costs.slope[i] = costs.slope[i] * as_double(k);
+  }
+  solve_min_cost_dp(ws.coarse_costs, ws.coarse_caps, m_max / k, ws.dp,
+                    ws.coarse_alloc);
+
+  // Expand to fine units and refine with strict-improvement moves only, so
+  // the realized cost can only drop below the coarse solution's.
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.units[i] = k * ws.coarse_alloc.units[i];
+    total += out.units[i];
+  }
+  std::int64_t leftover = m_max - total;
+
+  // (a) Positive-slope actives pay per unit: shrink them to the minimum
+  // active grant of one fine unit.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.units[i] > 1 && costs.slope[i] > 0.0) {
+      leftover += out.units[i] - 1;
+      out.units[i] = 1;
+    }
+  }
+  // (b) Negative-slope actives gain per unit: extend the steepest first.
+  ws.order.clear();
+  ws.order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.units[i] > 0 && costs.slope[i] < 0.0 && out.units[i] < caps[i]) {
+      ws.order.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&costs](std::int32_t a, std::int32_t b) {
+              const auto ua = static_cast<std::size_t>(a);
+              const auto ub = static_cast<std::size_t>(b);
+              if (costs.slope[ua] != costs.slope[ub]) {
+                return costs.slope[ua] < costs.slope[ub];
+              }
+              return a < b;
+            });
+  for (const std::int32_t idx : ws.order) {
+    if (leftover == 0) break;
+    const auto i = static_cast<std::size_t>(idx);
+    const std::int64_t take = std::min(caps[i] - out.units[i], leftover);
+    out.units[i] += take;
+    leftover -= take;
+  }
+  // (c) Idle users the coarse grid under-served (cap < k rounds cap' to 0):
+  // activate the best static gains while capacity remains, strict wins only.
+  if (leftover > 0) {
+    ws.order.clear();
+    const auto static_gain = [&costs, &caps](std::size_t i) {
+      const std::int64_t phi = costs.slope[i] < 0.0 ? caps[i] : 1;
+      return costs.idle_cost[i] -
+             (costs.active_base[i] + costs.slope[i] * as_double(phi));
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out.units[i] == 0 && caps[i] > 0 && static_gain(i) > 0.0) {
+        ws.order.push_back(static_cast<std::int32_t>(i));
+      }
+    }
+    std::sort(ws.order.begin(), ws.order.end(),
+              [&static_gain](std::int32_t a, std::int32_t b) {
+                const double ga = static_gain(static_cast<std::size_t>(a));
+                const double gb = static_gain(static_cast<std::size_t>(b));
+                if (ga != gb) return ga > gb;
+                return a < b;
+              });
+    for (const std::int32_t idx : ws.order) {
+      if (leftover == 0) break;
+      const auto i = static_cast<std::size_t>(idx);
+      const std::int64_t phi =
+          costs.slope[i] < 0.0 ? std::min(caps[i], leftover) : 1;
+      if (phi > leftover) continue;
+      const double active = costs.active_base[i] + costs.slope[i] * as_double(phi);
+      if (active < costs.idle_cost[i]) {
+        out.units[i] = phi;
+        leftover -= phi;
+      }
+    }
+  }
+
+  result.cost = total_cost(costs, out.units);
+  result.lower_bound = dual_lower_bound(costs, caps, m_max);
+  result.gap = std::max(0.0, result.cost - result.lower_bound);
+  result.exact = false;
+  return result;
+}
+
+EmaScheduler::EmaScheduler(EmaConfig config) : config_(config) {
+  require(config_.v_weight > 0.0, "V must be positive");
+  require(config_.coarsen_units >= 1, "coarsen_units must be >= 1");
+}
+
+void EmaScheduler::reset(std::size_t users) {
+  queues_.reset(users);
+  dp_ws_.invalidate();
+  coarse_ws_.dp.invalidate();
+  certificate_ = SolveCertificate{};
+}
 
 void EmaScheduler::reset_user(std::size_t user) { queues_.reset_user(user); }
 
@@ -271,21 +772,22 @@ void EmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
           "EMA not reset for this user count");
   const std::size_t n = ctx.user_count();
   compute_ema_slot_costs(ctx, queues_, config_.v_weight, costs_ws_);
-  caps_ws_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) caps_ws_[i] = ctx.users[i].alloc_cap_units;
+  // The SoA mirror already holds the caps contiguously — no per-slot copy.
+  const std::span<const std::int64_t> caps{ctx.soa.alloc_cap_units.data(), n};
   {
     telemetry::ScopedTimer timer(EmaTelemetry::instance().solve_latency_us);
-    solve_slot(costs_ws_, caps_ws_, ctx.capacity_units, out);
+    solve_slot(costs_ws_, caps, ctx.capacity_units, out);
   }
 
   // Eq. 16 queue update with the decided allocation; frozen once a session
   // has no content left (it can never receive again, so the queue carries no
   // scheduling signal).
+  const SlotSoa& soa = ctx.soa;
   for (std::size_t i = 0; i < n; ++i) {
-    const UserSlotInfo& user = ctx.users[i];
-    if (!user.needs_data) continue;
-    const double kb = std::min(ctx.params.units_to_kb(out.units[i]), user.remaining_kb);
-    queues_.update(i, ctx.params.tau_s, kb / user.bitrate_kbps);
+    if (!soa.needs_data(i)) continue;
+    const double kb =
+        std::min(ctx.params.units_to_kb(out.units[i]), soa.remaining_kb[i]);
+    queues_.update(i, ctx.params.tau_s, kb / soa.bitrate_kbps[i]);
   }
 
   // Observation-only: the post-update Eq. 16 queue distribution and the worst
@@ -308,7 +810,22 @@ void EmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
 void EmaScheduler::solve_slot(const EmaSlotCosts& costs,
                               std::span<const std::int64_t> caps,
                               std::int64_t capacity_units, Allocation& out) {
-  solve_min_cost_dp(costs, caps, capacity_units, dp_ws_, out);
+  if (config_.coarsen_units <= 1) {
+    solve_min_cost_dp(costs, caps, capacity_units, dp_ws_, out);
+    certificate_.last_gap = 0.0;
+    ++certificate_.exact_slots;
+    return;
+  }
+  const EmaCoarseOutcome outcome = solve_min_cost_coarse(
+      costs, caps, capacity_units, config_.coarsen_units, coarse_ws_, out);
+  certificate_.last_gap = outcome.gap;
+  certificate_.gap_sum += outcome.gap;
+  certificate_.gap_max = std::max(certificate_.gap_max, outcome.gap);
+  if (outcome.exact) {
+    ++certificate_.exact_slots;
+  } else {
+    ++certificate_.certified_slots;
+  }
 }
 
 }  // namespace jstream

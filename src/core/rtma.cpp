@@ -57,6 +57,8 @@ Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
 
 void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   const std::size_t n = ctx.user_count();
+  const SlotSoa& soa = ctx.soa;
+  require(soa.size() == n, "SlotContext::finalize() not called before allocate");
   out.units.assign(n, 0);
 
   // Eq. 12: energy budget -> admission threshold (steps 6 of Algorithm 1).
@@ -86,12 +88,12 @@ void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
     probes.allocations.add();
     probes.threshold_dbm.set(threshold);
     for (std::size_t i = 0; i < n; ++i) {
-      if (!ctx.users[i].needs_data) continue;
-      if (ctx.users[i].signal_dbm < threshold) {
+      if (!soa.needs_data(i)) continue;
+      if (soa.signal_dbm[i] < threshold) {
         probes.rejected_users.add();
         probes.tracer.record(ctx.slot, static_cast<std::int32_t>(i),
                              telemetry::TraceEventKind::kReject,
-                             ctx.users[i].signal_dbm);
+                             soa.signal_dbm[i]);
       } else {
         probes.admitted_users.add();
       }
@@ -100,15 +102,15 @@ void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
 
   // Steps 1-3: sort by required data rate ascending; compute per-slot needs.
   // The member workspaces recycle their storage, so steady-state slots do not
-  // allocate.
+  // allocate; both passes read the SoA lanes, not the AoS records.
   order_.resize(n);
   std::iota(order_.begin(), order_.end(), 0);
   std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
-    return ctx.users[a].bitrate_kbps < ctx.users[b].bitrate_kbps;
+    return soa.bitrate_kbps[a] < soa.bitrate_kbps[b];
   });
   need_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    need_[i] = ctx.params.need_units(ctx.users[i].bitrate_kbps);
+    need_[i] = ctx.params.need_units(soa.bitrate_kbps[i]);
   }
 
   // Steps 4-15: iterative passes; each pass grants each eligible user at most
@@ -119,10 +121,9 @@ void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
     progressed = false;
     for (std::size_t idx : order_) {
       if (remaining <= 0) break;
-      const UserSlotInfo& user = ctx.users[idx];
-      if (user.signal_dbm < threshold) continue;  // Eq. 12 admission filter
+      if (soa.signal_dbm[idx] < threshold) continue;  // Eq. 12 admission filter
       const std::int64_t sup =
-          std::min(user.alloc_cap_units - out.units[idx], remaining);
+          std::min(soa.alloc_cap_units[idx] - out.units[idx], remaining);
       if (sup <= 0) continue;
       const std::int64_t grant = std::min(need_[idx], sup);
       if (grant <= 0) continue;

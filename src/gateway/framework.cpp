@@ -59,7 +59,12 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   // Degraded-cell seam: the scheduler decides — and is validated — against
   // the perturbed view; truth is restored (and stale-view grants clipped)
   // before the transmitter executes and the outcome is checked.
-  if (fault_hook_ != nullptr) fault_hook_->degrade_context(last_ctx_);
+  if (fault_hook_ != nullptr) {
+    fault_hook_->degrade_context(last_ctx_);
+    // The hook mutates the AoS records in place; refresh the SoA mirror so
+    // schedulers stream the degraded view, not the truthful one.
+    last_ctx_.finalize();
+  }
   {
     telemetry::ScopedTimer timer(probes.decision_latency_us);
     scheduler_->allocate_into(last_ctx_, last_alloc_);
@@ -70,6 +75,11 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
   const bool validate = analysis::validation_enabled();
   if (validate) {
     validator_.check_allocation(last_ctx_, last_alloc_, scheduler_->virtual_queues());
+    // Approximate solvers must also stay inside their certified error budget
+    // (Theorem 1 slack; see docs/PERFORMANCE.md "EMA at scale").
+    if (const SolveCertificate* cert = scheduler_->solve_certificate()) {
+      validator_.check_certificate(last_ctx_.slot, cert->last_gap);
+    }
   }
 
   if (fault_hook_ != nullptr) fault_hook_->reconcile_allocation(last_ctx_, last_alloc_);

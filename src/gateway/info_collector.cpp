@@ -75,6 +75,8 @@ void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endp
     info.rrc_promoted = !endpoint.rrc.never_transmitted();
     info.playback_done = endpoint.buffer.playback_finished();
   }
+  // Publish the SoA mirror the scheduler hot loops stream over.
+  ctx.finalize();
 }
 
 }  // namespace jstream

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "net/transmission.hpp"
 #include "radio/link_model.hpp"
 #include "radio/radio_profile.hpp"
@@ -50,17 +52,102 @@ struct UserSlotInfo {
   std::int32_t session_epoch = 0;
 };
 
+/// Structure-of-arrays mirror of the per-user snapshot fields the scheduler
+/// hot loops actually touch. Each field is a contiguous cache-line-aligned
+/// array indexed by user, so per-slot cost builds (EMA, RTMA, the baselines)
+/// stream over plain `double`/`int64` lanes the autovectorizer can handle
+/// instead of striding through 100-byte AoS records.
+///
+/// Built from `SlotContext::users` by `SlotContext::finalize()` in one linear
+/// pass; every snapshot producer (InfoCollector::collect_into, the ABR
+/// simulator, test fixtures, the fault layer's post-degrade refresh in
+/// Framework::run_slot) calls it after the AoS records settle. Consumers
+/// guard with `soa.size() == user_count()` so a producer that skips the
+/// rebuild fails loudly instead of reading stale lanes.
+struct SlotSoa {
+  simd::AlignedVec<double> signal_dbm;
+  simd::AlignedVec<double> bitrate_kbps;
+  simd::AlignedVec<double> throughput_kbps;
+  simd::AlignedVec<double> energy_per_kb;
+  simd::AlignedVec<double> remaining_kb;
+  simd::AlignedVec<double> buffer_s;
+  simd::AlignedVec<double> rrc_idle_s;
+  simd::AlignedVec<std::int64_t> link_units;
+  simd::AlignedVec<std::int64_t> alloc_cap_units;
+  /// Bit-packed per-user booleans (kArrived | kNeedsData | ...).
+  simd::AlignedVec<std::uint8_t> flags;
+
+  static constexpr std::uint8_t kArrived = 1U << 0U;
+  static constexpr std::uint8_t kNeedsData = 1U << 1U;
+  static constexpr std::uint8_t kRrcPromoted = 1U << 2U;
+  static constexpr std::uint8_t kPlaybackDone = 1U << 3U;
+  static constexpr std::uint8_t kDeparted = 1U << 4U;
+
+  [[nodiscard]] std::size_t size() const noexcept { return flags.size(); }
+  [[nodiscard]] bool needs_data(std::size_t i) const noexcept {
+    return (flags[i] & kNeedsData) != 0;
+  }
+  [[nodiscard]] bool rrc_promoted(std::size_t i) const noexcept {
+    return (flags[i] & kRrcPromoted) != 0;
+  }
+  [[nodiscard]] bool departed(std::size_t i) const noexcept {
+    return (flags[i] & kDeparted) != 0;
+  }
+
+  /// One linear pass over the AoS records; buffers only ever grow, so a
+  /// steady-state rebuild performs no heap allocation.
+  void rebuild(std::span<const UserSlotInfo> users) {
+    const std::size_t n = users.size();
+    signal_dbm.resize(n);
+    bitrate_kbps.resize(n);
+    throughput_kbps.resize(n);
+    energy_per_kb.resize(n);
+    remaining_kb.resize(n);
+    buffer_s.resize(n);
+    rrc_idle_s.resize(n);
+    link_units.resize(n);
+    alloc_cap_units.resize(n);
+    flags.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const UserSlotInfo& user = users[i];
+      signal_dbm[i] = user.signal_dbm;
+      bitrate_kbps[i] = user.bitrate_kbps;
+      throughput_kbps[i] = user.throughput_kbps;
+      energy_per_kb[i] = user.energy_per_kb;
+      remaining_kb[i] = user.remaining_kb;
+      buffer_s[i] = user.buffer_s;
+      rrc_idle_s[i] = user.rrc_idle_s;
+      link_units[i] = user.link_units;
+      alloc_cap_units[i] = user.alloc_cap_units;
+      std::uint8_t bits = 0;
+      if (user.arrived) bits |= kArrived;
+      if (user.needs_data) bits |= kNeedsData;
+      if (user.rrc_promoted) bits |= kRrcPromoted;
+      if (user.playback_done) bits |= kPlaybackDone;
+      if (user.departed) bits |= kDeparted;
+      flags[i] = bits;
+    }
+  }
+};
+
 /// Immutable per-slot snapshot handed to Scheduler::allocate.
 struct SlotContext {
   std::int64_t slot = 0;
   SlotParams params;
   std::int64_t capacity_units = 0;  ///< constraint (2) cap for this slot
   std::vector<UserSlotInfo> users;
+  /// SoA mirror of `users`; see SlotSoa. Valid only after finalize().
+  SlotSoa soa;
   const ThroughputModel* throughput = nullptr;
   const PowerModel* power = nullptr;
   const RadioProfile* radio = nullptr;
 
   [[nodiscard]] std::size_t user_count() const noexcept { return users.size(); }
+
+  /// Rebuilds the SoA mirror from `users`. Producers call this once the AoS
+  /// records are final for the slot (and again after mutating them, as the
+  /// fault layer's degrade hook does).
+  void finalize() { soa.rebuild(users); }
 };
 
 }  // namespace jstream

@@ -124,6 +124,59 @@ TEST(ZeroAllocSlot, AdaptiveRtmaSteadyStateIsAllocationFree) {
   EXPECT_EQ(steady_state_allocs(std::make_unique<AdaptiveRtmaScheduler>()), 0u);
 }
 
+TEST(ZeroAllocSlot, SoaRebuildSteadyStateIsAllocationFree) {
+  // The SoA mirror every scheduler hot loop now reads: once the lanes have
+  // grown to the population, rebuilding them each slot allocates nothing.
+  auto endpoints = make_endpoints({-65.0, -75.0, -85.0, -95.0, -105.0}, 400.0, 1e9);
+  const BaseStation bs(2000.0);
+  Framework framework(make_collector(), std::make_unique<DefaultScheduler>(),
+                      SchedulingMode::kEnergyMinimization, endpoints.size());
+  (void)allocations_over_slots(framework, endpoints, bs, 0, 50);
+  SlotContext ctx = framework.last_context();  // the copy is the warm-up
+  ctx.finalize();
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) ctx.finalize();
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+}
+
+TEST(ZeroAllocSlot, EmaWarmStartReuseEngagesWithoutAllocating) {
+  // The cross-slot reuse layers (memo, separable path, checkpointed DP) keep
+  // all their state in grow-only workspace buffers: the steady state must be
+  // allocation-free even while the reuse machinery is actively saving and
+  // consuming warm state every slot.
+  auto scheduler = std::make_unique<EmaScheduler>();
+  const EmaScheduler* ema = scheduler.get();
+  auto endpoints = make_endpoints({-65.0, -75.0, -85.0, -95.0, -105.0}, 400.0, 1e9);
+  const BaseStation bs(2000.0);
+  Framework framework(make_collector(), std::move(scheduler),
+                      SchedulingMode::kEnergyMinimization, endpoints.size());
+  (void)allocations_over_slots(framework, endpoints, bs, 0, 50);
+  EXPECT_EQ(allocations_over_slots(framework, endpoints, bs, 50, 200), 0u);
+  const EmaDpWorkspace& ws = ema->dp_workspace();
+  EXPECT_GT(ws.dp_solves + ws.separable_hits + ws.memo_hits, 0);
+  EXPECT_EQ(ema->solve_certificate()->certified_slots, 0);  // exact mode
+}
+
+TEST(ZeroAllocSlot, EmaCoarsenedSteadyStateIsAllocationFree) {
+  // Certified coarsening (coarsen_units = 8): coarse instance build, coarse
+  // DP, refinement and the Lagrangian certificate all run out of the
+  // scheduler's grow-only coarse workspace.
+  EmaConfig config;
+  config.coarsen_units = 8;
+  auto scheduler = std::make_unique<EmaScheduler>(config);
+  const EmaScheduler* ema = scheduler.get();
+  auto endpoints = make_endpoints({-65.0, -75.0, -85.0, -95.0, -105.0}, 400.0, 1e9);
+  const BaseStation bs(2000.0);
+  Framework framework(make_collector(), std::move(scheduler),
+                      SchedulingMode::kEnergyMinimization, endpoints.size());
+  (void)allocations_over_slots(framework, endpoints, bs, 0, 50);
+  EXPECT_EQ(allocations_over_slots(framework, endpoints, bs, 50, 200), 0u);
+  const SolveCertificate* cert = ema->solve_certificate();
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->exact_slots + cert->certified_slots, 250);
+  EXPECT_GE(cert->gap_max, 0.0);
+}
+
 TEST(ZeroAllocSlot, FaultedSlotPathIsAllocationFree) {
   // Degraded-cell path: the FaultInjector's degrade/reconcile hooks run on
   // every slot with all four fault families firing inside the measured

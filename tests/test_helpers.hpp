@@ -92,6 +92,7 @@ inline SlotContext make_context(const std::vector<TestUser>& users,
     info.rrc_promoted = user.rrc_promoted;
     ctx.users.push_back(info);
   }
+  ctx.finalize();
   return ctx;
 }
 
