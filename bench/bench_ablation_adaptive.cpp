@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/units.hpp"
 
 using namespace jstream;
 using namespace jstream::bench;
@@ -43,10 +44,10 @@ int run(int argc, const char* const* argv) {
       std::size_t counted = 0;
       for (const auto& user : m.per_user) {
         if (user.tx_slots == 0) continue;
-        serving += user.trans_mj / static_cast<double>(user.tx_slots);
+        serving += user.trans_mj / as_double(user.tx_slots);
         ++counted;
       }
-      if (counted > 0) serving /= static_cast<double>(counted);
+      if (counted > 0) serving /= as_double(counted);
       const std::string label = drift ? "drift (wave+churn)" : "static";
       table.row({label, name, format_double(m.avg_energy_per_user_slot_mj(), 1),
                  format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1),

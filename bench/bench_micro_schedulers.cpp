@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "gateway/slot_context.hpp"
 #include "radio/radio_profile.hpp"
+#include "common/units.hpp"
 
 namespace {
 
@@ -51,7 +52,7 @@ SlotContext make_context(std::size_t users, const LinkModel& link,
 void bench_scheduler(benchmark::State& state, const std::string& name) {
   const LinkModel link = make_paper_link_model();
   const RadioProfile radio = paper_3g_profile();
-  const auto users = static_cast<std::size_t>(state.range(0));
+  const auto users = checked_size(state.range(0));
   const SlotContext ctx = make_context(users, link, radio);
   auto scheduler = make_scheduler(name);
   scheduler->reset(users);
@@ -59,14 +60,14 @@ void bench_scheduler(benchmark::State& state, const std::string& name) {
     Allocation alloc = scheduler->allocate(ctx);
     benchmark::DoNotOptimize(alloc.units.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(users));
+  state.SetItemsProcessed(state.iterations() *
+                          checked_index(users));
 }
 
 void bench_ema_solver(benchmark::State& state, bool exact) {
   const LinkModel link = make_paper_link_model();
   const RadioProfile radio = paper_3g_profile();
-  const auto users = static_cast<std::size_t>(state.range(0));
+  const auto users = checked_size(state.range(0));
   const SlotContext ctx = make_context(users, link, radio);
   LyapunovQueues queues(users);
   Rng rng(11);

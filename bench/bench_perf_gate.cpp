@@ -52,6 +52,7 @@
 #include "sim/campaign.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trace_cache.hpp"
+#include "common/units.hpp"
 
 namespace {
 
@@ -104,14 +105,14 @@ double time_ns_per_iter(std::int64_t iters, Fn&& body) {
   for (std::int64_t i = 0; i < iters; ++i) body();
   const auto stop = Clock::now();
   return std::chrono::duration<double, std::nano>(stop - start).count() /
-         static_cast<double>(iters);
+         as_double(iters);
 }
 
 std::int64_t repro_slots() {
   const char* env = std::getenv("REPRO_SLOTS");
   if (env == nullptr) return 0;
   const long long v = std::atoll(env);
-  return v > 0 ? static_cast<std::int64_t>(v) : 0;
+  return v > 0 ? v : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -243,7 +244,7 @@ struct SlotCase {
 template <typename Fn>
 void sample_ns(std::int64_t count, std::vector<double>& samples_ns, Fn&& body) {
   samples_ns.clear();
-  samples_ns.reserve(static_cast<std::size_t>(count));
+  samples_ns.reserve(checked_size(count));
   for (std::int64_t i = 0; i < count; ++i) {
     const auto start = Clock::now();
     body();
@@ -255,7 +256,7 @@ void sample_ns(std::int64_t count, std::vector<double>& samples_ns, Fn&& body) {
 double ci95_halfwidth(const Summary& s) {
   if (s.count < 2) return 0.0;
   return student_t_975(s.count - 1) * s.stddev /
-         std::sqrt(static_cast<double>(s.count));
+         std::sqrt(as_double(s.count));
 }
 
 SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
@@ -268,7 +269,7 @@ SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
   result.measured_slots = measured;
 
   ScenarioConfig scenario = paper_scenario(users, 42);
-  scenario.capacity_kbps = 500.0 * static_cast<double>(users);
+  scenario.capacity_kbps = 500.0 * as_double(users);
   std::vector<UserEndpoint> endpoints = build_endpoints(scenario);
   const BaseStation bs(capacity_profile(scenario));
   SchedulerOptions options;
@@ -285,7 +286,7 @@ SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
   // Per-slot samples (pre-reserved so the sampling itself stays off the
   // allocation counter), then mean + 95% CI of the mean.
   std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(measured));
+  samples.reserve(checked_size(measured));
   const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
   std::int64_t slot_cursor = warmup;
   sample_ns(measured, samples, [&] {
@@ -296,15 +297,15 @@ SlotCase bench_slot_path(const std::string& scheduler_name, std::size_t users,
   const Summary summary = summarize(samples);
   result.ns_per_slot = summary.mean;
   result.ns_per_slot_ci95 = ci95_halfwidth(summary);
-  result.allocs_per_slot = static_cast<double>(allocs_after - allocs_before) /
-                           static_cast<double>(measured);
+  result.allocs_per_slot = as_double(allocs_after - allocs_before) /
+                           as_double(measured);
 
   if (const SolveCertificate* cert = framework.scheduler().solve_certificate()) {
     result.has_certificate = coarsen_units > 1;
     result.cert_gap_max = cert->gap_max;
     const std::int64_t certified = cert->certified_slots;
     result.cert_gap_mean = certified > 0
-                               ? cert->gap_sum / static_cast<double>(certified)
+                               ? cert->gap_sum / as_double(certified)
                                : 0.0;
     result.cert_exact_slots = cert->exact_slots;
     result.cert_certified_slots = certified;
@@ -377,7 +378,7 @@ CampaignResult bench_campaign(std::int64_t horizon) {
 
   ScenarioConfig base = paper_scenario(200, 42);
   base.max_slots = horizon;
-  base.capacity_kbps = 500.0 * static_cast<double>(base.users);
+  base.capacity_kbps = 500.0 * as_double(base.users);
   // Shorter sessions than the figure scenarios (not part of the trace key, so
   // generation cost is untouched): the gate measures how well the grid
   // amortizes trace generation, and early-stopped sims keep the generation

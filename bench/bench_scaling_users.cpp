@@ -24,6 +24,7 @@
 #include "core/ema.hpp"
 #include "gateway/framework.hpp"
 #include "net/base_station.hpp"
+#include "common/units.hpp"
 
 using namespace jstream;
 using namespace jstream::bench;
@@ -40,7 +41,7 @@ template <typename Fn>
 double time_ns_per_iter(std::int64_t iters, Fn&& body) {
   const auto start = std::chrono::steady_clock::now();
   for (std::int64_t i = 0; i < iters; ++i) body();
-  return 1e9 * seconds_since(start) / static_cast<double>(iters);
+  return 1e9 * seconds_since(start) / as_double(iters);
 }
 
 struct SolverDelta {
@@ -123,7 +124,7 @@ int run(int argc, const char* const* argv) {
     ScenarioConfig scenario = paper_scenario(users, args.seed);
     scenario.max_slots = args.slots;
     // Scale the pipe with the population so sessions still complete.
-    scenario.capacity_kbps = 500.0 * static_cast<double>(users);
+    scenario.capacity_kbps = 500.0 * as_double(users);
 
     // Warm the cache outside the timed region: the cached column isolates
     // the slot-path win once the substrate is resident (a campaign pays the
@@ -174,7 +175,7 @@ int run(int argc, const char* const* argv) {
   for (const CertLine& line : cert_lines) {
     const RunMetrics& m = line.metrics;
     const double gap_mean = m.cert_certified_slots > 0
-                                ? m.cert_gap_sum / static_cast<double>(m.cert_certified_slots)
+                                ? m.cert_gap_sum / as_double(m.cert_certified_slots)
                                 : 0.0;
     std::printf(
         "  N=%-4zu gap max %.3e  mean %.3e  %lld exact / %lld certified slots\n",

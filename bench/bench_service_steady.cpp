@@ -29,6 +29,7 @@
 
 #include "bench_util.hpp"
 #include "session/service_campaign.hpp"
+#include "common/units.hpp"
 
 using namespace jstream;
 using namespace jstream::bench;
@@ -197,7 +198,7 @@ int part3_scale(const CommonArgs& args, bool quick,
   ServiceConfig config;
   config.cell = cell;
   config.arrivals.kind = ArrivalKind::kPoisson;
-  config.arrivals.rate_per_slot = static_cast<double>(population) / 30.0;
+  config.arrivals.rate_per_slot = as_double(population) / 30.0;
   config.warmup_slots = std::min<std::int64_t>(fill_slots + 20, horizon - 1);
 
   // Trace-less on purpose: a 110k x 300 substrate would dwarf the gateway
@@ -215,9 +216,9 @@ int part3_scale(const CommonArgs& args, bool quick,
   if (rss_fill_kb == 0) rss_fill_kb = rss_end_kb;
 
   const double ns_per_slot =
-      static_cast<double>(
+      as_double(
           std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
-      static_cast<double>(result.service.slots_run);
+      as_double(result.service.slots_run);
   const ServiceMetrics& m = result.service;
   std::printf(
       "[scale] %zu population slots, %lld slots: mean concurrency %.0f, peak "
@@ -225,9 +226,9 @@ int part3_scale(const CommonArgs& args, bool quick,
       "MB after fill, %.1f MB at end\n\n",
       population, static_cast<long long>(m.slots_run), m.mean_concurrency(),
       m.peak_concurrency, static_cast<long long>(m.in_flight_at_end), ns_per_slot,
-      ns_per_slot / static_cast<double>(population),
-      static_cast<double>(rss_fill_kb) / 1000.0,
-      static_cast<double>(rss_end_kb) / 1000.0);
+      ns_per_slot / as_double(population),
+      as_double(rss_fill_kb) / 1000.0,
+      as_double(rss_end_kb) / 1000.0);
   csv_rows.push_back({"scale", std::to_string(population),
                       std::to_string(m.slots_run),
                       format_double(m.mean_concurrency(), 1),
@@ -236,7 +237,7 @@ int part3_scale(const CommonArgs& args, bool quick,
                       std::to_string(rss_end_kb)});
 
   if (rss_end_kb > 0 && rss_fill_kb > 0 &&
-      static_cast<double>(rss_end_kb) > 1.5 * static_cast<double>(rss_fill_kb)) {
+      as_double(rss_end_kb) > 1.5 * as_double(rss_fill_kb)) {
     std::fprintf(stderr, "FAIL: RSS grew past the fill bound (%ld KB > 1.5 x %ld KB)\n",
                  rss_end_kb, rss_fill_kb);
     return 1;

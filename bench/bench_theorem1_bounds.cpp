@@ -14,6 +14,7 @@
 
 #include "bench_util.hpp"
 #include "core/lyapunov.hpp"
+#include "common/units.hpp"
 
 using namespace jstream;
 using namespace jstream::bench;
@@ -65,7 +66,7 @@ int run(int argc, const char* const* argv) {
     table.row(format_double(v_values[i], 3),
               {m.avg_energy_per_user_slot_mj(),
                1000.0 * m.avg_rebuffer_per_user_slot_s(),
-               b_constant / v_values[i] / static_cast<double>(scenario.users)},
+               b_constant / v_values[i] / as_double(scenario.users)},
               2);
     csv_rows.push_back({format_double(v_values[i], 5),
                         format_double(m.avg_energy_per_user_slot_mj(), 4),
@@ -86,7 +87,7 @@ int run(int argc, const char* const* argv) {
     require(m.has_certificate, "coarsened EMA run published no certificate");
     const double gap_mean =
         m.cert_certified_slots > 0
-            ? m.cert_gap_sum / static_cast<double>(m.cert_certified_slots)
+            ? m.cert_gap_sum / as_double(m.cert_certified_slots)
             : 0.0;
     const bool within = m.cert_gap_max <= b_constant;
     all_within_budget = all_within_budget && within;

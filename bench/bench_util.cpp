@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "telemetry/registry.hpp"
+#include "common/units.hpp"
 
 namespace jstream::bench {
 
@@ -47,14 +48,14 @@ CommonArgs parse_common(Cli& cli, int argc, const char* const* argv) {
     std::exit(0);
   }
   CommonArgs args;
-  args.users = static_cast<std::size_t>(cli.get_int("users"));
+  args.users = checked_size(cli.get_int("users"));
   args.slots = cli.get_int("slots");
   if (!cli.provided("slots")) {
     args.slots = env_int("REPRO_SLOTS", args.slots);
   }
   args.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   args.csv_dir = cli.get_string("csv");
-  args.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  args.threads = checked_size(cli.get_int("threads"));
   args.telemetry = cli.get_bool("telemetry");
   args.validate = cli.get_bool("validate");
   require(args.users > 0, "--users must be positive");

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full local correctness gauntlet — the six gates a PR must pass. Stops at
+# Full local correctness gauntlet — the seven gates a PR must pass. Stops at
 # the first failing stage with a nonzero exit. Each stage can be skipped via
 # its environment variable (set to 1), e.g. a machine without the disk for
 # three build trees can run just the plain stage:
@@ -13,6 +13,7 @@
 #   4. TSan build + `ctest -L concurrency` (SKIP_TSAN)
 #   5. smoke benches under --validate      (SKIP_SMOKE)
 #   6. perf gate: bench_perf_gate          (SKIP_PERF)
+#   7. jstream_lint project rules, src/    (SKIP_LINT)
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/. JOBS controls -j
 # (default: nproc).
@@ -25,41 +26,41 @@ cd "${repo_root}"
 stage() { printf '\n=== %s ===\n' "$1"; }
 
 if [[ "${SKIP_PLAIN:-0}" != 1 ]]; then
-  stage "1/6 plain build + ctest"
+  stage "1/7 plain build + ctest"
   cmake -B build -S . > /dev/null
   cmake --build build -j "${jobs}"
   ctest --test-dir build --output-on-failure -j "${jobs}" -LE smoke
 else
-  stage "1/6 plain build + ctest — SKIPPED (SKIP_PLAIN=1)"
+  stage "1/7 plain build + ctest — SKIPPED (SKIP_PLAIN=1)"
 fi
 
 if [[ "${SKIP_TIDY:-0}" != 1 ]]; then
-  stage "2/6 clang-tidy wall"
+  stage "2/7 clang-tidy wall"
   scripts/run_clang_tidy.sh build
 else
-  stage "2/6 clang-tidy wall — SKIPPED (SKIP_TIDY=1)"
+  stage "2/7 clang-tidy wall — SKIPPED (SKIP_TIDY=1)"
 fi
 
 if [[ "${SKIP_ASAN:-0}" != 1 ]]; then
-  stage "3/6 ASan/UBSan build + ctest"
+  stage "3/7 ASan/UBSan build + ctest"
   cmake -B build-asan -S . -DJSTREAM_SANITIZE="address;undefined" > /dev/null
   cmake --build build-asan -j "${jobs}"
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -LE smoke
 else
-  stage "3/6 ASan/UBSan — SKIPPED (SKIP_ASAN=1)"
+  stage "3/7 ASan/UBSan — SKIPPED (SKIP_ASAN=1)"
 fi
 
 if [[ "${SKIP_TSAN:-0}" != 1 ]]; then
-  stage "4/6 TSan build + concurrency suites"
+  stage "4/7 TSan build + concurrency suites"
   cmake -B build-tsan -S . -DJSTREAM_SANITIZE="thread" > /dev/null
   cmake --build build-tsan -j "${jobs}"
   ctest --test-dir build-tsan --output-on-failure -L concurrency
 else
-  stage "4/6 TSan — SKIPPED (SKIP_TSAN=1)"
+  stage "4/7 TSan — SKIPPED (SKIP_TSAN=1)"
 fi
 
 if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
-  stage "5/6 smoke benches (--validate, REPRO_SLOTS=50)"
+  stage "5/7 smoke benches (--validate, REPRO_SLOTS=50)"
   ctest --test-dir build --output-on-failure -L smoke
   # One figure explicitly through the campaign engine: run_grid -> run_campaign
   # shards the scheduler x population grid over the thread pool with the shared
@@ -77,11 +78,11 @@ if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
   ctest --test-dir build --output-on-failure -L session -LE smoke
   ctest --test-dir build --output-on-failure -L golden
 else
-  stage "5/6 smoke benches — SKIPPED (SKIP_SMOKE=1)"
+  stage "5/7 smoke benches — SKIPPED (SKIP_SMOKE=1)"
 fi
 
 if [[ "${SKIP_PERF:-0}" != 1 ]]; then
-  stage "6/6 perf gate (bench_perf_gate -> BENCH_PR7.json)"
+  stage "6/7 perf gate (bench_perf_gate -> BENCH_PR7.json)"
   # Enforces the pinned regression gates: the exact-EMA solver >= 5x over the
   # paper-literal DP, exact EMA < 1 ms/slot end-to-end at N = 1000, and the
   # campaign cache >= 3x on the full grid. With REPRO_SLOTS set the scale
@@ -89,7 +90,18 @@ if [[ "${SKIP_PERF:-0}" != 1 ]]; then
   # certificate sanity); unset it for the real gate.
   build/bench/bench_perf_gate --out build/BENCH_PR7.json
 else
-  stage "6/6 perf gate — SKIPPED (SKIP_PERF=1)"
+  stage "6/7 perf gate — SKIPPED (SKIP_PERF=1)"
+fi
+
+if [[ "${SKIP_LINT:-0}" != 1 ]]; then
+  stage "7/7 jstream_lint project rules over src/"
+  # The project-rule analyzer (tools/lint): hot-path allocations, Rng
+  # discipline, digest determinism, checked narrowing, finalize guards.
+  # Pure lexical C++, gcc-only friendly — this gate never self-skips.
+  # Rules, suppression syntax, and rationale: docs/STATIC_ANALYSIS.md.
+  build/tools/lint/jstream_lint --root "${repo_root}" --list-suppressions src
+else
+  stage "7/7 jstream_lint — SKIPPED (SKIP_LINT=1)"
 fi
 
 printf '\nAll requested stages passed.\n'

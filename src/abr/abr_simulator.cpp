@@ -31,30 +31,30 @@ double AbrRunMetrics::mean_quality_kbps() const {
   for (const auto& user : per_user) {
     sum += user.qoe.mean_quality_kbps(user.duration_s);
   }
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double AbrRunMetrics::mean_rebuffer_s() const {
   if (per_user.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& user : per_user) sum += user.qoe.rebuffer_s;
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double AbrRunMetrics::mean_switches() const {
   if (per_user.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& user : per_user) {
-    sum += static_cast<double>(user.qoe.switches);
+    sum += as_double(user.qoe.switches);
   }
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double AbrRunMetrics::mean_qoe_score() const {
   if (per_user.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& user : per_user) sum += user.qoe.score(user.duration_s);
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double AbrRunMetrics::total_energy_mj() const {
@@ -68,7 +68,7 @@ double AbrRunMetrics::completion_rate() const {
   const auto done =
       std::count_if(per_user.begin(), per_user.end(),
                     [](const AbrUserResult& u) { return u.playback_finished; });
-  return static_cast<double>(done) / static_cast<double>(per_user.size());
+  return as_double(done) / as_double(per_user.size());
 }
 
 AbrRunMetrics simulate_abr(const AbrScenarioConfig& config,
@@ -86,6 +86,8 @@ AbrRunMetrics simulate_abr(const AbrScenarioConfig& config,
   // Population: same deterministic split-stream construction as the CBR
   // scenario builder, with durations instead of sizes.
   const ScenarioConfig& base = config.base;
+  // jstream-lint: allow(rng-discipline) -- ABR scenario root stream,
+  // mirroring build_endpoints' seeding so both builders stay comparable.
   const Rng scenario_rng(base.seed);
   std::vector<AbrUser> users;
   users.reserve(base.users);

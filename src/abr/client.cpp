@@ -35,14 +35,14 @@ double AbrClient::current_rate_kbps() const {
 double AbrClient::segment_remaining_kb() const {
   if (download_finished()) return 0.0;
   const double seg_duration =
-      std::min(segment_s_, duration_s_ - static_cast<double>(segment_index_) * segment_s_);
+      std::min(segment_s_, duration_s_ - as_double(segment_index_) * segment_s_);
   return seg_duration * current_rate_kbps() - segment_downloaded_kb_;
 }
 
 double AbrClient::estimated_remaining_kb() const {
   if (download_finished()) return 0.0;
   const double future_s =
-      duration_s_ - static_cast<double>(segment_index_ + 1) * segment_s_;
+      duration_s_ - as_double(segment_index_ + 1) * segment_s_;
   return segment_remaining_kb() +
          std::max(future_s, 0.0) * current_rate_kbps();
 }
@@ -72,7 +72,7 @@ double AbrClient::on_downloaded(double kb, double smoothed_throughput_kbps) {
       start_next_segment(smoothed_throughput_kbps);
     }
     const double seg_duration = std::min(
-        segment_s_, duration_s_ - static_cast<double>(segment_index_) * segment_s_);
+        segment_s_, duration_s_ - as_double(segment_index_) * segment_s_);
     const double seg_total_kb = seg_duration * current_rate_kbps();
     const double missing = seg_total_kb - segment_downloaded_kb_;
     const double take = std::min(left, missing);

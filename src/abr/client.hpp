@@ -13,6 +13,7 @@
 #include "abr/ladder.hpp"
 #include "abr/policies.hpp"
 #include "media/playback_buffer.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -33,7 +34,7 @@ struct AbrQoe {
     return mean_quality_kbps(duration_s) -
            rebuffer_penalty_kbps * (duration_s > 0.0 ? rebuffer_s / duration_s : 0.0) -
            switch_penalty_kbps *
-               (duration_s > 0.0 ? static_cast<double>(switches) / duration_s : 0.0);
+               (duration_s > 0.0 ? as_double(switches) / duration_s : 0.0);
   }
 };
 

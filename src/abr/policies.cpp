@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -26,8 +27,8 @@ std::size_t BufferBasedSelector::select(const AbrDecisionInput& input,
   if (input.buffer_s >= cushion_s_) return ladder.levels() - 1;
   const double fraction =
       (input.buffer_s - reservoir_s_) / (cushion_s_ - reservoir_s_);
-  const auto level = static_cast<std::size_t>(
-      std::floor(fraction * static_cast<double>(ladder.levels() - 1) + 0.5));
+  const auto level = floor_to_size(
+      std::floor(fraction * as_double(ladder.levels() - 1) + 0.5));
   return std::min(level, ladder.levels() - 1);
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include "common/units.hpp"
 
 namespace jstream::analysis {
 
@@ -136,7 +137,7 @@ void InvariantChecker::check_allocation(const SlotContext& ctx, const Allocation
   for (std::size_t i = 0; i < n; ++i) {
     const UserSlotInfo& user = ctx.users[i];
     const std::int64_t phi = alloc.units[i];
-    const auto uid = static_cast<std::int32_t>(i);
+    const auto uid = checked_i32(i);
     if (phi < 0) {
       raise("Eq. (1)", slot, uid, "negative grant phi=" + std::to_string(phi));
     }
@@ -177,9 +178,9 @@ void InvariantChecker::check_allocation(const SlotContext& ctx, const Allocation
                 std::to_string(n) + " users");
     }
     const double tau = ctx.params.tau_s;
-    const double growth_cap = tau * static_cast<double>(slot + 1) + kEps;
+    const double growth_cap = tau * as_double(slot + 1) + kEps;
     for (std::size_t i = 0; i < n; ++i) {
-      const auto uid = static_cast<std::int32_t>(i);
+      const auto uid = checked_i32(i);
       if (!std::isfinite(queues[i])) {
         raise("Eq. (16)", slot, uid, "queue PC=" + fmt(queues[i]) + " is not finite");
       }
@@ -207,7 +208,7 @@ void InvariantChecker::check_allocation(const SlotContext& ctx, const Allocation
         const double gap = std::abs(queues[i] - shadow_queue_[i]);
         const double tol = kTightEps * std::max(1.0, std::abs(shadow_queue_[i]));
         if (gap > tol) {
-          raise("Eq. (16)", slot, static_cast<std::int32_t>(i),
+          raise("Eq. (16)", slot, checked_i32(i),
                 "queue PC=" + fmt(queues[i]) + " s diverges from the recursion value " +
                     fmt(shadow_queue_[i]) + " s (gap " + fmt(gap) + ")");
         }
@@ -239,7 +240,7 @@ void InvariantChecker::check_outcome(const SlotContext& ctx, const Allocation& a
   for (std::size_t i = 0; i < n; ++i) {
     const UserSlotInfo& info = ctx.users[i];
     const UserEndpoint& endpoint = endpoints[i];
-    const auto uid = static_cast<std::int32_t>(i);
+    const auto uid = checked_i32(i);
     const std::int64_t phi = outcome.units[i];
     const double kb = outcome.kb[i];
 

@@ -15,6 +15,7 @@ Allocation DefaultScheduler::allocate(const SlotContext& ctx) {
   return alloc;
 }
 
+// jstream: hot-path — per-slot allocation; recycles out.units.
 void DefaultScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   const std::size_t n = ctx.user_count();
   const SlotSoa& soa = ctx.soa;

@@ -31,6 +31,8 @@ namespace jstream {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;
+  // jstream-lint: allow(checked-narrowing) -- x % users < users, which is a
+  // size_t, so the u64 modulo result fits by construction.
   return users == 0 ? 0 : static_cast<std::size_t>(x % users);
 }
 

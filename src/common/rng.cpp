@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -39,14 +40,18 @@ std::uint64_t Rng::next_u64() noexcept {
 
 double Rng::uniform() noexcept {
   // 53 high bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  return as_double(next_u64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // jstream-lint: allow(checked-narrowing) -- intentional two's-complement
+  // reinterpretation: a uniform u64 viewed as i64 IS the full-range draw.
+  if (span == 0) return static_cast<std::int64_t>(next_u64());
+  // jstream-lint: allow(checked-narrowing) -- next_u64() % span < span, and
+  // span = hi - lo + 1 fits in u64 while lo + (span - 1) == hi fits in i64.
   return lo + static_cast<std::int64_t>(next_u64() % span);
 }
 

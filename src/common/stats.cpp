@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -12,10 +13,10 @@ double percentile(std::span<const double> values, double q) {
   require(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
+  const double pos = q * as_double(sorted.size() - 1);
+  const auto lo = floor_to_size(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
+  const double frac = pos - as_double(lo);
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
@@ -32,10 +33,10 @@ Summary summarize(std::span<const double> values) {
   s.mean = rs.mean();
   s.stddev = rs.stddev();
   auto pct = [&](double q) {
-    const double pos = q * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
+    const double pos = q * as_double(sorted.size() - 1);
+    const auto lo = floor_to_size(pos);
     const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
+    const double frac = pos - as_double(lo);
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
   };
   s.p50 = pct(0.5);
@@ -59,7 +60,7 @@ std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
     const std::size_t rank =
         (points == 1) ? n - 1 : (k * (n - 1)) / (points - 1);
     cdf.push_back({sorted[rank],
-                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+                   as_double(rank + 1) / as_double(n)});
   }
   return cdf;
 }
@@ -68,7 +69,7 @@ double fraction_at_most(std::span<const double> values, double threshold) {
   if (values.empty()) return 0.0;
   const auto hits = std::count_if(values.begin(), values.end(),
                                   [&](double v) { return v <= threshold; });
-  return static_cast<double>(hits) / static_cast<double>(values.size());
+  return as_double(hits) / as_double(values.size());
 }
 
 double student_t_975(std::size_t df) {
@@ -83,7 +84,7 @@ double student_t_975(std::size_t df) {
   // Cornish-Fisher expansion of the t quantile around the normal quantile z;
   // accurate to <1e-3 for df > 30 and monotone down toward z as df grows.
   constexpr double z = 1.959963984540054;
-  const double n = static_cast<double>(df);
+  const double n = as_double(df);
   const double z3 = z * z * z;
   const double z5 = z3 * z * z;
   return z + (z3 + z) / (4.0 * n) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n);
@@ -98,19 +99,19 @@ double jain_index(std::span<const double> shares) {
     sum_sq += x * x;
   }
   if (sum_sq == 0.0) return 1.0;
-  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+  return (sum * sum) / (as_double(shares.size()) * sum_sq);
 }
 
 void RunningStat::add(double value) noexcept {
   ++count_;
   const double delta = value - mean_;
-  mean_ += delta / static_cast<double>(count_);
+  mean_ += delta / as_double(count_);
   m2_ += delta * (value - mean_);
 }
 
 double RunningStat::variance() const noexcept {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  return m2_ / as_double(count_ - 1);
 }
 
 double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <span>
 #include <vector>
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -61,7 +62,7 @@ class RunningStat {
   /// Sample variance (n-1); zero with fewer than two observations.
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
-  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] double sum() const noexcept { return mean_ * as_double(count_); }
 
  private:
   std::size_t count_ = 0;

@@ -45,6 +45,24 @@ namespace jstream {
   return static_cast<std::int64_t>(value);
 }
 
+/// Count/index -> std::int32_t (telemetry user ids, compact DP choice rows).
+/// Asserts the value fits; populations and slot choices in this library are
+/// bounded far below 2^31.
+template <typename Int>
+  requires std::is_integral_v<Int>
+[[nodiscard]] constexpr std::int32_t checked_i32(Int value) noexcept {
+  if constexpr (std::is_signed_v<Int>) {
+    assert(static_cast<std::int64_t>(value) >=
+               std::numeric_limits<std::int32_t>::min() &&
+           static_cast<std::int64_t>(value) <=
+               std::numeric_limits<std::int32_t>::max());
+  } else {
+    assert(static_cast<std::uint64_t>(value) <=
+           static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max()));
+  }
+  return static_cast<std::int32_t>(value);
+}
+
 /// Explicit integral -> double at arithmetic boundaries (unit counts entering
 /// paper formulas). Exact for |value| < 2^53, which every unit count in a
 /// slot satisfies by the Eq. 2 capacity bound.
@@ -66,6 +84,13 @@ template <typename Int>
 [[nodiscard]] inline std::int64_t ceil_to_count(double value) noexcept {
   assert(value >= 0.0 && value < 9.2e18);
   return static_cast<std::int64_t>(std::ceil(value));
+}
+
+/// floor(value) as a container size/index: the double -> size_t hop in one
+/// audited place (quantile positions, trace offsets).
+[[nodiscard]] inline std::size_t floor_to_size(double value) noexcept {
+  assert(value >= 0.0 && value < 9.2e18);
+  return static_cast<std::size_t>(value);
 }
 
 /// Kilobytes per megabyte (decimal, matching the paper's MB figures).

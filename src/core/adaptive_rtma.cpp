@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -43,6 +44,7 @@ Allocation AdaptiveRtmaScheduler::allocate(const SlotContext& ctx) {
   return alloc;
 }
 
+// jstream: hot-path — per-slot allocation over the inner RTMA.
 void AdaptiveRtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   inner_.allocate_into(ctx, out);
 
@@ -69,7 +71,7 @@ void AdaptiveRtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& ou
                                      // strict — recover by stepping up
     if (window_tx_user_slots_ > 0) {
       const double measured =
-          window_energy_mj_ / static_cast<double>(window_tx_user_slots_);
+          window_energy_mj_ / as_double(window_tx_user_slots_);
       last_window_energy_mj_ = measured;
       step = std::clamp(config_.target_energy_mj / measured, 1.0 / config_.max_step,
                         config_.max_step);

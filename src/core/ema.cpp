@@ -179,12 +179,12 @@ void dp_row(const double* JSTREAM_RESTRICT prev, double* JSTREAM_RESTRICT cur,
     const double key = prev_m - slope * as_double(m - 1);
     while (tail > head && key <= dq_key[tail - 1]) --tail;
     dq_key[tail] = key;
-    dq[tail] = static_cast<std::int32_t>(m - 1);
+    dq[tail] = checked_i32(m - 1);
     ++tail;
     // The window lower bound m - cap advances by one per column, so at most
     // one eviction per step; j = m-1 (just pushed, >= m - cap) survives it,
     // so the deque is never left empty.
-    if (static_cast<std::int64_t>(dq[head]) < checked_index(m) - cap) ++head;
+    if (std::int64_t{dq[head]} < checked_index(m) - cap) ++head;
     prev_m = prev[m];
     double best = prev_m + idle;
     ChoiceT best_phi = 0;
@@ -209,7 +209,7 @@ void backtrack(const double* final_row, const std::vector<ChoiceT>& choice,
     if (final_row[candidate] < final_row[m]) m = candidate;
   }
   for (std::size_t i = n; i-- > 0;) {
-    const auto phi = static_cast<std::int64_t>(choice[i * width + m]);
+    const auto phi = std::int64_t{choice[i * width + m]};
     out[i] = phi;
     m -= checked_size(phi);
   }
@@ -470,12 +470,12 @@ void solve_min_cost_dp_deque(const EmaSlotCosts& costs,
       const double key = prev_m - slope * as_double(m - 1);
       while (tail > head && key <= dq_key[tail - 1]) --tail;
       dq_key[tail] = key;
-      dq[tail] = static_cast<std::int32_t>(m - 1);
+      dq[tail] = checked_i32(m - 1);
       ++tail;
       // The window lower bound m - cap advances by one per column, so at most
       // one eviction per step; j = m-1 (just pushed, >= m - cap) survives it,
       // so the deque is never left empty.
-      if (static_cast<std::int64_t>(dq[head]) < checked_index(m) - cap) ++head;
+      if (std::int64_t{dq[head]} < checked_index(m) - cap) ++head;
       prev_m = prev[m];
       double best = prev_m + idle;
       std::int32_t best_phi = 0;
@@ -484,7 +484,7 @@ void solve_min_cost_dp_deque(const EmaSlotCosts& costs,
       const double candidate = prev[j] + base + slope * as_double(phi);
       if (candidate < best) {
         best = candidate;
-        best_phi = static_cast<std::int32_t>(phi);
+        best_phi = checked_i32(phi);
       }
       cur[m] = best;
       g[m] = best_phi;
@@ -527,7 +527,7 @@ Allocation solve_min_cost_dp_reference(const EmaSlotCosts& costs,
                                  slope * as_double(phi);
         if (candidate < best) {
           best = candidate;
-          best_phi = static_cast<std::int32_t>(phi);
+          best_phi = checked_i32(phi);
         }
       }
       cur[m] = best;
@@ -686,13 +686,13 @@ EmaCoarseOutcome solve_min_cost_coarse(const EmaSlotCosts& costs,
   ws.order.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (out.units[i] > 0 && costs.slope[i] < 0.0 && out.units[i] < caps[i]) {
-      ws.order.push_back(static_cast<std::int32_t>(i));
+      ws.order.push_back(checked_i32(i));
     }
   }
   std::sort(ws.order.begin(), ws.order.end(),
             [&costs](std::int32_t a, std::int32_t b) {
-              const auto ua = static_cast<std::size_t>(a);
-              const auto ub = static_cast<std::size_t>(b);
+              const auto ua = checked_size(a);
+              const auto ub = checked_size(b);
               if (costs.slope[ua] != costs.slope[ub]) {
                 return costs.slope[ua] < costs.slope[ub];
               }
@@ -700,7 +700,7 @@ EmaCoarseOutcome solve_min_cost_coarse(const EmaSlotCosts& costs,
             });
   for (const std::int32_t idx : ws.order) {
     if (leftover == 0) break;
-    const auto i = static_cast<std::size_t>(idx);
+    const auto i = checked_size(idx);
     const std::int64_t take = std::min(caps[i] - out.units[i], leftover);
     out.units[i] += take;
     leftover -= take;
@@ -716,19 +716,19 @@ EmaCoarseOutcome solve_min_cost_coarse(const EmaSlotCosts& costs,
     };
     for (std::size_t i = 0; i < n; ++i) {
       if (out.units[i] == 0 && caps[i] > 0 && static_gain(i) > 0.0) {
-        ws.order.push_back(static_cast<std::int32_t>(i));
+        ws.order.push_back(checked_i32(i));
       }
     }
     std::sort(ws.order.begin(), ws.order.end(),
               [&static_gain](std::int32_t a, std::int32_t b) {
-                const double ga = static_gain(static_cast<std::size_t>(a));
-                const double gb = static_gain(static_cast<std::size_t>(b));
+                const double ga = static_gain(checked_size(a));
+                const double gb = static_gain(checked_size(b));
                 if (ga != gb) return ga > gb;
                 return a < b;
               });
     for (const std::int32_t idx : ws.order) {
       if (leftover == 0) break;
-      const auto i = static_cast<std::size_t>(idx);
+      const auto i = checked_size(idx);
       const std::int64_t phi =
           costs.slope[i] < 0.0 ? std::min(caps[i], leftover) : 1;
       if (phi > leftover) continue;
@@ -767,10 +767,17 @@ Allocation EmaScheduler::allocate(const SlotContext& ctx) {
   return alloc;
 }
 
+// jstream: hot-path — per-slot EMA allocation; the whole solver stack
+// below it (memo, separable fast path, warm start, deque kernel) inherits
+// hotness through the same-TU call graph.
 void EmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   require(queues_.size() == ctx.user_count(),
           "EMA not reset for this user count");
   const std::size_t n = ctx.user_count();
+  // The caps span below reads the SoA mirror directly, so this function needs
+  // its own stale-mirror guard (the one in compute_ema_slot_costs is not a
+  // contract for this frame).
+  require(ctx.soa.size() == n, "SlotContext::finalize() not called before allocate");
   compute_ema_slot_costs(ctx, queues_, config_.v_weight, costs_ws_);
   // The SoA mirror already holds the caps contiguously — no per-slot copy.
   const std::span<const std::int64_t> caps{ctx.soa.alloc_cap_units.data(), n};

@@ -62,6 +62,7 @@
 #include "common/simd.hpp"
 #include "core/lyapunov.hpp"
 #include "gateway/scheduler.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -101,7 +102,7 @@ struct EmaSlotCosts {
 [[nodiscard]] inline double ema_cost(const EmaSlotCosts& costs, std::size_t user,
                                      std::int64_t phi) noexcept {
   return phi == 0 ? costs.idle_cost[user]
-                  : costs.active_base[user] + costs.slope[user] * static_cast<double>(phi);
+                  : costs.active_base[user] + costs.slope[user] * as_double(phi);
 }
 
 /// Builds the slot costs from the cross-layer snapshot and the current queues.

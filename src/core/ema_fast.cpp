@@ -36,6 +36,7 @@ Allocation solve_min_cost_greedy(const EmaSlotCosts& costs,
   return alloc;
 }
 
+// jstream: hot-path — greedy slot solver kernel (workspace variant).
 void solve_min_cost_greedy(const EmaSlotCosts& costs,
                            std::span<const std::int64_t> caps,
                            std::int64_t capacity_units, EmaGreedyWorkspace& ws,

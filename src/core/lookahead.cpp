@@ -32,7 +32,7 @@ double LookaheadScheduler::best_future_price(const SlotContext& ctx,
   double best = std::numeric_limits<double>::infinity();
   for (std::int64_t ahead = 1; ahead <= config_.horizon_slots; ++ahead) {
     const auto index =
-        std::min(static_cast<std::size_t>(ctx.slot + ahead), trace.size() - 1);
+        std::min(checked_size(ctx.slot + ahead), trace.size() - 1);
     best = std::min(best, ctx.power->energy_per_kb(trace[index]));
   }
   return best;

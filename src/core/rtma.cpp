@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "core/energy_threshold.hpp"
 #include "telemetry/registry.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -55,6 +56,8 @@ Allocation RtmaScheduler::allocate(const SlotContext& ctx) {
   return alloc;
 }
 
+// jstream: hot-path — per-slot allocation; order_/need_ workspaces are
+// reserved in reset().
 void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   const std::size_t n = ctx.user_count();
   const SlotSoa& soa = ctx.soa;
@@ -91,7 +94,7 @@ void RtmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
       if (!soa.needs_data(i)) continue;
       if (soa.signal_dbm[i] < threshold) {
         probes.rejected_users.add();
-        probes.tracer.record(ctx.slot, static_cast<std::int32_t>(i),
+        probes.tracer.record(ctx.slot, checked_i32(i),
                              telemetry::TraceEventKind::kReject,
                              soa.signal_dbm[i]);
       } else {

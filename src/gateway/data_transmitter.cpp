@@ -47,6 +47,7 @@ SlotOutcome DataTransmitter::apply(const SlotContext& ctx, const Allocation& all
   return outcome;
 }
 
+// jstream: hot-path — per-slot transmission accounting; reuses out buffers.
 void DataTransmitter::apply_into(const SlotContext& ctx, const Allocation& allocation,
                                  std::span<UserEndpoint> endpoints,
                                  DataReceiver& receiver, SlotOutcome& out) const {

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scoped_timer.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -44,6 +45,8 @@ Framework::Framework(InfoCollector collector, std::unique_ptr<Scheduler> schedul
   validator_.reset(scheduler_->name(), users);
 }
 
+// jstream: hot-path — steady-state slot entry; everything reachable from
+// here in this TU must stay allocation-free (tests/perf/test_zero_alloc_slot).
 const SlotOutcome& Framework::run_slot(std::int64_t slot,
                                        std::span<UserEndpoint> endpoints,
                                        const BaseStation& bs) {
@@ -97,15 +100,15 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
       if (granted > 0 && granted == user.alloc_cap_units &&
           last_ctx_.params.need_units(user.bitrate_kbps) > user.alloc_cap_units) {
         probes.eq1_link_clips.add();
-        probes.tracer.record(slot, static_cast<std::int32_t>(i),
+        probes.tracer.record(slot, checked_i32(i),
                              telemetry::TraceEventKind::kClipLink,
-                             static_cast<double>(granted));
+                             as_double(granted));
       }
     }
     if (granted_total > 0 && granted_total == last_ctx_.capacity_units) {
       probes.eq2_capacity_clips.add();
       probes.tracer.record(slot, -1, telemetry::TraceEventKind::kClipCapacity,
-                           static_cast<double>(granted_total));
+                           as_double(granted_total));
     }
   }
 
@@ -128,9 +131,9 @@ const SlotOutcome& Framework::run_slot(std::int64_t slot,
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
       const RrcState after = endpoints[i].rrc.state();
       if (after != rrc_before_[i]) {
-        probes.tracer.record(slot, static_cast<std::int32_t>(i),
+        probes.tracer.record(slot, checked_i32(i),
                              telemetry::TraceEventKind::kRrcTransition,
-                             static_cast<double>(after));
+                             as_double(static_cast<int>(after)));
       }
     }
   }

@@ -24,6 +24,7 @@ SlotContext InfoCollector::collect(std::int64_t slot, std::span<UserEndpoint> en
   return ctx;
 }
 
+// jstream: hot-path — per-slot snapshot build; reuses ctx storage.
 void InfoCollector::collect_into(std::int64_t slot, std::span<UserEndpoint> endpoints,
                                  const BaseStation& bs, SlotContext& ctx) const {
   require(slot >= 0, "slot must be non-negative");

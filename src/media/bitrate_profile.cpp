@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -30,7 +31,7 @@ PiecewiseBitrate::PiecewiseBitrate(std::vector<std::int64_t> boundaries,
 double PiecewiseBitrate::bitrate_kbps(std::int64_t slot) const {
   require(slot >= 0, "slot must be non-negative");
   const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), slot);
-  return rates_[static_cast<std::size_t>(it - boundaries_.begin())];
+  return rates_[checked_size(it - boundaries_.begin())];
 }
 
 double PiecewiseBitrate::max_bitrate_kbps() const {
@@ -46,7 +47,7 @@ RandomWalkBitrate::RandomWalkBitrate(Params params, Rng rng,
   require(params_.hold_slots > 0, "hold period must be positive");
   require(horizon_slots > 0, "horizon must be positive");
   const auto periods =
-      static_cast<std::size_t>((horizon_slots + params_.hold_slots - 1) /
+      checked_size((horizon_slots + params_.hold_slots - 1) /
                                params_.hold_slots);
   levels_.reserve(periods);
   double level = rng.uniform(params_.min_kbps, params_.max_kbps);
@@ -59,7 +60,7 @@ RandomWalkBitrate::RandomWalkBitrate(Params params, Rng rng,
 
 double RandomWalkBitrate::bitrate_kbps(std::int64_t slot) const {
   require(slot >= 0, "slot must be non-negative");
-  const auto period = static_cast<std::size_t>(slot / params_.hold_slots);
+  const auto period = checked_size(slot / params_.hold_slots);
   return levels_[std::min(period, levels_.size() - 1)];
 }
 

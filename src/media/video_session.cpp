@@ -1,6 +1,7 @@
 #include "media/video_session.hpp"
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -44,7 +45,7 @@ double VideoSession::max_bitrate_kbps() const { return bitrate_->max_bitrate_kbp
 
 double VideoSession::bitrate_at_time(double content_time_s) const {
   require(content_time_s >= 0.0, "content time must be non-negative");
-  return bitrate_->bitrate_kbps(static_cast<std::int64_t>(content_time_s / tau_s_));
+  return bitrate_->bitrate_kbps(floor_to_count(content_time_s / tau_s_));
 }
 
 double VideoSession::advance_playback(double content_time_s, double kb) const {
@@ -53,9 +54,9 @@ double VideoSession::advance_playback(double content_time_s, double kb) const {
   double remaining_kb = kb;
   double position_s = content_time_s;
   while (remaining_kb > 0.0) {
-    const auto slot = static_cast<std::int64_t>(position_s / tau_s_);
+    const auto slot = floor_to_count(position_s / tau_s_);
     const double rate = bitrate_->bitrate_kbps(slot);
-    const double slot_end_s = static_cast<double>(slot + 1) * tau_s_;
+    const double slot_end_s = as_double(slot + 1) * tau_s_;
     const double span_s = slot_end_s - position_s;
     const double span_kb = rate * span_s;
     if (span_kb >= remaining_kb) {

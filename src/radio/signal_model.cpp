@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -34,7 +35,7 @@ double SineSignalModel::signal_dbm(std::int64_t slot) {
     const double mid = 0.5 * (params_.min_dbm + params_.max_dbm);
     const double amplitude = 0.5 * (params_.max_dbm - params_.min_dbm);
     const double angle = 2.0 * std::numbers::pi *
-                             static_cast<double>(next_slot_) / params_.period_slots +
+                             as_double(next_slot_) / params_.period_slots +
                          params_.phase_radians;
     const double noise =
         params_.noise_stddev_db > 0.0 ? rng_.gaussian(0.0, params_.noise_stddev_db) : 0.0;
@@ -51,7 +52,7 @@ TraceSignalModel::TraceSignalModel(std::vector<double> trace_dbm)
 
 double TraceSignalModel::signal_dbm(std::int64_t slot) {
   require(slot >= 0, "slot must be non-negative");
-  return trace_[static_cast<std::size_t>(slot) % trace_.size()];
+  return trace_[checked_size(slot) % trace_.size()];
 }
 
 GaussMarkovSignalModel::GaussMarkovSignalModel(Params params, Rng rng)

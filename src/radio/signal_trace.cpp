@@ -60,7 +60,7 @@ std::size_t SignalTraceSet::total_bytes() const noexcept {
 std::size_t SignalTraceSet::estimate_bytes(std::size_t users,
                                            std::int64_t slots) noexcept {
   if (slots <= 0) return 0;
-  return 3 * sizeof(double) * users * static_cast<std::size_t>(slots);
+  return 3 * sizeof(double) * users * checked_size(slots);
 }
 
 }  // namespace jstream

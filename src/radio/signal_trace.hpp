@@ -19,6 +19,7 @@
 
 #include "radio/link_model.hpp"
 #include "radio/signal_model.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -47,7 +48,7 @@ class SignalTraceSet {
 
   /// Flat slot-major index of (user, slot); valid for slot in [0, slots).
   [[nodiscard]] std::size_t index(std::size_t user, std::int64_t slot) const noexcept {
-    return static_cast<std::size_t>(slot) * users_ + user;
+    return checked_size(slot) * users_ + user;
   }
 
   /// Bounds-checked element accessors (tests, diagnostics).

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -48,7 +49,7 @@ void save_signal_trace(const std::string& path, const std::vector<double>& trace
 std::vector<double> record_signal_trace(SignalModel& model, std::int64_t slots) {
   require(slots > 0, "need at least one slot to record");
   std::vector<double> trace;
-  trace.reserve(static_cast<std::size_t>(slots));
+  trace.reserve(checked_size(slots));
   for (std::int64_t slot = 0; slot < slots; ++slot) {
     trace.push_back(model.signal_dbm(slot));
   }

@@ -1,6 +1,7 @@
 #include "session/admission.hpp"
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -22,7 +23,7 @@ class ThresholdAdmission final : public AdmissionController {
     // Predicted per-user capacity: with this arrival admitted, every active
     // session's content rate (approximated by the mean, with the arrival's
     // own rate folded in) must fit the cell bound with headroom.
-    const auto active = static_cast<double>(snapshot.active_sessions);
+    const auto active = as_double(snapshot.active_sessions);
     const double mean_bitrate =
         (active * snapshot.mean_bitrate_kbps + snapshot.offered_bitrate_kbps) /
         (active + 1.0);

@@ -55,7 +55,7 @@ class TraceArrivals final : public ArrivalProcess {
 
   [[nodiscard]] std::int64_t arrivals_at(std::int64_t slot) const override {
     require(slot >= 0, "slot must be non-negative");
-    const auto index = static_cast<std::size_t>(slot);
+    const auto index = checked_size(slot);
     return index < counts_.size() ? counts_[index] : 0;
   }
 

@@ -114,7 +114,7 @@ double ServiceSimulator::mean_bound_queue_s() const noexcept {
     sum += queues[i];
     ++bound;
   }
-  return bound == 0 ? 0.0 : sum / static_cast<double>(bound);
+  return bound == 0 ? 0.0 : sum / as_double(bound);
 }
 
 void ServiceSimulator::admit_arrivals(std::int64_t slot, std::int64_t count) {
@@ -224,7 +224,7 @@ ServiceResult ServiceSimulator::run_zero_arrival() {
   s.slots_run = run.slots_run;
   s.warmup_slots = 0;
   s.capacity_slots = cell.users;
-  s.offered = static_cast<std::int64_t>(cell.users);
+  s.offered = checked_index(cell.users);
   s.admitted = s.offered;
   s.measured_slots = run.slots_run;
 
@@ -238,7 +238,7 @@ ServiceResult ServiceSimulator::run_zero_arrival() {
   for (std::size_t i = 0; i < run.per_user.size(); ++i) {
     const UserTotals& user = run.per_user[i];
     const bool aborted = abort_slot[i] < run.slots_run && !user.playback_finished;
-    s.concurrency_sum += static_cast<double>(user.session_slots);
+    s.concurrency_sum += as_double(user.session_slots);
     s.active_user_slots += user.session_slots;
     s.rebuffer_sum_s += user.rebuffer_s;
     s.energy_sum_mj += user.energy_mj();

@@ -22,6 +22,7 @@
 
 #include "gateway/user_endpoint.hpp"
 #include "sim/scenario.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -50,7 +51,7 @@ class SessionManager {
   /// Mean content bitrate over the bound sessions (admission snapshot input);
   /// 0 when the cell is idle.
   [[nodiscard]] double mean_active_bitrate_kbps() const noexcept {
-    return active_ == 0 ? 0.0 : bitrate_sum_kbps_ / static_cast<double>(active_);
+    return active_ == 0 ? 0.0 : bitrate_sum_kbps_ / as_double(active_);
   }
 
   /// Binds `session` to a free slot starting at `slot`. `departure_slot` is

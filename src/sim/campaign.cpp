@@ -2,6 +2,7 @@
 
 #include "common/thread_pool.hpp"
 #include "telemetry/registry.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -28,7 +29,7 @@ void note_campaign_cells(std::size_t cells) {
   telemetry::global_registry().counter("campaign.runs").add();
   telemetry::global_registry()
       .counter("campaign.cells")
-      .add(static_cast<std::int64_t>(cells));
+      .add(checked_index(cells));
 }
 
 std::vector<RunMetrics> run_campaign(std::span<const ExperimentSpec> specs,

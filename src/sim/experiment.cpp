@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -27,10 +28,10 @@ DefaultReference run_default_reference(const ScenarioConfig& scenario,
   std::size_t counted = 0;
   for (const UserTotals& user : metrics.per_user) {
     if (user.tx_slots == 0) continue;
-    sum += user.trans_mj / static_cast<double>(user.tx_slots);
+    sum += user.trans_mj / as_double(user.tx_slots);
     ++counted;
   }
-  if (counted > 0) reference.trans_per_tx_slot_mj = sum / static_cast<double>(counted);
+  if (counted > 0) reference.trans_per_tx_slot_mj = sum / as_double(counted);
   return reference;
 }
 

@@ -194,7 +194,7 @@ double FaultSchedule::capacity_scale(std::int64_t slot) const noexcept {
       capacity_windows_.begin(), capacity_windows_.end(), slot,
       [](std::int64_t s, const FaultInterval& w) { return s < w.end; });
   if (it == capacity_windows_.end() || it->begin > slot) return 1.0;
-  return capacity_scales_[static_cast<std::size_t>(it - capacity_windows_.begin())];
+  return capacity_scales_[checked_size(it - capacity_windows_.begin())];
 }
 
 std::span<const FaultInterval> FaultSchedule::outages(std::size_t user) const {

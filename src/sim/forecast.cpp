@@ -1,6 +1,7 @@
 #include "sim/forecast.hpp"
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -10,7 +11,7 @@ std::vector<std::vector<double>> make_signal_forecast(const ScenarioConfig& conf
   std::vector<UserEndpoint> endpoints = build_endpoints(config);
   std::vector<std::vector<double>> forecast(endpoints.size());
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
-    forecast[i].reserve(static_cast<std::size_t>(slots));
+    forecast[i].reserve(checked_size(slots));
     for (std::int64_t slot = 0; slot < slots; ++slot) {
       forecast[i].push_back(endpoints[i].signal->signal_dbm(slot));
     }

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -34,9 +35,9 @@ double RunMetrics::avg_energy_per_user_slot_mj() const noexcept {
   double sum = 0.0;
   for (const auto& u : per_user) {
     const auto slots = std::max<std::int64_t>(u.session_slots, 1);
-    sum += u.energy_mj() / static_cast<double>(slots);
+    sum += u.energy_mj() / as_double(slots);
   }
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double RunMetrics::avg_tail_per_user_slot_mj() const noexcept {
@@ -44,9 +45,9 @@ double RunMetrics::avg_tail_per_user_slot_mj() const noexcept {
   double sum = 0.0;
   for (const auto& u : per_user) {
     const auto slots = std::max<std::int64_t>(u.session_slots, 1);
-    sum += u.tail_mj / static_cast<double>(slots);
+    sum += u.tail_mj / as_double(slots);
   }
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double RunMetrics::avg_rebuffer_per_user_slot_s() const noexcept {
@@ -54,23 +55,23 @@ double RunMetrics::avg_rebuffer_per_user_slot_s() const noexcept {
   double sum = 0.0;
   for (const auto& u : per_user) {
     const auto slots = std::max<std::int64_t>(u.session_slots, 1);
-    sum += u.rebuffer_s / static_cast<double>(slots);
+    sum += u.rebuffer_s / as_double(slots);
   }
-  return sum / static_cast<double>(per_user.size());
+  return sum / as_double(per_user.size());
 }
 
 double RunMetrics::mean_fairness() const noexcept {
   if (slot_fairness.empty()) return 1.0;
   double sum = 0.0;
   for (double f : slot_fairness) sum += f;
-  return sum / static_cast<double>(slot_fairness.size());
+  return sum / as_double(slot_fairness.size());
 }
 
 double RunMetrics::completion_rate() const noexcept {
   if (per_user.empty()) return 0.0;
   const auto done = std::count_if(per_user.begin(), per_user.end(),
                                   [](const UserTotals& u) { return u.playback_finished; });
-  return static_cast<double>(done) / static_cast<double>(per_user.size());
+  return as_double(done) / as_double(per_user.size());
 }
 
 MetricsCollector::MetricsCollector(std::size_t users, bool keep_series)
@@ -124,49 +125,49 @@ RunMetrics MetricsCollector::finish() { return std::move(metrics_); }
 
 double ServiceMetrics::mean_concurrency() const noexcept {
   return measured_slots == 0 ? 0.0
-                             : concurrency_sum / static_cast<double>(measured_slots);
+                             : concurrency_sum / as_double(measured_slots);
 }
 
 double ServiceMetrics::admit_rate() const noexcept {
   return offered == 0 ? 1.0
-                      : static_cast<double>(admitted) / static_cast<double>(offered);
+                      : as_double(admitted) / as_double(offered);
 }
 
 double ServiceMetrics::session_completion_rate() const noexcept {
   const std::int64_t ended = completed + aborted;
   return ended == 0 ? 0.0
-                    : static_cast<double>(completed) / static_cast<double>(ended);
+                    : as_double(completed) / as_double(ended);
 }
 
 double ServiceMetrics::mean_rebuffer_per_user_slot_s() const noexcept {
   return active_user_slots == 0
              ? 0.0
-             : rebuffer_sum_s / static_cast<double>(active_user_slots);
+             : rebuffer_sum_s / as_double(active_user_slots);
 }
 
 double ServiceMetrics::mean_energy_per_user_slot_mj() const noexcept {
   return active_user_slots == 0
              ? 0.0
-             : energy_sum_mj / static_cast<double>(active_user_slots);
+             : energy_sum_mj / as_double(active_user_slots);
 }
 
 double ServiceMetrics::mean_session_rebuffer_s() const noexcept {
   return sessions_measured == 0
              ? 0.0
-             : session_rebuffer_sum_s / static_cast<double>(sessions_measured);
+             : session_rebuffer_sum_s / as_double(sessions_measured);
 }
 
 double ServiceMetrics::mean_session_energy_mj() const noexcept {
   return sessions_measured == 0
              ? 0.0
-             : session_energy_sum_mj / static_cast<double>(sessions_measured);
+             : session_energy_sum_mj / as_double(sessions_measured);
 }
 
 double ServiceMetrics::mean_session_slots() const noexcept {
   return sessions_measured == 0
              ? 0.0
-             : static_cast<double>(session_length_slots_sum) /
-                   static_cast<double>(sessions_measured);
+             : as_double(session_length_slots_sum) /
+                   as_double(sessions_measured);
 }
 
 ServiceMetricsCollector::ServiceMetricsCollector(std::size_t capacity_slots,
@@ -236,15 +237,15 @@ void ServiceMetricsCollector::record_slot(std::int64_t slot,
   }
   if (slot < metrics_.warmup_slots) return;
   ++metrics_.measured_slots;
-  metrics_.concurrency_sum += static_cast<double>(active_sessions);
+  metrics_.concurrency_sum += as_double(active_sessions);
   metrics_.peak_concurrency = std::max(metrics_.peak_concurrency, active_sessions);
   metrics_.rebuffer_sum_s += slot_rebuffer;
-  metrics_.active_user_slots += static_cast<std::int64_t>(active_sessions);
+  metrics_.active_user_slots += checked_index(active_sessions);
   metrics_.energy_sum_mj += slot_energy;
 }
 
 ServiceMetrics ServiceMetricsCollector::finish(std::size_t in_flight) {
-  metrics_.in_flight_at_end = static_cast<std::int64_t>(in_flight);
+  metrics_.in_flight_at_end = checked_index(in_flight);
   return std::move(metrics_);
 }
 

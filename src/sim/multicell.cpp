@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/simulator.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -43,9 +44,9 @@ double MultiCellResult::avg_energy_per_user_slot_mj() const noexcept {
   double weighted = 0.0;
   for (const auto& cell : per_cell) {
     weighted += cell.avg_energy_per_user_slot_mj() *
-                static_cast<double>(cell.per_user.size());
+                as_double(cell.per_user.size());
   }
-  return weighted / static_cast<double>(users);
+  return weighted / as_double(users);
 }
 
 double MultiCellResult::avg_rebuffer_per_user_slot_s() const noexcept {
@@ -54,9 +55,9 @@ double MultiCellResult::avg_rebuffer_per_user_slot_s() const noexcept {
   double weighted = 0.0;
   for (const auto& cell : per_cell) {
     weighted += cell.avg_rebuffer_per_user_slot_s() *
-                static_cast<double>(cell.per_user.size());
+                as_double(cell.per_user.size());
   }
-  return weighted / static_cast<double>(users);
+  return weighted / as_double(users);
 }
 
 MultiCellResult simulate_multicell(const MultiCellConfig& config,

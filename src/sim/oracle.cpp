@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "radio/rrc.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -31,7 +32,7 @@ double OracleResult::avg_energy_per_user_slot_mj(
     const double slots = std::max(session_playback_s[i], 1.0);
     sum += (per_user_trans_mj[i] + per_user_tail_mj[i]) / slots;
   }
-  return sum / static_cast<double>(per_user_trans_mj.size());
+  return sum / as_double(per_user_trans_mj.size());
 }
 
 OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec& spec) {
@@ -56,7 +57,7 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
       const double kb = std::min(delta, remaining_kb);
       const std::int64_t deadline =
           plan.start_slot + spec.startup_slots +
-          static_cast<std::int64_t>(content_time / tau);
+          floor_to_count(content_time / tau);
       plan.unit_deadline.push_back(deadline);
       plan.unit_kb.push_back(kb);
       content_time += session.advance_playback(content_time, kb);
@@ -69,7 +70,7 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
   }
 
   // Record signals and per-slot bounds over the horizon.
-  const auto horizon_sz = static_cast<std::size_t>(horizon);
+  const auto horizon_sz = checked_size(horizon);
   std::vector<std::vector<double>> price(n_users);   // mJ/KB per slot
   std::vector<std::vector<std::int64_t>> link(n_users);
   for (std::size_t i = 0; i < n_users; ++i) {
@@ -77,16 +78,16 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
     link[i].resize(horizon_sz);
     for (std::int64_t slot = 0; slot < horizon; ++slot) {
       const double sig = endpoints[i].signal->signal_dbm(slot);
-      price[i][static_cast<std::size_t>(slot)] =
+      price[i][checked_size(slot)] =
           config.link.power->energy_per_kb(sig);
-      link[i][static_cast<std::size_t>(slot)] =
+      link[i][checked_size(slot)] =
           config.slot.link_units(config.link.throughput->throughput_kbps(sig));
     }
   }
   const auto capacity = capacity_profile(config);
   std::vector<std::int64_t> capacity_left(horizon_sz);
   for (std::int64_t slot = 0; slot < horizon; ++slot) {
-    capacity_left[static_cast<std::size_t>(slot)] =
+    capacity_left[checked_size(slot)] =
         config.slot.capacity_units(capacity(slot));
   }
 
@@ -101,7 +102,7 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
   for (std::size_t i = 0; i < n_users; ++i) {
     const std::int64_t last_deadline = plans[i].unit_deadline.back();
     for (std::int64_t slot = plans[i].start_slot; slot <= last_deadline; ++slot) {
-      pairs.push_back({price[i][static_cast<std::size_t>(slot)],
+      pairs.push_back({price[i][checked_size(slot)],
                        static_cast<std::uint32_t>(i), slot});
     }
   }
@@ -116,14 +117,14 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
   for (const Pair& pair : pairs) {
     UserPlan& plan = plans[pair.user];
     if (plan.unassigned.empty()) continue;
-    const auto slot_sz = static_cast<std::size_t>(pair.slot);
+    const auto slot_sz = checked_size(pair.slot);
     std::int64_t room =
         std::min(link[pair.user][slot_sz], capacity_left[slot_sz]);
     if (room <= 0) continue;
     // First pending unit whose deadline admits this slot: deadlines are
     // non-decreasing in the unit index, so binary-search the index floor.
     const auto& deadlines = plan.unit_deadline;
-    const auto first_ok_index = static_cast<std::size_t>(
+    const auto first_ok_index = checked_size(
         std::lower_bound(deadlines.begin(), deadlines.end(), pair.slot) -
         deadlines.begin());
     auto it = plan.unassigned.lower_bound(first_ok_index);
@@ -150,7 +151,7 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
         double best_price = std::numeric_limits<double>::infinity();
         for (std::int64_t slot = plan.start_slot; slot <= plan.unit_deadline[unit];
              ++slot) {
-          best_price = std::min(best_price, price[i][static_cast<std::size_t>(slot)]);
+          best_price = std::min(best_price, price[i][checked_size(slot)]);
         }
         result.per_user_trans_mj[i] += best_price * plan.unit_kb[unit];
         ++result.stranded_units;
@@ -162,7 +163,7 @@ OracleResult offline_energy_bound(const ScenarioConfig& config, const OracleSpec
       const std::int64_t gap = plan.tx_slots[k] - plan.tx_slots[k - 1] - 1;
       if (gap > 0) {
         result.per_user_tail_mj[i] +=
-            tail_energy_mj(config.radio, static_cast<double>(gap) * tau);
+            tail_energy_mj(config.radio, as_double(gap) * tau);
       }
     }
     // Trailing tail after the final transmission.

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "sim/campaign.hpp"
 #include "telemetry/registry.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 
@@ -13,7 +14,7 @@ double ReplicatedMetric::ci95_halfwidth() const noexcept {
   // Student-t with n-1 degrees of freedom: replication counts are typically
   // small (5-30), where the fixed normal 1.96 understates the interval.
   return student_t_975(summary.count - 1) * summary.stddev /
-         std::sqrt(static_cast<double>(summary.count));
+         std::sqrt(as_double(summary.count));
 }
 
 ReplicationResult replicate_experiment(const ExperimentSpec& spec,
@@ -22,7 +23,7 @@ ReplicationResult replicate_experiment(const ExperimentSpec& spec,
   telemetry::global_registry().counter("replication.experiments").add();
   telemetry::global_registry()
       .counter("replication.replicas")
-      .add(static_cast<std::int64_t>(replications));
+      .add(checked_index(replications));
   // One-series campaign grid: specs[rep] runs seed+rep, and every replication
   // pulls its channel trace from the shared cache (a win whenever several
   // schedulers replicate over the same scenario in one process).

@@ -25,8 +25,8 @@ std::unique_ptr<SignalModel> build_signal_model(const ScenarioConfig& config,
                                                       user_rng.split(0x6d6b));
     case SignalKind::kTrace: {
       // Rotate the shared trace by a per-user offset so users decorrelate.
-      const auto offset = static_cast<std::size_t>(user_rng.uniform_int(
-          0, static_cast<std::int64_t>(config.trace_dbm.size()) - 1));
+      const auto offset = checked_size(user_rng.uniform_int(
+          0, checked_index(config.trace_dbm.size()) - 1));
       std::vector<double> rotated(config.trace_dbm.size());
       for (std::size_t i = 0; i < rotated.size(); ++i) {
         rotated[i] = config.trace_dbm[(i + offset) % config.trace_dbm.size()];
@@ -112,6 +112,8 @@ void validate(const ScenarioConfig& config) {
 
 std::vector<UserEndpoint> build_endpoints(const ScenarioConfig& config) {
   validate(config);
+  // jstream-lint: allow(rng-discipline) -- THE scenario root stream: every
+  // endpoint/fault/arrival stream in a run splits from this seed.
   const Rng scenario_rng(config.seed);
   std::vector<UserEndpoint> endpoints;
   endpoints.reserve(config.users);
@@ -145,7 +147,7 @@ std::function<double(std::int64_t)> capacity_profile(const ScenarioConfig& confi
       const double period = config.capacity_wave_period;
       return [base, amplitude, period](std::int64_t slot) {
         return base + amplitude * std::sin(2.0 * std::numbers::pi *
-                                           static_cast<double>(slot) / period);
+                                           as_double(slot) / period);
       };
     }
   }

@@ -107,6 +107,8 @@ std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
   fnv_mix(hash, key.link_fingerprint);
   fnv_mix(hash, key.fault_fingerprint);
   fnv_mix(hash, key.session_fingerprint);
+  // jstream-lint: allow(checked-narrowing) -- hash fold, not an index: the
+  // 64-bit FNV state truncates to whatever width unordered_map buckets use.
   return static_cast<std::size_t>(hash);
 }
 

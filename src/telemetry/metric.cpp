@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream::telemetry {
 
@@ -19,7 +20,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 void Histogram::observe(double value) noexcept {
   if (!enabled()) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  const auto idx = checked_size(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double expected = sum_.load(std::memory_order_relaxed);
@@ -51,10 +52,10 @@ Histogram::Snapshot Histogram::snapshot() const {
 double Histogram::Snapshot::quantile(double q) const {
   require(q >= 0.0 && q <= 1.0, "quantile q must lie in [0, 1]");
   if (total <= 0) return 0.0;
-  const double target = q * static_cast<double>(total);
+  const double target = q * as_double(total);
   double cumulative = 0.0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    const auto in_bucket = static_cast<double>(counts[i]);
+    const auto in_bucket = as_double(counts[i]);
     if (in_bucket <= 0.0) continue;
     if (cumulative + in_bucket >= target) {
       if (i >= upper_bounds.size()) return upper_bounds.back();  // overflow
@@ -99,7 +100,7 @@ std::vector<double> linear_buckets(double start, double step, std::size_t count)
   std::vector<double> edges;
   edges.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    edges.push_back(start + step * static_cast<double>(i));
+    edges.push_back(start + step * as_double(i));
   }
   return edges;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -48,7 +49,7 @@ TEST(Summarize, EmptyIsZeroed) {
 
 TEST(EmpiricalCdf, EndsAtOneAndIsMonotone) {
   std::vector<double> v;
-  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i % 37));
+  for (int i = 0; i < 1000; ++i) v.push_back(as_double(i % 37));
   const auto cdf = empirical_cdf(v, 20);
   ASSERT_FALSE(cdf.empty());
   EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
@@ -87,7 +88,7 @@ TEST(JainIndex, BoundedBetweenOneOverNAndOne) {
   (void)dummy;
   const std::vector<double> shares{0.1, 0.9, 0.4, 0.0, 1.3};
   const double j = jain_index(shares);
-  EXPECT_GE(j, 1.0 / static_cast<double>(shares.size()));
+  EXPECT_GE(j, 1.0 / as_double(shares.size()));
   EXPECT_LE(j, 1.0);
 }
 

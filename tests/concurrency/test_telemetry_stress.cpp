@@ -13,6 +13,7 @@
 #include "telemetry/metric.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/slot_tracer.hpp"
+#include "common/units.hpp"
 
 namespace jstream::telemetry {
 namespace {
@@ -26,7 +27,7 @@ TEST(TelemetryStress, ConcurrentTracerWritersCountEveryEvent) {
   for (int w = 0; w < kWriters; ++w) {
     writers.emplace_back([&tracer, w] {
       for (int i = 0; i < kEventsPerWriter; ++i) {
-        tracer.record(i, w, TraceEventKind::kGrant, static_cast<double>(i));
+        tracer.record(i, w, TraceEventKind::kGrant, as_double(i));
       }
     });
   }
@@ -46,7 +47,7 @@ TEST(TelemetryStress, TracerSnapshotRacesWithWriters) {
       // the same lock), never a half-updated slot.
       for (const SlotTraceEvent& e : events) {
         EXPECT_EQ(e.kind, TraceEventKind::kQueueLevel);
-        EXPECT_DOUBLE_EQ(e.value, static_cast<double>(e.slot));
+        EXPECT_DOUBLE_EQ(e.value, as_double(e.slot));
       }
     }
   });
@@ -54,7 +55,7 @@ TEST(TelemetryStress, TracerSnapshotRacesWithWriters) {
   for (int w = 0; w < 2; ++w) {
     writers.emplace_back([&tracer] {
       for (int i = 0; i < 8000; ++i) {
-        tracer.record(i, 0, TraceEventKind::kQueueLevel, static_cast<double>(i));
+        tracer.record(i, 0, TraceEventKind::kQueueLevel, as_double(i));
       }
     });
   }

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <numeric>
 #include <vector>
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -23,12 +24,12 @@ TEST(ThreadPoolStress, ConcurrentSubmittersAllRun) {
   constexpr int kTasksPerSubmitter = 200;
   std::vector<std::thread> submitters;
   std::vector<std::future<void>> futures(
-      static_cast<std::size_t>(kSubmitters * kTasksPerSubmitter));
+      checked_size(kSubmitters * kTasksPerSubmitter));
   submitters.reserve(kSubmitters);
   for (int s = 0; s < kSubmitters; ++s) {
     submitters.emplace_back([&pool, &executed, &futures, s] {
       for (int i = 0; i < kTasksPerSubmitter; ++i) {
-        futures[static_cast<std::size_t>(s * kTasksPerSubmitter + i)] =
+        futures[checked_size(s * kTasksPerSubmitter + i)] =
             pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
       }
     });
@@ -45,10 +46,10 @@ TEST(ThreadPoolStress, ParallelForSharedWorkspaceIsRaceFree) {
   // cross-index synchronization) means this must be race-free under TSan.
   std::vector<double> out(kItems, 0.0);
   parallel_for(pool, kItems, [&out](std::size_t i) {
-    out[i] = static_cast<double>(i) * 2.0;
+    out[i] = as_double(i) * 2.0;
   });
   double sum = std::accumulate(out.begin(), out.end(), 0.0);
-  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kItems) * (kItems - 1));
+  EXPECT_DOUBLE_EQ(sum, as_double(kItems) * (kItems - 1));
 }
 
 TEST(ThreadPoolStress, RepeatedParallelForReusesWorkers) {

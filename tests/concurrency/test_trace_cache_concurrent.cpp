@@ -14,6 +14,7 @@
 
 #include "sim/campaign.hpp"
 #include "sim/scenario.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -37,7 +38,7 @@ TEST(TraceCacheConcurrent, RacingLookupsShareOneGenerationPerKey) {
       start.fetch_add(1);
       while (start.load() < kThreads) {}  // line the threads up on the cache
       for (int s = 0; s < kSeeds; ++s) {
-        seen[static_cast<std::size_t>(t * kSeeds + s)] =
+        seen[checked_size(t * kSeeds + s)] =
             cache.get_or_generate(small_scenario(static_cast<std::uint64_t>(s)));
       }
     });
@@ -46,12 +47,12 @@ TEST(TraceCacheConcurrent, RacingLookupsShareOneGenerationPerKey) {
 
   // All threads resolved each seed to the same immutable set.
   for (int s = 0; s < kSeeds; ++s) {
-    const SignalTraceSet* expected = seen[static_cast<std::size_t>(s)].get();
+    const SignalTraceSet* expected = seen[checked_size(s)].get();
     for (int t = 1; t < kThreads; ++t) {
-      EXPECT_EQ(seen[static_cast<std::size_t>(t * kSeeds + s)].get(), expected);
+      EXPECT_EQ(seen[checked_size(t * kSeeds + s)].get(), expected);
     }
   }
-  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kSeeds));
+  EXPECT_EQ(cache.size(), checked_size(kSeeds));
   EXPECT_EQ(cache.misses(), static_cast<std::uint64_t>(kSeeds));
   EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<std::uint64_t>(kThreads * kSeeds));

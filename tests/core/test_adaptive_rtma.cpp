@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "sim/simulator.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -90,11 +91,11 @@ TEST(AdaptiveRtma, TracksTargetInFullSimulation) {
   std::size_t counted = 0;
   for (const auto& user : metrics.per_user) {
     if (user.tx_slots == 0) continue;
-    sum += user.trans_mj / static_cast<double>(user.tx_slots);
+    sum += user.trans_mj / as_double(user.tx_slots);
     ++counted;
   }
   ASSERT_GT(counted, 0u);
-  const double measured = sum / static_cast<double>(counted);
+  const double measured = sum / as_double(counted);
   EXPECT_GT(measured, 400.0);
   EXPECT_LT(measured, 1800.0);
 }

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "radio/rrc.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -91,7 +92,7 @@ TEST(EmaCosts, UnpromotedRadioHasFreeIdle) {
 TEST(EmaDp, MatchesBruteForceOnRandomInstances) {
   Rng rng(2024);
   for (int trial = 0; trial < 200; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::size_t n = 1 + checked_size(rng.uniform_int(0, 2));
     std::vector<std::int64_t> caps;
     for (std::size_t i = 0; i < n; ++i) caps.push_back(rng.uniform_int(0, 4));
     const std::int64_t capacity = rng.uniform_int(0, 6);
@@ -160,7 +161,7 @@ TEST(EmaScheduler, QueueEvolvesByEq16) {
   const SlotContext ctx = make_context(users);
   const Allocation alloc = ema.allocate(ctx);
   // PC(1) = PC(0) + tau - t(0) where t = kb / p.
-  const double t = static_cast<double>(alloc.units[0]) * 100.0 / 400.0;
+  const double t = as_double(alloc.units[0]) * 100.0 / 400.0;
   EXPECT_NEAR(ema.queues().value(0), 1.0 - t, 1e-9);
 }
 

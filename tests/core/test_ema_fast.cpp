@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -34,7 +35,7 @@ EmaSlotCosts random_costs(Rng& rng, std::size_t n) {
 TEST(EmaGreedy, FeasibleOnRandomInstances) {
   Rng rng(31);
   for (int trial = 0; trial < 100; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    const std::size_t n = 1 + checked_size(rng.uniform_int(0, 9));
     std::vector<std::int64_t> caps;
     for (std::size_t i = 0; i < n; ++i) caps.push_back(rng.uniform_int(0, 30));
     const std::int64_t capacity = rng.uniform_int(0, 80);
@@ -51,7 +52,7 @@ TEST(EmaGreedy, FeasibleOnRandomInstances) {
 TEST(EmaGreedy, NeverWorseThanAllIdle) {
   Rng rng(37);
   for (int trial = 0; trial < 100; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const std::size_t n = 1 + checked_size(rng.uniform_int(0, 7));
     std::vector<std::int64_t> caps(n, 10);
     const EmaSlotCosts costs = random_costs(rng, n);
     const Allocation alloc = solve_min_cost_greedy(costs, caps, 40);
@@ -68,7 +69,7 @@ TEST(EmaGreedy, CloseToDpObjectiveOnRandomInstances) {
   double worst_gap = 0.0;
   double total_gap = 0.0;
   for (int trial = 0; trial < 300; ++trial) {
-    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const std::size_t n = 2 + checked_size(rng.uniform_int(0, 6));
     std::vector<std::int64_t> caps;
     for (std::size_t i = 0; i < n; ++i) caps.push_back(rng.uniform_int(0, 12));
     const std::int64_t capacity = rng.uniform_int(4, 40);
@@ -94,7 +95,7 @@ TEST(EmaGreedy, MatchesDpWhenBudgetIsLoose) {
   // {0, 1, cap} choice equals the DP's.
   Rng rng(43);
   for (int trial = 0; trial < 100; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const std::size_t n = 1 + checked_size(rng.uniform_int(0, 5));
     std::vector<std::int64_t> caps;
     std::int64_t cap_sum = 0;
     for (std::size_t i = 0; i < n; ++i) {

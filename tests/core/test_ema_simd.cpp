@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "core/ema.hpp"
 #include "net/allocation.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -40,8 +41,8 @@ struct Instance {
 // the tie-break paths and the separable margin fallback.
 Instance random_instance(Rng& rng, std::size_t max_users, std::int64_t max_cap) {
   Instance inst;
-  const auto n = static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(max_users)));
+  const auto n = checked_size(
+      rng.uniform_int(0, checked_index(max_users)));
   inst.costs.idle_cost.resize(n);
   inst.costs.active_base.resize(n);
   inst.costs.slope.resize(n);
@@ -135,7 +136,7 @@ TEST(EmaSimdSolver, FuzzTieFreeInstancesMatchReferenceExactly) {
   for (int trial = 0; trial < 500; ++trial) {
     Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
     Instance inst;
-    const auto n = static_cast<std::size_t>(trial_rng.uniform_int(0, 14));
+    const auto n = checked_size(trial_rng.uniform_int(0, 14));
     inst.costs.idle_cost.resize(n);
     inst.costs.active_base.resize(n);
     inst.costs.slope.resize(n);
@@ -221,8 +222,8 @@ TEST(EmaSimdSolver, WarmStartSequenceMatchesColdSolves) {
       }
     } else if (mode == 3) {
       // Geometry change: one user's cap shrinks (and may re-grow later).
-      const auto i = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(inst.caps.size()) - 1));
+      const auto i = checked_size(
+          rng.uniform_int(0, checked_index(inst.caps.size()) - 1));
       inst.caps[i] = rng.uniform_int(0, 8);
     }
     // mode == 0: identical instance (memo-hit slot).

@@ -11,6 +11,7 @@
 #include "core/ema.hpp"
 #include "core/ema_fast.hpp"
 #include "net/allocation.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -46,7 +47,7 @@ struct Instance {
 // costs around the tail-energy scale, occasional zero caps.
 Instance random_instance(Rng& rng, std::size_t max_users, std::int64_t max_cap) {
   Instance inst;
-  const auto n = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_users)));
+  const auto n = checked_size(rng.uniform_int(0, checked_index(max_users)));
   inst.costs.idle_cost.resize(n);
   inst.costs.active_base.resize(n);
   inst.costs.slope.resize(n);

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "sim/forecast.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -88,7 +89,7 @@ TEST(Lookahead, ForecastMatchesSimulatedSignals) {
   ASSERT_EQ(forecast.size(), 3u);
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     for (std::int64_t slot = 0; slot < 100; ++slot) {
-      ASSERT_DOUBLE_EQ(forecast[i][static_cast<std::size_t>(slot)],
+      ASSERT_DOUBLE_EQ(forecast[i][checked_size(slot)],
                        endpoints[i].signal->signal_dbm(slot));
     }
   }

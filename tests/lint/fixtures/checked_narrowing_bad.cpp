@@ -1,0 +1,20 @@
+// Fixture: R4 triggers — one raw cast per family the rule polices.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+void cross_families(std::int64_t count, std::size_t index, double value) {
+  auto a = static_cast<std::size_t>(count);
+  auto b = static_cast<std::int64_t>(index);
+  auto c = static_cast<std::int32_t>(count);
+  auto d = static_cast<double>(count);
+  auto e = static_cast<std::size_t>(value);
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  (void)e;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: R4-clean conversions — the units.hpp helpers, plus casts outside
+// the size/index/count/double families that the rule deliberately ignores
+// (enum-to-int is idiomatic for telemetry payloads, unsigned for APIs).
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+enum class Mode { kIdle, kActive };
+
+std::size_t checked_size(std::int64_t value);
+std::int64_t checked_index(std::size_t value);
+double as_double(std::int64_t value);
+
+double convert(std::int64_t count, std::size_t index, Mode mode) {
+  const std::size_t a = checked_size(count);
+  const std::int64_t b = checked_index(index);
+  const double c = as_double(count);
+  const int d = static_cast<int>(mode);           // outside the family: clean
+  const auto e = static_cast<unsigned>(count);    // outside the family: clean
+  const auto f = std::int64_t{42};                // brace-init widening: clean
+  return c + as_double(b + f) + as_double(static_cast<int>(a) + d + static_cast<int>(e));
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: R3 triggers. The RunMetrics mention below marks this TU as
+// determinism-sensitive; the rule then bans unordered iteration and floats.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct RunMetrics {
+  double total_energy_mj = 0.0;
+};
+
+double render(const RunMetrics& metrics) {
+  std::unordered_map<std::string, double> by_label;
+  by_label["energy"] = metrics.total_energy_mj;
+  double sum = 0.0;
+  for (const auto& entry : by_label) {  // unordered iteration
+    sum += entry.second;
+  }
+  float narrowed = 0.0f;  // float in metrics code
+  return sum + narrowed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: R3-clean rendering — ordered iteration and double precision in a
+// determinism-sensitive TU (RunMetrics mention), plus unordered lookup that
+// never iterates (allowed: only iteration order is hash-dependent).
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct RunMetrics {
+  double total_energy_mj = 0.0;
+};
+
+double render(const RunMetrics& metrics) {
+  std::map<std::string, double> by_label;
+  by_label["energy"] = metrics.total_energy_mj;
+  double sum = 0.0;
+  for (const auto& entry : by_label) sum += entry.second;  // ordered: clean
+
+  std::unordered_map<std::string, double> cache;
+  cache["energy"] = sum;
+  return cache.at("energy");  // point lookup, no iteration: clean
+}
+
+}  // namespace fixture

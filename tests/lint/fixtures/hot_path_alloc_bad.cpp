@@ -1,0 +1,31 @@
+// Fixture: every R1 trigger in one hot TU. Not compiled — lexed by
+// jstream_lint in tests/lint/test_lint.cpp.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Workspace {
+  std::vector<int> scratch;
+};
+
+// Helper with no annotation of its own: it must inherit hotness through the
+// same-TU call graph below.
+void transitively_hot(std::vector<int>& out) {
+  out.push_back(7);  // un-reserved push_back
+}
+
+// jstream: hot-path
+void run_slot(Workspace& ws) {
+  auto* leak = new int(4);                        // operator new
+  auto owned = std::make_unique<int>(5);          // make_unique
+  std::function<int(int)> cb = [](int x) { return x; };  // std::function
+  std::string label = "slot";                     // std::string ctor
+  ws.scratch.push_back(*leak + *owned + cb(1));   // un-reserved push_back
+  transitively_hot(ws.scratch);
+  delete leak;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: the patterns R1 must NOT flag — reserved growth on the hot path,
+// and heap use in functions the hot-path call graph never reaches.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Workspace {
+  std::vector<int> scratch;
+};
+
+// jstream: hot-path
+void run_slot(Workspace& ws, int n) {
+  ws.scratch.clear();
+  ws.scratch.reserve(static_cast<unsigned>(n));
+  for (int i = 0; i < n; ++i) ws.scratch.push_back(i);  // reserved above: clean
+}
+
+// Setup code may allocate freely: nothing here is reachable from run_slot.
+std::unique_ptr<Workspace> make_workspace() {
+  auto ws = std::make_unique<Workspace>();
+  ws->scratch.push_back(0);
+  return ws;
+}
+
+}  // namespace fixture

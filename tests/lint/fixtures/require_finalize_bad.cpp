@@ -1,0 +1,24 @@
+// Fixture: R5 trigger — reading an SoA lane with no finalize()/size() guard
+// anywhere earlier in the function.
+#include <cstddef>
+
+namespace fixture {
+
+struct SlotSoa {
+  const double* signal_dbm = nullptr;
+  const double* energy_per_kb = nullptr;
+};
+
+struct SlotContext {
+  SlotSoa soa;
+};
+
+double sum_signal(const SlotContext& ctx, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += ctx.soa.signal_dbm[i];  // unguarded lane read
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: R5-clean lane access — both accepted guard forms, each
+// established before the first lane read in its function.
+#include <cstddef>
+
+namespace fixture {
+
+struct SlotSoa {
+  const double* signal_dbm = nullptr;
+  const double* energy_per_kb = nullptr;
+  std::size_t size() const;
+};
+
+struct SlotContext {
+  SlotSoa soa;
+  void finalize();
+};
+
+void require(bool ok, const char* what);
+
+double sum_after_finalize(SlotContext& ctx, std::size_t n) {
+  ctx.finalize();  // guard form 1: this function finalizes the mirror itself
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += ctx.soa.signal_dbm[i];
+  return sum;
+}
+
+double sum_after_size_check(const SlotContext& ctx, std::size_t n) {
+  require(ctx.soa.size() == n, "SlotContext::finalize() not called");  // form 2
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += ctx.soa.energy_per_kb[i];
+  return sum;
+}
+
+}  // namespace fixture

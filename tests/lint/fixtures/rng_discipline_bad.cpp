@@ -1,0 +1,24 @@
+// Fixture: every R2 trigger. Not compiled — lexed by jstream_lint.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Rng {
+  Rng split(unsigned long long stream) const;
+};
+
+int draw_everything_wrong() {
+  int a = rand();                              // libc rand
+  std::random_device entropy;                  // random_device
+  std::srand(static_cast<unsigned>(time(nullptr)));  // time(nullptr)
+  std::mt19937 engine;                         // argless engine
+  Rng rooted(42);                              // Rng without .split()
+  (void)entropy;
+  (void)engine;
+  (void)rooted;
+  return a;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: R2-clean randomness — every stream derives from a parent via
+// .split(), and type mentions / parameters are not originations.
+namespace fixture {
+
+struct Rng {
+  Rng split(unsigned long long stream) const;
+  double uniform();
+};
+
+double consume(Rng& rng) { return rng.uniform(); }  // reference param: clean
+
+double derive_streams(const Rng& parent) {
+  Rng child = parent.split(0x5eedULL);   // assignment form: clean
+  Rng nested(parent.split(1).split(2));  // ctor form, derives via split: clean
+  return consume(child) + consume(nested);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: malformed or mismatched waivers — each one leaves the gate shut.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+std::size_t missing_reason(std::int64_t count) {
+  // jstream-lint: allow(checked-narrowing)
+  return static_cast<std::size_t>(count);  // still fires: waiver has no reason
+}
+
+std::size_t missing_rule_list(std::int64_t count) {
+  // jstream-lint: this cast is fine, trust me
+  return static_cast<std::size_t>(count);  // still fires: no allow(<rule>)
+}
+
+std::size_t wrong_rule(std::int64_t count) {
+  // jstream-lint: allow(rng-discipline) -- waives a rule this line never broke
+  return static_cast<std::size_t>(count);  // still fires: rule id mismatch
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: well-formed waivers — trailing, own-line, and wrapped own-line
+// forms all silence the diagnostic and surface in the honored list.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+std::size_t trailing_form(std::uint64_t hash) {
+  return static_cast<std::size_t>(hash ^ 0x9e37ULL);  // jstream-lint: allow(checked-narrowing) -- hash fold, not an index
+}
+
+std::size_t own_line_form(std::int64_t count) {
+  // jstream-lint: allow(checked-narrowing) -- fixture exercises own-line coverage
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t wrapped_form(std::int64_t count) {
+  // jstream-lint: allow(checked-narrowing) -- a waiver whose justification is
+  // long enough to wrap onto a continuation line still covers the code below.
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace fixture

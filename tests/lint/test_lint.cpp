@@ -1,0 +1,195 @@
+// Differential tests for jstream_lint: every rule must fire on its bad
+// fixture and stay silent on its good twin, waivers must be honored (and
+// malformed ones rejected), and the real src/ tree must be clean — the same
+// contract `ctest -L lint` / scripts/check.sh stage 7 enforce in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "rules.hpp"
+#include "common/units.hpp"
+
+namespace jstream::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+FileReport lint_fixture(const std::string& name) {
+  const fs::path path = fs::path(JSTREAM_LINT_FIXTURE_DIR) / name;
+  const std::string source = read_file(path);
+  const FileModel model = build_model(name, source);
+  return run_rules(model);
+}
+
+std::size_t count_rule(const FileReport& report, const std::string& rule) {
+  return checked_size(
+      std::count_if(report.diagnostics.begin(), report.diagnostics.end(),
+                    [&rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+TEST(LintHotPathAlloc, FiresOnEveryAllocationKind) {
+  const FileReport report = lint_fixture("hot_path_alloc_bad.cpp");
+  // new, make_unique, std::function, std::string, and two un-reserved
+  // push_backs (one direct, one in the transitively-hot helper).
+  EXPECT_EQ(count_rule(report, "hot-path-alloc"), 6u);
+  EXPECT_EQ(report.diagnostics.size(), 6u);
+}
+
+TEST(LintHotPathAlloc, PropagatesHotnessThroughSameTuCalls) {
+  const FileReport report = lint_fixture("hot_path_alloc_bad.cpp");
+  // transitively_hot carries no annotation; its push_back is only reachable
+  // through run_slot's call, so a diagnostic there proves propagation.
+  const bool helper_flagged = std::any_of(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) {
+        return d.message.find("'transitively_hot'") != std::string::npos;
+      });
+  EXPECT_TRUE(helper_flagged);
+}
+
+TEST(LintHotPathAlloc, SilentOnReservedGrowthAndColdAllocation) {
+  const FileReport report = lint_fixture("hot_path_alloc_good.cpp");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(LintRngDiscipline, FiresOnEveryBannedSource) {
+  const FileReport report = lint_fixture("rng_discipline_bad.cpp");
+  // rand, srand, random_device, time(nullptr), argless mt19937, and a
+  // root Rng constructed without .split().
+  EXPECT_EQ(count_rule(report, "rng-discipline"), 6u);
+}
+
+TEST(LintRngDiscipline, SilentOnSplitDerivedStreams) {
+  const FileReport report = lint_fixture("rng_discipline_good.cpp");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(LintDigestDeterminism, FiresOnUnorderedIterationAndFloat) {
+  const FileReport report = lint_fixture("digest_determinism_bad.cpp");
+  EXPECT_EQ(count_rule(report, "digest-determinism"), 2u);
+  const bool has_unordered = std::any_of(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) {
+        return d.message.find("range-for over unordered") != std::string::npos;
+      });
+  const bool has_float = std::any_of(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) {
+        return d.message.find("'float'") != std::string::npos;
+      });
+  EXPECT_TRUE(has_unordered);
+  EXPECT_TRUE(has_float);
+}
+
+TEST(LintDigestDeterminism, SilentOnOrderedIterationAndPointLookup) {
+  const FileReport report = lint_fixture("digest_determinism_good.cpp");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(LintCheckedNarrowing, FiresOncePerFamilyCrossing) {
+  const FileReport report = lint_fixture("checked_narrowing_bad.cpp");
+  EXPECT_EQ(count_rule(report, "checked-narrowing"), 5u);
+  // Every diagnostic carries an actionable fix-it naming a units.hpp helper.
+  for (const Diagnostic& diag : report.diagnostics) {
+    EXPECT_FALSE(diag.fixit.empty()) << diag.message;
+  }
+}
+
+TEST(LintCheckedNarrowing, SilentOnHelpersAndOutOfFamilyCasts) {
+  const FileReport report = lint_fixture("checked_narrowing_good.cpp");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(LintRequireFinalize, FiresOnUnguardedLaneRead) {
+  const FileReport report = lint_fixture("require_finalize_bad.cpp");
+  EXPECT_EQ(count_rule(report, "require-finalize"), 1u);
+  EXPECT_NE(report.diagnostics.at(0).message.find("signal_dbm"),
+            std::string::npos);
+}
+
+TEST(LintRequireFinalize, SilentWhenEitherGuardFormPrecedesTheRead) {
+  const FileReport report = lint_fixture("require_finalize_good.cpp");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(LintSuppressions, TrailingOwnLineAndWrappedWaiversAreHonored) {
+  const FileReport report = lint_fixture("suppressions_good.cpp");
+  EXPECT_TRUE(report.diagnostics.empty());
+  ASSERT_EQ(report.suppressed.size(), 3u);
+  for (const HonoredSuppression& sup : report.suppressed) {
+    EXPECT_EQ(sup.rule, "checked-narrowing");
+    EXPECT_FALSE(sup.reason.empty());
+  }
+  // The wrapped waiver's continuation line folds into its reason.
+  const bool wrapped_reason_joined = std::any_of(
+      report.suppressed.begin(), report.suppressed.end(),
+      [](const HonoredSuppression& sup) {
+        return sup.reason.find("covers the code below") != std::string::npos;
+      });
+  EXPECT_TRUE(wrapped_reason_joined);
+}
+
+TEST(LintSuppressions, MalformedOrMismatchedWaiversLeaveTheGateShut) {
+  const FileReport report = lint_fixture("suppressions_bad.cpp");
+  EXPECT_TRUE(report.suppressed.empty());
+  // All three casts still fire...
+  EXPECT_EQ(count_rule(report, "checked-narrowing"), 3u);
+  // ...and the reason-less + rule-less waivers are diagnostics themselves.
+  EXPECT_EQ(count_rule(report, "suppression"), 2u);
+}
+
+// The repo-clean regression: the gate the lint binary enforces in CI, run
+// in-process so a violation introduced anywhere in src/ fails this suite
+// even if the jstream_lint executable itself is stale.
+TEST(LintRepoClean, SrcTreeHasZeroDiagnostics) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(JSTREAM_SRC_DIR)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 100u) << "src/ walk looks wrong";
+  std::size_t honored = 0;
+  for (const fs::path& path : files) {
+    const FileModel model = build_model(path.string(), read_file(path));
+    const FileReport report = run_rules(model);
+    honored += report.suppressed.size();
+    for (const Diagnostic& diag : report.diagnostics) {
+      ADD_FAILURE() << diag.file << ":" << diag.line << ": [" << diag.rule
+                    << "] " << diag.message;
+    }
+  }
+  // Waivers stay rare and auditable; a sudden jump means someone is
+  // suppressing their way around the gate.
+  EXPECT_LE(honored, 12u);
+}
+
+TEST(LintRuleRegistry, EveryRuleIdIsCoveredByAFixture) {
+  // Guards against adding a rule without a differential fixture: the ids the
+  // binary advertises must all appear in this suite's expectations.
+  const std::vector<std::string> covered = {
+      "hot-path-alloc",   "rng-discipline",   "digest-determinism",
+      "checked-narrowing", "require-finalize", "suppression",
+  };
+  EXPECT_EQ(all_rule_ids(), covered);
+}
+
+}  // namespace
+}  // namespace jstream::lint

@@ -22,6 +22,7 @@
 #include "session/service.hpp"
 #include "sim/fault.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace {
 
@@ -187,7 +188,7 @@ TEST(ZeroAllocSlot, FaultedSlotPathIsAllocationFree) {
   FaultSchedule schedule(endpoints.size(), /*horizon=*/300, /*outage_dbm=*/-112.0);
   for (std::size_t user = 0; user < endpoints.size(); ++user) {
     // Alternating deep fades and stale windows, staggered per user.
-    for (std::int64_t begin = 60 + static_cast<std::int64_t>(user);
+    for (std::int64_t begin = 60 + checked_index(user);
          begin + 14 < 300; begin += 24) {
       schedule.add_outage(user, {begin, begin + 6});
       schedule.add_stale_window(user, {begin + 8, begin + 14});

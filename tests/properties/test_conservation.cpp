@@ -58,7 +58,7 @@ TEST_P(Conservation, EnergyIsNonNegativeAndTailBounded) {
     // Each tail period is bounded by Pd*T1 + Pf*T2; a user cannot pay more
     // tail than one full tail per transmission gap, i.e. per tx slot + 1.
     EXPECT_LE(user.tail_mj, radio.max_tail_energy_mj() *
-                                static_cast<double>(user.tx_slots + 1));
+                                as_double(user.tx_slots + 1));
   }
 }
 
@@ -69,7 +69,7 @@ TEST_P(Conservation, SessionSlotsCoverPlaybackPlusStalls) {
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     const double playback = endpoints[i].session.total_playback_s();
     const double stalled = metrics.per_user[i].rebuffer_s;
-    const auto slots = static_cast<double>(metrics.per_user[i].session_slots);
+    const auto slots = as_double(metrics.per_user[i].session_slots);
     // Gamma_i ~ playback + stalls (within a slot of rounding each way).
     EXPECT_GE(slots + 2.0, playback + stalled) << GetParam() << " user " << i;
     EXPECT_LE(slots, playback + stalled + 2.0) << GetParam() << " user " << i;

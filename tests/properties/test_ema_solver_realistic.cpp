@@ -9,6 +9,7 @@
 #include "core/ema.hpp"
 #include "core/ema_fast.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -32,7 +33,7 @@ TEST_P(EmaSolverRealistic, GreedyTracksDpOnSimulationShapedCosts) {
   double total_dp = 0.0;
   double total_greedy = 0.0;
   for (int trial = 0; trial < 100; ++trial) {
-    const std::size_t n = 10 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    const std::size_t n = 10 + checked_size(rng.uniform_int(0, 30));
     std::vector<TestUser> users;
     LyapunovQueues queues(n);
     for (std::size_t i = 0; i < n; ++i) {

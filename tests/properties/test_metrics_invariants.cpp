@@ -8,6 +8,7 @@
 #include "baselines/factory.hpp"
 #include "sim/catalog.hpp"
 #include "sim/simulator.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -48,14 +49,14 @@ TEST_P(MetricsInvariants, PhysicalBoundsHold) {
   const RunMetrics m = run(preset, scheduler);
   for (const auto& user : m.per_user) {
     // Rebuffering cannot exceed one slot per session slot.
-    EXPECT_LE(user.rebuffer_s, static_cast<double>(user.session_slots) + 1e-9);
+    EXPECT_LE(user.rebuffer_s, as_double(user.session_slots) + 1e-9);
     // A user cannot transmit in more slots than the run had.
     EXPECT_LE(user.tx_slots, m.slots_run);
     EXPECT_GE(user.delivered_kb, 0.0);
   }
   // Fairness stays within Jain bounds.
   for (double f : m.slot_fairness) {
-    EXPECT_GE(f, 1.0 / static_cast<double>(m.per_user.size()) - 1e-9);
+    EXPECT_GE(f, 1.0 / as_double(m.per_user.size()) - 1e-9);
     EXPECT_LE(f, 1.0 + 1e-9);
   }
   // Per-slot rebuffer samples are within [0, tau].

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "net/allocation.hpp"
 #include "test_helpers.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -20,7 +21,7 @@ TEST_P(SchedulerFeasibility, HoldsOnRandomSnapshots) {
   auto scheduler = make_scheduler(GetParam());
   Rng rng(0xfea5ULL);
   for (int trial = 0; trial < 30; ++trial) {
-    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const auto n = checked_size(rng.uniform_int(1, 12));
     scheduler->reset(n);
     const double capacity = rng.uniform(500.0, 25000.0);
     for (std::int64_t slot = 0; slot < 20; ++slot) {

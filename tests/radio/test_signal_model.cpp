@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -40,7 +41,7 @@ TEST(SineSignalModel, NoiselessFollowsSine) {
   const double amp = 0.5 * (params.max_dbm - params.min_dbm);
   for (std::int64_t slot : {0, 25, 50, 75}) {
     const double expected =
-        mid + amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(slot) / 100.0);
+        mid + amp * std::sin(2.0 * std::numbers::pi * as_double(slot) / 100.0);
     EXPECT_NEAR(model.signal_dbm(slot), expected, 1e-9);
   }
 }

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "session/arrival.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -30,8 +31,8 @@ TEST(ArrivalProcess, PoissonCountsAreDeterministicAndOrderIndependent) {
     forward.push_back(a->arrivals_at(slot));
   }
   for (std::int64_t slot = 199; slot >= 0; --slot) {
-    EXPECT_EQ(b->arrivals_at(slot), forward[static_cast<std::size_t>(slot)]);
-    EXPECT_EQ(b->arrivals_at(slot), forward[static_cast<std::size_t>(slot)]);
+    EXPECT_EQ(b->arrivals_at(slot), forward[checked_size(slot)]);
+    EXPECT_EQ(b->arrivals_at(slot), forward[checked_size(slot)]);
   }
 }
 
@@ -45,7 +46,7 @@ TEST(ArrivalProcess, PoissonMeanTracksTheConfiguredRate) {
     ASSERT_GE(count, 0);
     total += count;
   }
-  const double mean = static_cast<double>(total) / static_cast<double>(slots);
+  const double mean = as_double(total) / as_double(slots);
   EXPECT_NEAR(mean, rate, 0.05);
 }
 
@@ -153,7 +154,7 @@ TEST(ArrivalProcess, PoissonSamplerHandlesEdgeIntensities) {
     const auto sample = poisson_sample(rng, 400.0);
     EXPECT_GT(sample, 280);
     EXPECT_LT(sample, 520);
-    sum += static_cast<double>(sample);
+    sum += as_double(sample);
   }
   EXPECT_NEAR(sum / 50.0, 400.0, 20.0);
 }

@@ -8,6 +8,7 @@
 #include "baselines/factory.hpp"
 #include "common/error.hpp"
 #include "session/service.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -103,7 +104,7 @@ TEST(ServiceSimulator, ZeroArrivalConfigReproducesTheBatchRunBitForBit) {
         << i;
   }
   // The derived session view: every user one admitted session.
-  EXPECT_EQ(service.service.offered, static_cast<std::int64_t>(config.cell.users));
+  EXPECT_EQ(service.service.offered, checked_index(config.cell.users));
   EXPECT_EQ(service.service.admitted, service.service.offered);
   EXPECT_EQ(service.service.completed +
                 service.service.aborted + service.service.in_flight_at_end,
@@ -136,7 +137,7 @@ TEST(ServiceSimulator, SessionRecordsCoverTheMeasuredSessions) {
   config.keep_session_records = true;
   const ServiceResult result = simulate_service(config, make_scheduler("default"));
   const ServiceMetrics& m = result.service;
-  ASSERT_EQ(static_cast<std::int64_t>(m.records.size()), m.sessions_measured);
+  ASSERT_EQ(checked_index(m.records.size()), m.sessions_measured);
   EXPECT_GT(m.sessions_measured, 0);
   for (const SessionRecord& record : m.records) {
     EXPECT_GE(record.start_slot, config.warmup_slots);

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/units.hpp"
 
 namespace jstream {
 namespace {
@@ -67,7 +68,7 @@ TEST(Replication, Ci95UsesStudentTQuantile) {
   const Summary& s = result.pe_mj.summary;
   ASSERT_EQ(s.count, n);
   const double expected =
-      student_t_975(n - 1) * s.stddev / std::sqrt(static_cast<double>(n));
+      student_t_975(n - 1) * s.stddev / std::sqrt(as_double(n));
   EXPECT_DOUBLE_EQ(result.pe_mj.ci95_halfwidth(), expected);
   EXPECT_GT(student_t_975(n - 1), 1.96);  // wider than the old fixed-z interval
 }

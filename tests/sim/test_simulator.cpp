@@ -42,7 +42,7 @@ TEST(Simulator, SessionSlotsAtLeastPlaybackDuration) {
   const RunMetrics metrics = simulate(config, make_scheduler("default"));
   const auto endpoints = build_endpoints(config);
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
-    EXPECT_GE(static_cast<double>(metrics.per_user[i].session_slots) + 1.0,
+    EXPECT_GE(as_double(metrics.per_user[i].session_slots) + 1.0,
               endpoints[i].session.total_playback_s());
   }
 }

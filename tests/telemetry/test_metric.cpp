@@ -8,6 +8,7 @@
 #include "common/thread_pool.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scoped_timer.hpp"
+#include "common/units.hpp"
 
 namespace jstream::telemetry {
 namespace {
@@ -35,7 +36,7 @@ TEST(Counter, ConcurrentIncrementsFromThreadPoolAreExact) {
   parallel_for(pool, kTasks, [&](std::size_t) {
     for (std::int64_t i = 0; i < kPerTask; ++i) counter.add();
   });
-  EXPECT_EQ(counter.value(), static_cast<std::int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(counter.value(), checked_index(kTasks) * kPerTask);
 }
 
 TEST(Gauge, SetAddReset) {
@@ -110,10 +111,10 @@ TEST(Histogram, ConcurrentObservationsAreAllCounted) {
   constexpr int kPerTask = 5000;
   parallel_for(pool, kTasks, [&](std::size_t task) {
     for (int i = 0; i < kPerTask; ++i) {
-      histogram.observe(static_cast<double>((task * 31 + static_cast<std::size_t>(i)) % 1000));
+      histogram.observe(as_double((task * 31 + checked_size(i)) % 1000));
     }
   });
-  EXPECT_EQ(histogram.count(), static_cast<std::int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(histogram.count(), checked_index(kTasks) * kPerTask);
 }
 
 TEST(BucketHelpers, GenerateExpectedEdges) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 #include <vector>
+#include "common/units.hpp"
 
 namespace jstream::telemetry {
 namespace {
@@ -46,7 +47,7 @@ TEST(RegistryConcurrent, WritersAndRenderingReaderAgree) {
       for (int i = 0; i < kOpsPerWriter; ++i) {
         hits.add(1);
         level.add(1.0);
-        latency.observe(static_cast<double>((w * kOpsPerWriter + i) % 500));
+        latency.observe(as_double((w * kOpsPerWriter + i) % 500));
         registry.counter("stress.lookup_hits").add(1);
       }
     });
@@ -59,7 +60,7 @@ TEST(RegistryConcurrent, WritersAndRenderingReaderAgree) {
   EXPECT_EQ(registry.counter("stress.lookup_hits").value(),
             kWriters * kOpsPerWriter);
   EXPECT_DOUBLE_EQ(registry.gauge("stress.level").value(),
-                   static_cast<double>(kWriters * kOpsPerWriter));
+                   as_double(kWriters * kOpsPerWriter));
   EXPECT_EQ(registry.histogram("stress.latency_us").count(),
             kWriters * kOpsPerWriter);
 }
@@ -72,12 +73,12 @@ TEST(RegistryConcurrent, ConcurrentGetOrCreateReturnsOneInstance) {
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&registry, &seen, t] {
-      seen[static_cast<std::size_t>(t)] = &registry.counter("race.create");
+      seen[checked_size(t)] = &registry.counter("race.create");
     });
   }
   for (std::thread& t : threads) t.join();
   for (int t = 1; t < kThreads; ++t) {
-    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+    EXPECT_EQ(seen[checked_size(t)], seen[0]);
   }
 }
 

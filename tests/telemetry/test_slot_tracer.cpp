@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "telemetry/metric.hpp"
+#include "common/units.hpp"
 
 namespace jstream::telemetry {
 namespace {
@@ -27,7 +28,7 @@ TEST(SlotTracer, RecordsInOrderBelowCapacity) {
 TEST(SlotTracer, WrapsAroundKeepingNewestEvents) {
   SlotTracer tracer(4);
   for (std::int64_t slot = 0; slot < 10; ++slot) {
-    tracer.record(slot, 0, TraceEventKind::kGrant, static_cast<double>(slot));
+    tracer.record(slot, 0, TraceEventKind::kGrant, as_double(slot));
   }
   EXPECT_EQ(tracer.size(), 4u);
   EXPECT_EQ(tracer.total_recorded(), 10);
@@ -35,7 +36,7 @@ TEST(SlotTracer, WrapsAroundKeepingNewestEvents) {
   ASSERT_EQ(events.size(), 4u);
   // Oldest retained first: slots 6, 7, 8, 9.
   for (std::size_t i = 0; i < events.size(); ++i) {
-    EXPECT_EQ(events[i].slot, static_cast<std::int64_t>(6 + i));
+    EXPECT_EQ(events[i].slot, checked_index(6 + i));
   }
 }
 
@@ -57,13 +58,13 @@ TEST(SlotTracer, ConcurrentRecordsNeverExceedCapacityAndCountAll) {
   constexpr std::int64_t kPerTask = 1000;
   parallel_for(pool, kTasks, [&](std::size_t task) {
     for (std::int64_t i = 0; i < kPerTask; ++i) {
-      tracer.record(i, static_cast<std::int32_t>(task),
+      tracer.record(i, checked_i32(task),
                     TraceEventKind::kGrant, 0.0);
     }
   });
   EXPECT_EQ(tracer.size(), 64u);
   EXPECT_EQ(tracer.total_recorded(),
-            static_cast<std::int64_t>(kTasks) * kPerTask);
+            checked_index(kTasks) * kPerTask);
 }
 
 TEST(SlotTracer, KindLabelsAreStable) {

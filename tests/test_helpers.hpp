@@ -13,6 +13,7 @@
 #include "net/base_station.hpp"
 #include "radio/link_model.hpp"
 #include "radio/radio_profile.hpp"
+#include "common/units.hpp"
 
 namespace jstream::testing {
 
@@ -82,7 +83,7 @@ inline SlotContext make_context(const std::vector<TestUser>& users,
     info.needs_data = user.remaining_kb > 0.0;
     info.link_units = params.link_units(info.throughput_kbps);
     const auto remaining_units =
-        static_cast<std::int64_t>(std::ceil(user.remaining_kb / params.delta_kb));
+        ceil_to_count(user.remaining_kb / params.delta_kb);
     info.alloc_cap_units =
         std::max<std::int64_t>(0, std::min(info.link_units, remaining_units));
     info.buffer_s = user.buffer_s;

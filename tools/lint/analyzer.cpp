@@ -1,0 +1,291 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jstream::lint {
+namespace {
+
+/// Keywords that can precede `(` without introducing a function declarator.
+const std::unordered_set<std::string>& non_function_keywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+      "alignas", "decltype", "static_assert", "assert", "throw", "new",
+      "delete", "co_await", "co_return", "co_yield", "typeid", "noexcept",
+      "int", "double", "float", "char", "bool", "void", "long", "short",
+      "unsigned", "signed", "auto", "requires", "defined",
+  };
+  return kSet;
+}
+
+[[nodiscard]] bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+/// Skips a balanced (), {}, or <> group starting at `i` (which must sit on
+/// the opener). Returns the index one past the closer, or tokens.size().
+[[nodiscard]] std::size_t skip_balanced(const std::vector<Token>& tokens,
+                                        std::size_t i, char open, char close) {
+  int depth = 0;
+  const std::string open_s(1, open);
+  const std::string close_s(1, close);
+  for (; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], open_s)) ++depth;
+    if (is_punct(tokens[i], close_s)) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (tokens[i].kind == TokKind::kEnd) break;
+  }
+  return tokens.size();
+}
+
+/// Consumes a constructor initializer list starting at the `:` token and
+/// returns the index of the body `{`, or npos if this is not one. Handles
+/// both paren and brace member initializers (`root_(x)`, `flags_{y}`).
+[[nodiscard]] std::size_t scan_ctor_init_list(const std::vector<Token>& tokens,
+                                              std::size_t i) {
+  ++i;  // past ':'
+  while (i < tokens.size()) {
+    // Member name (possibly qualified / templated base class).
+    bool saw_name = false;
+    while (i < tokens.size() &&
+           (tokens[i].kind == TokKind::kIdentifier || is_punct(tokens[i], "::"))) {
+      saw_name = true;
+      ++i;
+      if (i < tokens.size() && is_punct(tokens[i], "<")) {
+        i = skip_balanced(tokens, i, '<', '>');
+      }
+    }
+    if (!saw_name || i >= tokens.size()) return FileModel::npos;
+    if (is_punct(tokens[i], "(")) {
+      i = skip_balanced(tokens, i, '(', ')');
+    } else if (is_punct(tokens[i], "{")) {
+      i = skip_balanced(tokens, i, '{', '}');
+    } else {
+      return FileModel::npos;
+    }
+    if (i < tokens.size() && is_punct(tokens[i], ",")) {
+      ++i;
+      continue;
+    }
+    if (i < tokens.size() && is_punct(tokens[i], "{")) return i;
+    return FileModel::npos;
+  }
+  return FileModel::npos;
+}
+
+/// From the token after a declarator's closing `)`, finds the body `{`.
+/// Returns npos when the construct is not a function definition (`;`, `=`,
+/// a call expression, ...).
+[[nodiscard]] std::size_t scan_declarator_trailer(const std::vector<Token>& tokens,
+                                                  std::size_t i) {
+  while (i < tokens.size()) {
+    const Token& tok = tokens[i];
+    if (tok.kind == TokKind::kEnd) return FileModel::npos;
+    if (is_punct(tok, "{")) return i;
+    if (is_punct(tok, ";") || is_punct(tok, "=") || is_punct(tok, ",") ||
+        is_punct(tok, ")") || is_punct(tok, "}")) {
+      return FileModel::npos;
+    }
+    if (is_punct(tok, ":")) return scan_ctor_init_list(tokens, i);
+    if (is_punct(tok, "(")) {  // noexcept(...), attributes
+      i = skip_balanced(tokens, i, '(', ')');
+      continue;
+    }
+    if (is_punct(tok, "[")) {  // [[attributes]]
+      i = skip_balanced(tokens, i, '[', ']');
+      continue;
+    }
+    if (is_punct(tok, "<")) {  // trailing return template args
+      i = skip_balanced(tokens, i, '<', '>');
+      continue;
+    }
+    if (tok.kind == TokKind::kIdentifier || tok.kind == TokKind::kNumber ||
+        is_punct(tok, "->") || is_punct(tok, "::") || is_punct(tok, "&") ||
+        is_punct(tok, "*") || is_punct(tok, "&&")) {
+      ++i;
+      continue;
+    }
+    return FileModel::npos;
+  }
+  return FileModel::npos;
+}
+
+void extract_functions(FileModel& model) {
+  const std::vector<Token>& tokens = model.lex.tokens;
+  std::size_t i = 0;
+  while (i + 1 < tokens.size()) {
+    const Token& tok = tokens[i];
+    if (tok.kind != TokKind::kIdentifier || !is_punct(tokens[i + 1], "(") ||
+        non_function_keywords().contains(tok.text)) {
+      ++i;
+      continue;
+    }
+    // A member access (`x.f(...)`) is a call, never a definition.
+    if (i > 0 && (is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->"))) {
+      ++i;
+      continue;
+    }
+    const std::size_t after_params = skip_balanced(tokens, i + 1, '(', ')');
+    if (after_params >= tokens.size()) {
+      ++i;
+      continue;
+    }
+    const std::size_t body = scan_declarator_trailer(tokens, after_params);
+    if (body == FileModel::npos) {
+      ++i;
+      continue;
+    }
+    FunctionInfo fn;
+    fn.name = tok.text;
+    fn.line = tok.line;
+    if (i >= 2 && is_punct(tokens[i - 1], "::") &&
+        tokens[i - 2].kind == TokKind::kIdentifier) {
+      fn.qualifier = tokens[i - 2].text;
+    }
+    fn.body_begin = body;
+    fn.body_end = skip_balanced(tokens, body, '{', '}') - 1;
+    model.functions.push_back(std::move(fn));
+    // Skip the whole body: C++ has no nested named functions, and lambda
+    // bodies belong to their enclosing function for every project rule.
+    i = model.functions.back().body_end + 1;
+  }
+}
+
+void attach_annotations(FileModel& model) {
+  for (FunctionInfo& fn : model.functions) {
+    for (const Comment& comment : model.lex.comments) {
+      if (comment.text.find("jstream: hot-path") == std::string::npos) continue;
+      // Annotation sits on the signature line or up to 4 lines above it
+      // (attributes / template intro lines in between are fine).
+      if (comment.line <= fn.line && comment.line >= fn.line - 4) {
+        fn.hot_annotated = true;
+        fn.hot = true;
+        break;
+      }
+    }
+  }
+}
+
+void propagate_hot(FileModel& model) {
+  const std::vector<Token>& tokens = model.lex.tokens;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    by_name[model.functions[f].name].push_back(f);
+  }
+  // Fixed-point: a name called from a hot body makes every same-file
+  // function of that name hot (over-approximation by design).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionInfo& fn : model.functions) {
+      if (!fn.hot) continue;
+      for (std::size_t i = fn.body_begin; i < fn.body_end && i + 1 < tokens.size();
+           ++i) {
+        if (tokens[i].kind != TokKind::kIdentifier || !is_punct(tokens[i + 1], "(")) {
+          continue;
+        }
+        const auto it = by_name.find(tokens[i].text);
+        if (it == by_name.end()) continue;
+        for (const std::size_t callee : it->second) {
+          FunctionInfo& target = model.functions[callee];
+          if (!target.hot) {
+            target.hot = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void collect_suppressions(FileModel& model) {
+  for (const Comment& comment : model.lex.comments) {
+    const std::size_t marker = comment.text.find("jstream-lint:");
+    if (marker == std::string::npos) continue;
+    SuppressionInfo sup;
+    sup.line = comment.line;
+    sup.own_line = comment.own_line;
+    const std::size_t open = comment.text.find("allow(", marker);
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos : comment.text.find(')', open);
+    if (open != std::string::npos && close != std::string::npos) {
+      std::string rule;
+      for (std::size_t i = open + 6; i < close; ++i) {
+        const char c = comment.text[i];
+        if (c == ',') {
+          if (!rule.empty()) sup.rules.push_back(rule);
+          rule.clear();
+        } else if (c != ' ' && c != '\t') {
+          rule.push_back(c);
+        }
+      }
+      if (!rule.empty()) sup.rules.push_back(rule);
+    }
+    const std::size_t dashes = comment.text.find("--", marker);
+    if (dashes != std::string::npos) {
+      std::string reason = comment.text.substr(dashes + 2);
+      const std::size_t first = reason.find_first_not_of(" \t");
+      const std::size_t last = reason.find_last_not_of(" \t\r");
+      if (first != std::string::npos) {
+        reason = reason.substr(first, last - first + 1);
+      } else {
+        reason.clear();
+      }
+      sup.reason = std::move(reason);
+    }
+    // An own-line waiver covers the first code line after it; the comment may
+    // wrap across several whole-line comment lines before that code.
+    sup.cover_line = sup.line;
+    if (sup.own_line) {
+      bool extended = true;
+      while (extended) {
+        extended = false;
+        for (const Comment& next : model.lex.comments) {
+          if (next.own_line && next.line == sup.cover_line + 1) {
+            sup.cover_line = next.line;
+            // Continuation lines are part of the waiver's reason text.
+            if (!sup.reason.empty()) {
+              const std::size_t first = next.text.find_first_not_of(" \t");
+              const std::size_t last = next.text.find_last_not_of(" \t\r");
+              if (first != std::string::npos) {
+                sup.reason += ' ';
+                sup.reason += next.text.substr(first, last - first + 1);
+              }
+            }
+            extended = true;
+            break;
+          }
+        }
+      }
+      ++sup.cover_line;
+    }
+    model.suppressions.push_back(std::move(sup));
+  }
+}
+
+}  // namespace
+
+std::size_t FileModel::enclosing_function(std::size_t tok_index) const {
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    if (tok_index >= functions[f].body_begin && tok_index <= functions[f].body_end) {
+      return f;
+    }
+  }
+  return npos;
+}
+
+FileModel build_model(std::string path, std::string_view source) {
+  FileModel model;
+  model.path = std::move(path);
+  model.lex = lex(source);
+  extract_functions(model);
+  attach_annotations(model);
+  propagate_hot(model);
+  collect_suppressions(model);
+  return model;
+}
+
+}  // namespace jstream::lint

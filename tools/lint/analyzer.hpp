@@ -1,0 +1,62 @@
+// File model for jstream_lint: function extents, the same-TU call graph,
+// hot-path annotation propagation, and suppression comments.
+//
+// Function extraction is lexical (identifier + balanced parens + `{`), which
+// is exactly as much structure as the project rules need: R1 walks hot
+// function bodies, R5 pairs lane reads with guards per function, and the
+// call graph only ever propagates within one file. No templates are
+// instantiated, no overloads resolved — a name match is an edge, which
+// over-approximates reachability and therefore never under-enforces R1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace jstream::lint {
+
+/// One function definition found in the file.
+struct FunctionInfo {
+  std::string name;        ///< last identifier of the declarator (no qualifiers)
+  std::string qualifier;   ///< `Class` for `Class::name`, empty otherwise
+  int line = 0;            ///< line of the name token
+  std::size_t body_begin = 0;  ///< token index of the opening `{`
+  std::size_t body_end = 0;    ///< token index of the matching `}` (inclusive)
+  bool hot_annotated = false;  ///< carries a `// jstream: hot-path` comment
+  bool hot = false;            ///< annotated or reachable from an annotated fn
+};
+
+/// One `// jstream-lint: allow(<rules>) -- <reason>` waiver.
+struct SuppressionInfo {
+  int line = 0;                    ///< line the comment sits on
+  int cover_line = 0;              ///< code line the waiver targets (own-line
+                                   ///< comments may wrap over several comment
+                                   ///< lines before the code they cover)
+  bool own_line = false;           ///< whole-line comment: also covers cover_line
+  std::vector<std::string> rules;  ///< rule ids listed in allow(...)
+  std::string reason;              ///< text after `--`; empty = malformed
+  bool used = false;               ///< a diagnostic actually matched it
+};
+
+struct FileModel {
+  std::string path;
+  LexResult lex;
+  std::vector<FunctionInfo> functions;
+  std::vector<SuppressionInfo> suppressions;
+
+  /// Index of the innermost function whose body covers token `tok_index`,
+  /// or npos. Functions never nest in the extracted model (lambda bodies are
+  /// merged into their enclosing function), so "innermost" is "the one".
+  [[nodiscard]] std::size_t enclosing_function(std::size_t tok_index) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Lexes `source` and extracts functions, hot-path annotations (propagated
+/// through the same-file call graph), and suppression comments.
+[[nodiscard]] FileModel build_model(std::string path, std::string_view source);
+
+}  // namespace jstream::lint

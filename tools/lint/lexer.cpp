@@ -1,0 +1,284 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace jstream::lint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+/// Two-character operators emitted as single tokens. `::` matters most (the
+/// rules match qualified names); the rest keep the stream unambiguous so a
+/// matcher never mistakes `->foo` for `>` `-` `foo`.
+constexpr std::array<std::string_view, 20> kTwoCharOps = {
+    "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start()) {
+        skip_preprocessor_line();
+        continue;
+      }
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_identifier_or_raw_string();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    result_.tokens.push_back(Token{TokKind::kEnd, "", line_});
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  [[nodiscard]] bool at_line_start() const {
+    for (std::size_t i = line_start_; i < pos_; ++i) {
+      const char c = src_[i];
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void lex_line_comment() {
+    const int start_line = line_;
+    const bool own = at_line_start();
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    result_.comments.push_back(
+        Comment{std::string(src_.substr(begin, pos_ - begin)), start_line, own});
+  }
+
+  void lex_block_comment() {
+    const int start_line = line_;
+    const bool own = at_line_start();
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+      }
+      ++pos_;
+    }
+    result_.comments.push_back(
+        Comment{std::string(src_.substr(begin, end - begin)), start_line, own});
+  }
+
+  /// Preprocessor lines carry include paths and macro bodies the rules must
+  /// not match (`#include <unordered_map>` is not an unordered_map use).
+  /// Honors backslash continuations; comments on the line are still captured.
+  void skip_preprocessor_line() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        return;  // a line comment ends the directive
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        line_start_ = pos_;
+        continue;
+      }
+      if (c == '\n') return;  // newline handled by the main loop
+      ++pos_;
+    }
+  }
+
+  void lex_string() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') {  // unterminated; recover at the newline
+        break;
+      }
+      ++pos_;
+    }
+    emit(TokKind::kString, "", start_line);
+  }
+
+  void lex_char() {
+    const int start_line = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') break;
+      ++pos_;
+    }
+    emit(TokKind::kChar, "", start_line);
+  }
+
+  void lex_raw_string() {
+    const int start_line = line_;
+    ++pos_;  // opening quote after R
+    std::string delim = ")";
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    delim.push_back('"');
+    ++pos_;  // opening paren
+    const std::size_t close = src_.find(delim, pos_);
+    const std::size_t end = close == std::string_view::npos ? src_.size()
+                                                            : close + delim.size();
+    for (std::size_t i = pos_; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') {
+        ++line_;
+        line_start_ = i + 1;
+      }
+    }
+    pos_ = end;
+    emit(TokKind::kString, "", start_line);
+  }
+
+  void lex_identifier_or_raw_string() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(begin, pos_ - begin));
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+         text == "u8R")) {
+      lex_raw_string();
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      lex_char();
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      lex_string();
+      return;
+    }
+    emit(TokKind::kIdentifier, std::move(text), line_);
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e+9, 0x1.8p-3
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, std::string(src_.substr(begin, pos_ - begin)), line_);
+  }
+
+  void lex_punct() {
+    if (pos_ + 1 < src_.size()) {
+      const std::string_view two = src_.substr(pos_, 2);
+      for (const std::string_view op : kTwoCharOps) {
+        if (two == op) {
+          emit(TokKind::kPunct, std::string(op), line_);
+          pos_ += 2;
+          return;
+        }
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
+  int line_ = 1;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace jstream::lint

@@ -1,0 +1,49 @@
+// Minimal C++ token lexer for jstream_lint.
+//
+// The project linter needs exactly three things from a translation unit:
+// the identifier/punctuation stream with line numbers (comments, string
+// literals, and preprocessor directives stripped so rule matchers never
+// fire on prose or include paths), the comments themselves (annotations
+// like `// jstream: hot-path` and suppressions live there), and nothing
+// else — no types, no semantics, no clang. That keeps the analyzer
+// dependency-free so it gates in the gcc-only CI container where the
+// clang-tidy wall self-skips (see docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jstream::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords (the matchers distinguish)
+  kNumber,
+  kString,      ///< string literal (text dropped; contents never matched)
+  kChar,        ///< character literal
+  kPunct,       ///< operators/punctuation; `::` `->` and friends are one token
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  ///< identifier spelling or punctuation characters
+  int line = 0;      ///< 1-based source line
+};
+
+struct Comment {
+  std::string text;      ///< body without the `//` / `/* */` markers
+  int line = 0;          ///< 1-based line the comment starts on
+  bool own_line = false; ///< only whitespace precedes it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;    ///< terminated by a kEnd token
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punctuation tokens so a rule can still anchor a diagnostic to a line.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace jstream::lint

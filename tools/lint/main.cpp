@@ -1,0 +1,191 @@
+// jstream_lint — the project-rule static analyzer (see docs/STATIC_ANALYSIS.md).
+//
+// Walks C++ sources (default: src/ under --root) and enforces the five
+// hand-maintained disciplines generic tooling cannot express: hot-path
+// allocation freedom, Rng split() stream purity, digest determinism,
+// units.hpp checked narrowing, and the SoA finalize() contract. Built with
+// no dependency beyond the standard library so it gates in the gcc-only CI
+// container where the clang-tidy wall self-skips.
+//
+// Usage:
+//   jstream_lint [--root DIR] [--fixits] [--rules id[,id...]]
+//                [--list-suppressions] [paths...]
+//
+// Exit codes: 0 clean, 1 diagnostics emitted, 2 usage/IO error.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using jstream::lint::Diagnostic;
+using jstream::lint::FileReport;
+using jstream::lint::HonoredSuppression;
+
+namespace {
+
+struct Options {
+  fs::path root = ".";
+  std::vector<std::string> paths;       // relative to root; default {"src"}
+  std::vector<std::string> only_rules;  // empty = all
+  bool fixits = false;
+  bool list_suppressions = false;
+};
+
+[[nodiscard]] bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+[[nodiscard]] std::vector<fs::path> collect_files(const Options& opt,
+                                                  std::string& error) {
+  std::vector<fs::path> files;
+  for (const std::string& rel : opt.paths) {
+    const fs::path base = opt.root / rel;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      error = "path not found: " + base.string();
+      return {};
+    }
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+[[nodiscard]] bool parse_args(int argc, char** argv, Options& opt,
+                              std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        error = "--root needs a directory";
+        return false;
+      }
+      opt.root = argv[i];
+    } else if (arg == "--fixits") {
+      opt.fixits = true;
+    } else if (arg == "--list-suppressions") {
+      opt.list_suppressions = true;
+    } else if (arg == "--rules") {
+      if (++i >= argc) {
+        error = "--rules needs a comma-separated id list";
+        return false;
+      }
+      std::stringstream ss(argv[i]);
+      std::string id;
+      while (std::getline(ss, id, ',')) {
+        if (id.empty()) continue;
+        const auto& known = jstream::lint::all_rule_ids();
+        if (std::find(known.begin(), known.end(), id) == known.end()) {
+          error = "unknown rule id '" + id + "'";
+          return false;
+        }
+        opt.only_rules.push_back(id);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      error.clear();
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      error = "unknown option " + arg;
+      return false;
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.paths.empty()) opt.paths.emplace_back("src");
+  return true;
+}
+
+void print_usage() {
+  std::cout
+      << "usage: jstream_lint [--root DIR] [--fixits] [--rules id[,id...]]\n"
+         "                    [--list-suppressions] [paths...]\n\n"
+         "Enforces the project disciplines over C++ sources (default: src/\n"
+         "under --root). Rules:\n";
+  for (const std::string& id : jstream::lint::all_rule_ids()) {
+    std::cout << "  " << id << "\n";
+  }
+  std::cout << "\nSuppress a finding with an auditable waiver:\n"
+               "  // jstream-lint: allow(<rule>[, <rule>]) -- <reason>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string error;
+  if (!parse_args(argc, argv, opt, error)) {
+    if (!error.empty()) {
+      std::cerr << "jstream_lint: " << error << "\n";
+      return 2;
+    }
+    print_usage();
+    return 0;
+  }
+
+  const std::vector<fs::path> files = collect_files(opt, error);
+  if (!error.empty()) {
+    std::cerr << "jstream_lint: " << error << "\n";
+    return 2;
+  }
+
+  std::size_t diagnostics = 0;
+  std::vector<HonoredSuppression> waivers;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "jstream_lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    // Report paths relative to the root so output is stable across checkouts.
+    const std::string shown = fs::relative(file, opt.root).generic_string();
+    const jstream::lint::FileModel model =
+        jstream::lint::build_model(shown, buffer.str());
+    FileReport report = jstream::lint::run_rules(model);
+    for (const Diagnostic& diag : report.diagnostics) {
+      if (!opt.only_rules.empty() &&
+          std::find(opt.only_rules.begin(), opt.only_rules.end(), diag.rule) ==
+              opt.only_rules.end()) {
+        continue;
+      }
+      ++diagnostics;
+      std::cout << diag.file << ":" << diag.line << ": [" << diag.rule << "] "
+                << diag.message << "\n";
+      if (opt.fixits && !diag.fixit.empty()) {
+        std::cout << "    fixit: " << diag.fixit << "\n";
+      }
+    }
+    waivers.insert(waivers.end(), report.suppressed.begin(),
+                   report.suppressed.end());
+  }
+
+  if (opt.list_suppressions) {
+    for (const HonoredSuppression& sup : waivers) {
+      std::cout << sup.file << ":" << sup.line << ": suppressed [" << sup.rule
+                << "] -- " << sup.reason << "\n";
+    }
+  }
+  std::cout << "jstream_lint: " << files.size() << " files, " << diagnostics
+            << " diagnostic" << (diagnostics == 1 ? "" : "s") << ", "
+            << waivers.size() << " suppression"
+            << (waivers.size() == 1 ? "" : "s") << " honored\n";
+  return diagnostics == 0 ? 0 : 1;
+}

@@ -1,0 +1,469 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace jstream::lint {
+namespace {
+
+[[nodiscard]] bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+[[nodiscard]] bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+[[nodiscard]] bool path_ends_with(const std::string& path, std::string_view tail) {
+  return path.size() >= tail.size() &&
+         path.compare(path.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+[[nodiscard]] bool path_contains(const std::string& path, std::string_view part) {
+  return path.find(part) != std::string::npos;
+}
+
+/// Skips template argument tokens after the `<` at index `i`; returns the
+/// index one past the closing `>`. Treats a `>>` token as two closers.
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& tokens,
+                                             std::size_t i) {
+  int depth = 0;
+  for (; i < tokens.size() && tokens[i].kind != TokKind::kEnd; ++i) {
+    if (is_punct(tokens[i], "<")) ++depth;
+    if (is_punct(tokens[i], ">")) {
+      if (--depth == 0) return i + 1;
+    }
+    if (is_punct(tokens[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+// ---------------------------------------------------------------------------
+// R1: hot-path-alloc
+
+const std::unordered_set<std::string>& soa_lanes() {
+  static const std::unordered_set<std::string> kLanes = {
+      "signal_dbm", "bitrate_kbps", "throughput_kbps", "energy_per_kb",
+      "remaining_kb", "buffer_s", "rrc_idle_s", "link_units",
+      "alloc_cap_units", "flags", "needs_data", "rrc_promoted", "departed",
+  };
+  return kLanes;
+}
+
+void check_hot_path_alloc(const FileModel& model, std::vector<Diagnostic>& out) {
+  const std::vector<Token>& tokens = model.lex.tokens;
+  for (const FunctionInfo& fn : model.functions) {
+    if (!fn.hot) continue;
+    for (std::size_t i = fn.body_begin; i <= fn.body_end && i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (tok.kind != TokKind::kIdentifier) continue;
+      const auto diag = [&](std::string message, std::string fixit = "") {
+        out.push_back(Diagnostic{model.path, tok.line, "hot-path-alloc",
+                                 std::move(message), std::move(fixit)});
+      };
+      if (tok.text == "new") {
+        diag("operator new in hot-path function '" + fn.name +
+             "' (reachable from a `// jstream: hot-path` seed); the "
+             "steady-state slot path must not touch the heap — reuse a "
+             "caller-owned workspace");
+      } else if (tok.text == "make_unique" || tok.text == "make_shared") {
+        diag("std::" + tok.text + " in hot-path function '" + fn.name +
+             "'; heap construction is banned on the slot path");
+      } else if (tok.text == "function" && i >= 2 && is_punct(tokens[i - 1], "::") &&
+                 is_ident(tokens[i - 2], "std")) {
+        diag("std::function in hot-path function '" + fn.name +
+             "'; type-erased callables allocate — take a template parameter "
+             "or a function pointer instead");
+      } else if (tok.text == "string" && i >= 2 && is_punct(tokens[i - 1], "::") &&
+                 is_ident(tokens[i - 2], "std") && i + 1 < tokens.size() &&
+                 (tokens[i + 1].kind == TokKind::kIdentifier ||
+                  is_punct(tokens[i + 1], "(") || is_punct(tokens[i + 1], "{"))) {
+        diag("std::string construction in hot-path function '" + fn.name +
+             "'; use const char* / string_view (see the require() overloads "
+             "in common/error.hpp)");
+      } else if ((tok.text == "push_back" || tok.text == "emplace_back") &&
+                 i >= 2 &&
+                 (is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->")) &&
+                 tokens[i - 2].kind == TokKind::kIdentifier) {
+        const std::string& receiver = tokens[i - 2].text;
+        bool reserved = false;
+        for (std::size_t j = fn.body_begin; j + 2 <= fn.body_end; ++j) {
+          if (is_ident(tokens[j], receiver) &&
+              (is_punct(tokens[j + 1], ".") || is_punct(tokens[j + 1], "->")) &&
+              is_ident(tokens[j + 2], "reserve")) {
+            reserved = true;
+            break;
+          }
+        }
+        if (!reserved) {
+          diag("un-reserved " + tok.text + " on '" + receiver +
+                   "' in hot-path function '" + fn.name +
+                   "'; growth must be pre-reserved so the steady state never "
+                   "reallocates",
+               "call " + receiver + ".reserve(n) in this function before the loop");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: rng-discipline
+
+void check_rng_discipline(const FileModel& model, std::vector<Diagnostic>& out) {
+  const std::vector<Token>& tokens = model.lex.tokens;
+  // The Rng class itself may construct freely.
+  const bool rng_impl = path_ends_with(model.path, "common/rng.hpp") ||
+                        path_ends_with(model.path, "common/rng.cpp");
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    const auto diag = [&](std::string message) {
+      out.push_back(Diagnostic{model.path, tok.line, "rng-discipline",
+                               std::move(message), ""});
+    };
+    if ((tok.text == "rand" || tok.text == "srand") && i + 1 < tokens.size() &&
+        is_punct(tokens[i + 1], "(") &&
+        (i == 0 || (!is_punct(tokens[i - 1], ".") && !is_punct(tokens[i - 1], "->")))) {
+      diag(tok.text + "() is banned in src/: global libc state breaks "
+           "seed-purity and thread reproducibility — derive an Rng via split()");
+      continue;
+    }
+    if (tok.text == "random_device") {
+      diag("std::random_device is banned in src/: non-deterministic entropy "
+           "breaks the bit-identicality contract behind golden digests and "
+           "the fault layer");
+      continue;
+    }
+    if (tok.text == "time" && i + 2 < tokens.size() && is_punct(tokens[i + 1], "(") &&
+        (is_ident(tokens[i + 2], "nullptr") || is_ident(tokens[i + 2], "NULL") ||
+         (tokens[i + 2].kind == TokKind::kNumber && tokens[i + 2].text == "0")) &&
+        i + 3 < tokens.size() && is_punct(tokens[i + 3], ")")) {
+      diag("time(nullptr) seeding is banned in src/: wall-clock seeds are "
+           "unreproducible — seeds come from ScenarioConfig");
+      continue;
+    }
+    if (tok.text == "mt19937" || tok.text == "mt19937_64") {
+      std::size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].kind == TokKind::kIdentifier) ++j;
+      const bool argless =
+          j < tokens.size() &&
+          (is_punct(tokens[j], ";") ||
+           (is_punct(tokens[j], "(") && j + 1 < tokens.size() &&
+            is_punct(tokens[j + 1], ")")) ||
+           (is_punct(tokens[j], "{") && j + 1 < tokens.size() &&
+            is_punct(tokens[j + 1], "}")));
+      if (argless) {
+        diag("argless std::" + tok.text +
+             " uses the fixed default seed; std engines are banned in src/ — "
+             "use Rng and derive streams via split()");
+      }
+      continue;
+    }
+    if (tok.text == "Rng" && !rng_impl) {
+      // Type mentions (params, references, template args, Rng::statics) are
+      // not originations.
+      if (i + 1 >= tokens.size()) continue;
+      const Token& next = tokens[i + 1];
+      if (is_punct(next, "::") || is_punct(next, "&") || is_punct(next, "*") ||
+          is_punct(next, ">") || is_punct(next, ">>") || is_punct(next, ")") ||
+          is_punct(next, ",") || is_punct(next, ";")) {
+        continue;
+      }
+      if (i > 0 && (is_ident(tokens[i - 1], "class") ||
+                    is_ident(tokens[i - 1], "struct") ||
+                    is_ident(tokens[i - 1], "typename") ||
+                    is_punct(tokens[i - 1], "~"))) {
+        continue;
+      }
+      bool constructs = false;
+      if (next.kind == TokKind::kIdentifier && i + 2 < tokens.size()) {
+        const Token& after_name = tokens[i + 2];
+        if (is_punct(after_name, "(") || is_punct(after_name, "{") ||
+            is_punct(after_name, "=")) {
+          constructs = true;  // `Rng name(...)` / `Rng name = ...`
+        } else if (is_punct(after_name, ";")) {
+          // Bare `Rng r;` default-seeds inside a function; at class scope it
+          // is a member the constructor must initialize (checked there).
+          constructs = model.enclosing_function(i) != FileModel::npos;
+        }
+      } else if (is_punct(next, "(") || is_punct(next, "{")) {
+        constructs = true;  // temporary `Rng(seed)`
+      }
+      if (!constructs) continue;
+      // The statement is clean if the stream derives via .split(...).
+      bool splits = false;
+      for (std::size_t j = i + 1; j < tokens.size() && j < i + 150; ++j) {
+        if (is_punct(tokens[j], ";")) break;
+        if (is_ident(tokens[j], "split")) {
+          splits = true;
+          break;
+        }
+      }
+      if (!splits) {
+        diag("Rng constructed without .split(): every stream must derive "
+             "from a parent generator (seed-purity contract behind the fault "
+             "layer and golden digests); a true root stream needs an explicit "
+             "allow(rng-discipline) waiver naming why it is a root");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: digest-determinism
+
+[[nodiscard]] bool is_determinism_sensitive(const FileModel& model) {
+  if (path_contains(model.path, "/telemetry/")) return true;
+  for (const Token& tok : model.lex.tokens) {
+    if (tok.kind != TokKind::kIdentifier) continue;
+    if (tok.text == "RunMetrics" || tok.text == "ServiceMetrics") return true;
+    if (tok.text.find("digest") != std::string::npos ||
+        tok.text.find("Digest") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_digest_determinism(const FileModel& model, std::vector<Diagnostic>& out) {
+  const bool sensitive = is_determinism_sensitive(model);
+  const bool solver = path_contains(model.path, "/core/");
+  if (!sensitive && !solver) return;
+  const std::vector<Token>& tokens = model.lex.tokens;
+
+  // Names declared (directly or through one alias level) with an unordered
+  // container type.
+  std::unordered_set<std::string> unordered_types = {"unordered_map",
+                                                     "unordered_set"};
+  std::unordered_set<std::string> unordered_names;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokKind::kIdentifier ||
+          !unordered_types.contains(tokens[i].text)) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (is_punct(tokens[j], "<")) j = skip_template_args(tokens, j);
+      if (j < tokens.size() && tokens[j].kind == TokKind::kIdentifier &&
+          !(j + 1 < tokens.size() && is_punct(tokens[j + 1], "("))) {
+        unordered_names.insert(tokens[j].text);
+      }
+      // `using Alias = std::unordered_map<...>;` names a type, not a value.
+      if (i >= 4 && is_ident(tokens[i - 4], "using") &&
+          tokens[i - 3].kind == TokKind::kIdentifier &&
+          is_punct(tokens[i - 2], "=")) {
+        unordered_types.insert(tokens[i - 3].text);
+      }
+      if (i >= 5 && is_ident(tokens[i - 5], "using") &&
+          tokens[i - 4].kind == TokKind::kIdentifier &&
+          is_punct(tokens[i - 3], "=") && is_ident(tokens[i - 2], "std") &&
+          is_punct(tokens[i - 1], "::")) {
+        unordered_types.insert(tokens[i - 4].text);
+      }
+    }
+  }
+
+  if (sensitive && !unordered_names.empty()) {
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!is_ident(tokens[i], "for") || !is_punct(tokens[i + 1], "(")) continue;
+      // Find the range-for `:` inside this for-header, then match the range
+      // expression's identifiers against known unordered names.
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (is_punct(tokens[j], "(")) ++depth;
+        if (is_punct(tokens[j], ")")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (depth == 1 && is_punct(tokens[j], ":")) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (tokens[j].kind == TokKind::kIdentifier &&
+            unordered_names.contains(tokens[j].text)) {
+          out.push_back(Diagnostic{
+              model.path, tokens[j].line, "digest-determinism",
+              "range-for over unordered container '" + tokens[j].text +
+                  "' in a determinism-sensitive TU (feeds RunMetrics/digests/"
+                  "telemetry); hash iteration order is not stable across "
+                  "libstdc++ versions — iterate a sorted view or an ordered "
+                  "container",
+              ""});
+          break;
+        }
+      }
+    }
+  }
+
+  if (sensitive || solver) {
+    for (const Token& tok : tokens) {
+      if (is_ident(tok, "float")) {
+        out.push_back(Diagnostic{
+            model.path, tok.line, "digest-determinism",
+            std::string("'float' in ") + (solver ? "solver" : "metrics") +
+                " code; all paper quantities are double — single precision "
+                "perturbs the 1e-12 golden-digest tolerance",
+            ""});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: checked-narrowing
+
+void check_narrowing(const FileModel& model, std::vector<Diagnostic>& out) {
+  // units.hpp is the one audited home of the raw casts the helpers wrap.
+  if (path_ends_with(model.path, "common/units.hpp")) return;
+  const std::vector<Token>& tokens = model.lex.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "static_cast") || !is_punct(tokens[i + 1], "<")) {
+      continue;
+    }
+    const std::size_t end = skip_template_args(tokens, i + 1);
+    std::string type;
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (tokens[j].kind == TokKind::kIdentifier && tokens[j].text == "const") {
+        continue;
+      }
+      type += tokens[j].text;
+    }
+    std::string base = type;
+    if (base.rfind("std::", 0) == 0) base = base.substr(5);
+    std::string helper;
+    if (base == "size_t") {
+      helper = "checked_size(expr) (or floor_to_size(expr) from a double)";
+    } else if (base == "int64_t") {
+      helper =
+          "checked_index(expr) (or floor_to_count/ceil_to_count from a double)";
+    } else if (base == "int32_t") {
+      helper = "checked_i32(expr)";
+    } else if (base == "double") {
+      helper = "as_double(expr)";
+    } else {
+      continue;
+    }
+    out.push_back(Diagnostic{
+        model.path, tokens[i].line, "checked-narrowing",
+        "raw static_cast<" + type +
+            "> crosses the size/index/count/double families; conversions go "
+            "through the typed helpers in common/units.hpp so sign/width "
+            "assumptions stay asserted and grep-able",
+        "replace static_cast<" + type + ">(expr) with " + helper});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: require-finalize
+
+void check_require_finalize(const FileModel& model, std::vector<Diagnostic>& out) {
+  const std::vector<Token>& tokens = model.lex.tokens;
+  for (const FunctionInfo& fn : model.functions) {
+    bool guarded = false;
+    for (std::size_t i = fn.body_begin; i + 2 <= fn.body_end && i < tokens.size();
+         ++i) {
+      if (is_ident(tokens[i], "finalize") && is_punct(tokens[i + 1], "(")) {
+        guarded = true;
+        continue;
+      }
+      if (is_ident(tokens[i], "soa") && is_punct(tokens[i + 1], ".") &&
+          tokens[i + 2].kind == TokKind::kIdentifier) {
+        const std::string& member = tokens[i + 2].text;
+        if (member == "size" || member == "rebuild") {
+          guarded = true;  // the PR 7 require(soa.size() == n, ...) pattern
+          continue;
+        }
+        if (!guarded && soa_lanes().contains(member)) {
+          out.push_back(Diagnostic{
+              model.path, tokens[i].line, "require-finalize",
+              "SoA lane read '.soa." + member + "' in '" + fn.name +
+                  "' before any finalize()/soa.size() guard in this "
+                  "function; a producer that skips SlotContext::finalize() "
+                  "would silently serve stale lanes — add "
+                  "require(ctx.soa.size() == n, ...) first",
+              ""});
+          break;  // one diagnostic per function is enough to fix it
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+void apply_suppressions(const FileModel& model, std::vector<Diagnostic>& raw,
+                        FileReport& report) {
+  std::vector<SuppressionInfo> sups = model.suppressions;
+  for (Diagnostic& diag : raw) {
+    bool waived = false;
+    for (SuppressionInfo& sup : sups) {
+      const bool covers_line =
+          sup.line == diag.line || (sup.own_line && sup.cover_line == diag.line);
+      if (!covers_line || sup.reason.empty()) continue;
+      if (std::find(sup.rules.begin(), sup.rules.end(), diag.rule) ==
+          sup.rules.end()) {
+        continue;
+      }
+      sup.used = true;
+      waived = true;
+      report.suppressed.push_back(
+          HonoredSuppression{model.path, diag.line, diag.rule, sup.reason});
+      break;
+    }
+    if (!waived) report.diagnostics.push_back(std::move(diag));
+  }
+  // Malformed waivers are themselves diagnostics: a suppression without a
+  // rule list or without a reason is an unauditable hole in the gate.
+  for (const SuppressionInfo& sup : sups) {
+    if (sup.rules.empty()) {
+      report.diagnostics.push_back(Diagnostic{
+          model.path, sup.line, "suppression",
+          "malformed jstream-lint comment: missing allow(<rule>); syntax is "
+          "`// jstream-lint: allow(<rule>[, <rule>]) -- <reason>`",
+          ""});
+    } else if (sup.reason.empty()) {
+      report.diagnostics.push_back(Diagnostic{
+          model.path, sup.line, "suppression",
+          "jstream-lint waiver without a reason; every suppression must "
+          "carry `-- <why this site is exempt>` so waivers stay auditable",
+          ""});
+    }
+  }
+}
+
+}  // namespace
+
+FileReport run_rules(const FileModel& model) {
+  std::vector<Diagnostic> raw;
+  check_hot_path_alloc(model, raw);
+  check_rng_discipline(model, raw);
+  check_digest_determinism(model, raw);
+  check_narrowing(model, raw);
+  check_require_finalize(model, raw);
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  FileReport report;
+  apply_suppressions(model, raw, report);
+  return report;
+}
+
+const std::vector<std::string>& all_rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "hot-path-alloc", "rng-discipline", "digest-determinism",
+      "checked-narrowing", "require-finalize", "suppression",
+  };
+  return kIds;
+}
+
+}  // namespace jstream::lint

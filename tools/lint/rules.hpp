@@ -1,0 +1,53 @@
+// The five project rules jstream_lint enforces over src/, plus suppression
+// accounting. Rule ids are stable strings (they appear in diagnostics, in
+// `allow(...)` waivers, and in the docs table):
+//
+//   hot-path-alloc      (R1) no heap growth in `// jstream: hot-path`
+//                       functions or anything they reach in the same TU
+//   rng-discipline      (R2) every Rng derives via .split(); std randomness
+//                       sources are banned in src/
+//   digest-determinism  (R3) no unordered-container iteration or `float` in
+//                       TUs that feed RunMetrics/digests/telemetry
+//   checked-narrowing   (R4) size/index/count/double casts go through
+//                       common/units.hpp helpers, not raw static_cast
+//   require-finalize    (R5) SoA lane reads need a finalize()/soa.size()
+//                       guard in the same function
+//   suppression         malformed `jstream-lint:` waiver comments
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace jstream::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     ///< stable rule id (see header comment)
+  std::string message;  ///< what fired, with the project rationale
+  std::string fixit;    ///< non-empty when a mechanical rewrite exists
+};
+
+/// A waiver that actually matched a diagnostic, for the audit report.
+struct HonoredSuppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+struct FileReport {
+  std::vector<Diagnostic> diagnostics;           ///< survived suppression
+  std::vector<HonoredSuppression> suppressed;    ///< waived, with reasons
+};
+
+/// Runs every rule over one file model. Suppressions are applied here so the
+/// caller only sees surviving diagnostics plus the waiver audit trail.
+[[nodiscard]] FileReport run_rules(const FileModel& model);
+
+/// All stable rule ids (for --rules validation and the docs table).
+[[nodiscard]] const std::vector<std::string>& all_rule_ids();
+
+}  // namespace jstream::lint
