@@ -1,0 +1,125 @@
+// Distributed-campaign smoke gate: a small multi-process shard run must
+// merge to the exact bytes the serial engine produces, in both batch and
+// service mode. Runs in CI on the 50-slot REPRO budget with --validate: the
+// paper-invariant flag is process-global and inherited across fork(), so the
+// checker vets every slot inside every worker process, not just the parent.
+//
+// Two parts, each comparing xxh64 digests over the canonical little-endian
+// result encoding (see src/sim/distrib.hpp) — digest equality is bit
+// identity, not approximate agreement:
+//   1. Batch: a 2-scheduler x 2-seed grid through run_campaign serially and
+//      through run_campaign_distributed with 2 worker processes.
+//   2. Service: two Poisson-arrival specs through run_service_campaign and
+//      its distributed counterpart, again on 2 shards.
+//
+// Exits nonzero on any digest mismatch. The full-scale distributed gates
+// (>= 4 shards, wall-clock speedup, disk-warm rerun) live in bench_perf_gate.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "session/service_campaign.hpp"
+#include "sim/distrib.hpp"
+
+using namespace jstream;
+using namespace jstream::bench;
+
+namespace {
+
+int part1_batch(const CommonArgs& args) {
+  ScenarioConfig base = paper_scenario(args.users, args.seed);
+  base.max_slots = args.slots;
+  const std::vector<CampaignSeries> series = {{"default", "default", {}},
+                                              {"ema", "ema", {}}};
+  const std::vector<ExperimentSpec> specs =
+      make_campaign_grid(base, series, /*replications=*/2);
+
+  CampaignOptions campaign;
+  campaign.threads = args.threads;
+  const std::vector<RunMetrics> serial = run_campaign(specs, campaign);
+
+  DistribOptions distrib;
+  distrib.processes = 2;
+  distrib.campaign = campaign;
+  const std::vector<RunMetrics> merged = run_campaign_distributed(specs, distrib);
+
+  const std::uint64_t serial_digest = metrics_digest(serial);
+  const std::uint64_t merged_digest = metrics_digest(merged);
+  std::printf("[batch]   %zu cells, 2 shards: serial %016llx, merged %016llx (%s)\n",
+              specs.size(), static_cast<unsigned long long>(serial_digest),
+              static_cast<unsigned long long>(merged_digest),
+              serial_digest == merged_digest ? "bit-identical" : "MISMATCH");
+  if (serial_digest != merged_digest) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (metrics_digest(serial[i]) != metrics_digest(merged[i])) {
+        std::fprintf(stderr, "FAIL: cell %zu (%s) diverged from the serial run\n",
+                     i, specs[i].label.c_str());
+      }
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int part2_service(const CommonArgs& args) {
+  ScenarioConfig cell = paper_scenario(args.users, args.seed + 1);
+  cell.max_slots = args.slots;
+  cell.video_min_mb = 2.0;
+  cell.video_max_mb = 4.0;
+
+  std::vector<ServiceExperimentSpec> specs;
+  for (const char* name : {"default", "ema-fast"}) {
+    ServiceExperimentSpec spec;
+    spec.label = std::string("poisson/") + name;
+    spec.scheduler = name;
+    spec.config.cell = cell;
+    spec.config.arrivals.kind = ArrivalKind::kPoisson;
+    spec.config.arrivals.rate_per_slot = 0.2;
+    spec.config.warmup_slots = args.slots / 5;
+    specs.push_back(std::move(spec));
+  }
+
+  CampaignOptions campaign;
+  campaign.threads = args.threads;
+  const std::vector<ServiceResult> serial = run_service_campaign(specs, campaign);
+
+  DistribOptions distrib;
+  distrib.processes = 2;
+  distrib.campaign = campaign;
+  const std::vector<ServiceResult> merged =
+      run_service_campaign_distributed(specs, distrib);
+
+  const std::uint64_t serial_digest = service_digest(serial);
+  const std::uint64_t merged_digest = service_digest(merged);
+  std::printf("[service] %zu cells, 2 shards: serial %016llx, merged %016llx (%s)\n",
+              specs.size(), static_cast<unsigned long long>(serial_digest),
+              static_cast<unsigned long long>(merged_digest),
+              serial_digest == merged_digest ? "bit-identical" : "MISMATCH");
+  if (serial_digest != merged_digest) {
+    std::fprintf(stderr, "FAIL: distributed service campaign diverged\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli = make_cli("bench_distrib_smoke",
+                     "Multi-process sharded campaign vs serial: digest equality",
+                     /*default_slots=*/400, /*default_users=*/8);
+  const CommonArgs args = parse_common(cli, argc, argv);
+
+  int status = part1_batch(args);
+  const int service_status = part2_service(args);
+  if (status == 0) status = service_status;
+  if (status == 0) {
+    std::printf("distributed smoke passed: merged results bit-identical to serial\n");
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return guarded_main("bench_distrib_smoke", argc, argv, run);
+}

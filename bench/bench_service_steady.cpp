@@ -11,8 +11,10 @@
 //      the measured-window stall rate strictly below accept-all's.
 //   3. Scale: one trace-less service run filling >=100k concurrent sessions
 //      (default scheduler); reports per-slot wall time and VmRSS after the
-//      fill and at the horizon, and enforces bounded residency (end <= 1.5x
-//      post-fill) plus the sustained-concurrency floor at full scale.
+//      fill and at the horizon. Report-only since PR9: the enforcement
+//      (ns/user-slot ceiling, end RSS <= 1.5x post-fill, the sustained
+//      >=100k concurrency floor) moved into bench_perf_gate, where the
+//      numbers are pinned in BENCH_PR9.json.
 //   4. Zero-arrival equivalence: a service run with arrivals off must
 //      reproduce the batch simulate() result bit for bit (benign and faulted
 //      cells, default and ema schedulers). Exits nonzero on any mismatch.
@@ -185,8 +187,8 @@ int part2_admission_overload(const CommonArgs& args, bool quick) {
   return 0;
 }
 
-int part3_scale(const CommonArgs& args, bool quick,
-                std::vector<std::vector<std::string>>& csv_rows) {
+void part3_scale(const CommonArgs& args, bool quick,
+                 std::vector<std::vector<std::string>>& csv_rows) {
   const std::size_t population = quick ? 2000 : 110000;
   const std::int64_t horizon = quick ? args.slots : 300;
   const std::int64_t fill_slots = 40;  // population/(population/30) + margin
@@ -235,22 +237,10 @@ int part3_scale(const CommonArgs& args, bool quick,
                       std::to_string(m.peak_concurrency),
                       format_double(ns_per_slot, 0), std::to_string(rss_fill_kb),
                       std::to_string(rss_end_kb)});
-
-  if (rss_end_kb > 0 && rss_fill_kb > 0 &&
-      as_double(rss_end_kb) > 1.5 * as_double(rss_fill_kb)) {
-    std::fprintf(stderr, "FAIL: RSS grew past the fill bound (%ld KB > 1.5 x %ld KB)\n",
-                 rss_end_kb, rss_fill_kb);
-    return 1;
-  }
-  if (!quick) {
-    if (live < 100000 || m.mean_concurrency() < 100000.0) {
-      std::fprintf(stderr,
-                   "FAIL: sustained concurrency below 100k (live %zu, mean %.0f)\n",
-                   live, m.mean_concurrency());
-      return 1;
-    }
-  }
-  return 0;
+  // The ceilings on these numbers (residency, ns/user-slot, concurrency
+  // floor) are enforced by bench_perf_gate's service_scale_gate; this part
+  // only reports them, so the session smoke stays cheap.
+  (void)live;
 }
 
 int part4_zero_arrival_equivalence(const CommonArgs& args, bool quick) {
@@ -301,8 +291,7 @@ int run(int argc, const char* const* argv) {
   std::vector<std::vector<std::string>> scale_rows;
   part1_steady_state(args, quick, steady_rows);
   int status = part2_admission_overload(args, quick);
-  const int scale_status = part3_scale(args, quick, scale_rows);
-  if (status == 0) status = scale_status;
+  part3_scale(args, quick, scale_rows);
   const int equivalence_status = part4_zero_arrival_equivalence(args, quick);
   if (status == 0) status = equivalence_status;
 

@@ -75,6 +75,10 @@ if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
   # equivalence, all under the validator; then the session suites and the
   # golden digests (batch + service). See docs/SERVICE.md.
   REPRO_SLOTS=50 build/bench/bench_service_steady --validate > /dev/null
+  # Distributed engine gate: a 2-process sharded campaign (batch + service)
+  # must merge bit-identically to the serial engine, with the paper-invariant
+  # validator active inside every forked worker. See docs/PERFORMANCE.md.
+  REPRO_SLOTS=50 build/bench/bench_distrib_smoke --validate > /dev/null
   ctest --test-dir build --output-on-failure -L session -LE smoke
   ctest --test-dir build --output-on-failure -L golden
 else
@@ -82,13 +86,16 @@ else
 fi
 
 if [[ "${SKIP_PERF:-0}" != 1 ]]; then
-  stage "6/7 perf gate (bench_perf_gate -> BENCH_PR7.json)"
+  stage "6/7 perf gate (bench_perf_gate -> BENCH_PR9.json)"
   # Enforces the pinned regression gates: the exact-EMA solver >= 5x over the
-  # paper-literal DP, exact EMA < 1 ms/slot end-to-end at N = 1000, and the
-  # campaign cache >= 3x on the full grid. With REPRO_SLOTS set the scale
-  # gates turn informational (the binary still verifies solver agreement and
-  # certificate sanity); unset it for the real gate.
-  build/bench/bench_perf_gate --out build/BENCH_PR7.json
+  # paper-literal DP, exact EMA < 1 ms/slot end-to-end at N = 1000, the
+  # campaign cache >= 3x on the full grid, the 4-shard multi-process merge
+  # bit-identical to serial, the disk-warm trace-store rerun (zero
+  # regenerations always; >= 3x at full scale), and the 110k-session
+  # service-scale bounds. With REPRO_SLOTS set the timing/scale gates turn
+  # informational (the binary still verifies solver agreement, certificate
+  # sanity, and both bit-identity gates); unset it for the real gate.
+  build/bench/bench_perf_gate --out build/BENCH_PR9.json
 else
   stage "6/7 perf gate — SKIPPED (SKIP_PERF=1)"
 fi

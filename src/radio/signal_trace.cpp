@@ -13,9 +13,32 @@ SignalTraceSet::SignalTraceSet(std::size_t users, std::int64_t slots)
   signal_.resize(cells);
   throughput_.resize(cells);
   energy_.resize(cells);
+  signal_view_ = signal_.data();
+  throughput_view_ = throughput_.data();
+  energy_view_ = energy_.data();
+}
+
+std::shared_ptr<const SignalTraceSet> SignalTraceSet::adopt_mapping(
+    std::size_t users, std::int64_t slots, std::shared_ptr<const void> keepalive,
+    const double* signal, const double* throughput, const double* energy) {
+  require(users > 0 && slots > 0, "mapped trace set needs positive dimensions");
+  require(keepalive != nullptr, "mapped trace set needs a backing owner");
+  require(signal != nullptr && throughput != nullptr && energy != nullptr,
+          "mapped trace set needs all three matrices");
+  auto set = std::shared_ptr<SignalTraceSet>(new SignalTraceSet());
+  set->users_ = users;
+  set->slots_ = slots;
+  set->signal_view_ = signal;
+  set->throughput_view_ = throughput;
+  set->energy_view_ = energy;
+  set->keepalive_ = std::move(keepalive);
+  // Persisted payloads carry the derived matrices; a mapped set is complete.
+  set->link_derived_ = true;
+  return set;
 }
 
 void SignalTraceSet::fill_user(std::size_t user, SignalModel& model) {
+  require(!mapped(), "mapped trace sets are immutable");
   require(user < users_, "trace user index out of range");
   // Strided slot-major writes: generation is one-time, reads are the hot
   // path, so the layout favours InfoCollector's per-slot row scans.
@@ -25,6 +48,7 @@ void SignalTraceSet::fill_user(std::size_t user, SignalModel& model) {
 }
 
 void SignalTraceSet::derive_link(const LinkModel& link) {
+  require(!mapped(), "mapped trace sets are immutable");
   require(link.throughput != nullptr && link.power != nullptr,
           "link model must be complete");
   const ThroughputModel& throughput = *link.throughput;
@@ -38,23 +62,23 @@ void SignalTraceSet::derive_link(const LinkModel& link) {
 
 double SignalTraceSet::signal_dbm(std::size_t user, std::int64_t slot) const {
   require(user < users_ && slot >= 0 && slot < slots_, "trace index out of range");
-  return signal_[index(user, slot)];
+  return signal_view_[index(user, slot)];
 }
 
 double SignalTraceSet::throughput_kbps(std::size_t user, std::int64_t slot) const {
   require(user < users_ && slot >= 0 && slot < slots_, "trace index out of range");
   require(link_derived_, "link quantities not derived yet");
-  return throughput_[index(user, slot)];
+  return throughput_view_[index(user, slot)];
 }
 
 double SignalTraceSet::energy_per_kb(std::size_t user, std::int64_t slot) const {
   require(user < users_ && slot >= 0 && slot < slots_, "trace index out of range");
   require(link_derived_, "link quantities not derived yet");
-  return energy_[index(user, slot)];
+  return energy_view_[index(user, slot)];
 }
 
 std::size_t SignalTraceSet::total_bytes() const noexcept {
-  return (signal_.size() + throughput_.size() + energy_.size()) * sizeof(double);
+  return estimate_bytes(users_, slots_);
 }
 
 std::size_t SignalTraceSet::estimate_bytes(std::size_t users,

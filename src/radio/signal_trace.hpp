@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "radio/link_model.hpp"
@@ -26,10 +27,29 @@ namespace jstream {
 /// Immutable-after-build SoA matrix set: users x slots RSSI plus derived
 /// throughput/power rows. Memory footprint: 8 * users * slots bytes per
 /// matrix, three matrices per set (see total_bytes / docs/PERFORMANCE.md).
+///
+/// Two storage modes share one read interface:
+///  - owning (the constructor): the three matrices live in vectors filled by
+///    fill_user / derive_link — the generation path;
+///  - mapped (adopt_mapping): the matrices alias an external read-only block,
+///    typically a memory-mapped trace file from the persistent tier
+///    (signal_trace_io). A mapped set is born fully derived and immutable;
+///    the keepalive shared_ptr pins the mapping for the set's lifetime, and
+///    the hot collect path reads the same signal_data()/throughput_data()/
+///    energy_data() pointers either way — promotion from disk is zero-copy.
 class SignalTraceSet {
  public:
   /// Allocates storage for `users` rows over `slots` slots (both > 0).
   SignalTraceSet(std::size_t users, std::int64_t slots);
+
+  /// Wraps three externally-stored slot-major matrices (each users * slots
+  /// doubles, 8-byte aligned) without copying. `keepalive` owns the backing
+  /// memory (e.g. an mmap region) and is held until the set is destroyed.
+  /// The result reports link_derived() — mapped payloads store the derived
+  /// matrices, not just the RSSI — and rejects fill_user/derive_link.
+  [[nodiscard]] static std::shared_ptr<const SignalTraceSet> adopt_mapping(
+      std::size_t users, std::int64_t slots, std::shared_ptr<const void> keepalive,
+      const double* signal, const double* throughput, const double* energy);
 
   /// Fills user `user`'s row by querying `model` for slots 0..slots-1 in
   /// order — the exact call sequence the incremental per-slot path performs,
@@ -45,6 +65,8 @@ class SignalTraceSet {
   [[nodiscard]] std::size_t users() const noexcept { return users_; }
   [[nodiscard]] std::int64_t slots() const noexcept { return slots_; }
   [[nodiscard]] bool link_derived() const noexcept { return link_derived_; }
+  /// True when the matrices alias an external mapping (adopt_mapping).
+  [[nodiscard]] bool mapped() const noexcept { return keepalive_ != nullptr; }
 
   /// Flat slot-major index of (user, slot); valid for slot in [0, slots).
   [[nodiscard]] std::size_t index(std::size_t user, std::int64_t slot) const noexcept {
@@ -57,13 +79,18 @@ class SignalTraceSet {
   [[nodiscard]] double energy_per_kb(std::size_t user, std::int64_t slot) const;
 
   /// Raw SoA pointers for the hot path (InfoCollector); index with index().
-  [[nodiscard]] const double* signal_data() const noexcept { return signal_.data(); }
+  /// Point into the owning vectors or the adopted mapping — callers cannot
+  /// tell (and must not care) which.
+  [[nodiscard]] const double* signal_data() const noexcept { return signal_view_; }
   [[nodiscard]] const double* throughput_data() const noexcept {
-    return throughput_.data();
+    return throughput_view_;
   }
-  [[nodiscard]] const double* energy_data() const noexcept { return energy_.data(); }
+  [[nodiscard]] const double* energy_data() const noexcept { return energy_view_; }
 
-  /// Resident bytes of the three matrices (3 * 8 * users * slots).
+  /// Resident bytes of the three matrices (3 * 8 * users * slots). A mapped
+  /// set reports the same figure: its pages are file-backed and reclaimable,
+  /// but budget accounting treats both modes alike so eviction order does not
+  /// depend on where an entry came from.
   [[nodiscard]] std::size_t total_bytes() const noexcept;
 
   /// Estimate of total_bytes for a set of the given dimensions, usable
@@ -72,11 +99,17 @@ class SignalTraceSet {
                                                   std::int64_t slots) noexcept;
 
  private:
-  std::size_t users_;
-  std::int64_t slots_;
-  std::vector<double> signal_;      ///< sig_i(n), dBm
-  std::vector<double> throughput_;  ///< v(sig_i(n)), KB/s
-  std::vector<double> energy_;      ///< P(sig_i(n)), mJ/KB
+  SignalTraceSet() = default;  // adopt_mapping's blank slate
+
+  std::size_t users_ = 0;
+  std::int64_t slots_ = 0;
+  std::vector<double> signal_;      ///< sig_i(n), dBm (owning mode)
+  std::vector<double> throughput_;  ///< v(sig_i(n)), KB/s (owning mode)
+  std::vector<double> energy_;      ///< P(sig_i(n)), mJ/KB (owning mode)
+  const double* signal_view_ = nullptr;
+  const double* throughput_view_ = nullptr;
+  const double* energy_view_ = nullptr;
+  std::shared_ptr<const void> keepalive_;  ///< mapping pin (mapped mode only)
   bool link_derived_ = false;
 };
 

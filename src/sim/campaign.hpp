@@ -30,7 +30,12 @@ struct CampaignOptions {
   std::size_t threads = 0;       ///< pool size, 0 = hardware concurrency
   bool keep_series = false;      ///< retain per-slot series in each RunMetrics
   bool use_trace_cache = true;   ///< false = regenerate the trace per cell
-  TraceCache* cache = nullptr;   ///< trace store; null = global_trace_cache()
+  TraceCache* cache = nullptr;   ///< trace cache; null = global_trace_cache()
+  /// Persistent trace tier (see sim/trace_store.hpp): attached to the cache
+  /// for the duration of the run, so evictions spill to disk and misses
+  /// promote from it; the whole resident working set is flushed to it at end
+  /// of run. Null = in-memory caching only. Not owned; must outlive the run.
+  TraceStore* store = nullptr;
 };
 
 /// Builds the scheduler x seed grid: for each replication `rep` (seed =
@@ -66,11 +71,39 @@ void note_campaign_cells(std::size_t cells);
 /// regenerate per cell with `use_trace_cache` off), and run
 /// `run_cell(i, trace)` on the pool. Order-preserving; results are returned
 /// in cell order.
+/// Attaches a persistent store to a cache for one campaign's lifetime and
+/// flushes the cache's resident working set to it on the way out (so a warm
+/// store holds every trace the campaign touched, not just LRU overflow).
+class ScopedStoreAttachment {
+ public:
+  ScopedStoreAttachment(TraceCache& cache, TraceStore* store)
+      : cache_(cache), store_(store) {
+    if (store_ != nullptr) cache_.attach_store(store_);
+  }
+  ~ScopedStoreAttachment() {
+    if (store_ == nullptr) return;
+    try {
+      cache_.spill_resident();
+    } catch (...) {
+      // Best-effort flush: a full disk must not mask the campaign's results.
+    }
+    cache_.attach_store(nullptr);
+  }
+  ScopedStoreAttachment(const ScopedStoreAttachment&) = delete;
+  ScopedStoreAttachment& operator=(const ScopedStoreAttachment&) = delete;
+
+ private:
+  TraceCache& cache_;
+  TraceStore* store_;
+};
+
 template <typename CellOf, typename RunCell>
 [[nodiscard]] auto run_campaign_cells(std::size_t cells, const CampaignOptions& options,
                                       CellOf&& cell_of, RunCell&& run_cell) {
   note_campaign_cells(cells);
   TraceCache* cache = options.cache != nullptr ? options.cache : &global_trace_cache();
+  const ScopedStoreAttachment attachment(
+      *cache, options.use_trace_cache ? options.store : nullptr);
   ThreadPool pool(options.threads);
   return parallel_map(pool, cells, [&](std::size_t i) {
     const CampaignCell cell = cell_of(i);

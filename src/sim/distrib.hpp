@@ -1,0 +1,166 @@
+// Multi-process sharded campaign execution.
+//
+// One process per shard, where a shard is a contiguous slice of the rep-major
+// campaign grid: the parent forks a worker per shard, each worker runs its
+// slice through the ordinary serial campaign engine (thread pool, trace
+// cache, optional persistent store) and streams its results back over a pipe
+// as one versioned, checksummed binary frame; the parent validates, decodes,
+// and concatenates the slices in shard order. Because the grid is rep-major
+// and the shards are contiguous, concatenation IS serial order, and because
+// every cell is an independent deterministic simulation, the merged
+// RunMetrics are bit-identical to a serial run of the same specs — the
+// differential tests and the perf gate both assert this, via the digests
+// below.
+//
+// Fork safety: callers must invoke the distributed runners from a quiescent
+// process — no live worker threads (ThreadPools in this codebase only exist
+// inside run_campaign calls, so calling from the orchestrating thread between
+// campaigns is safe). Workers inherit the parent's ScenarioConfig specs,
+// validation flag, and attached TraceStore by address-space copy; only
+// results cross process boundaries.
+//
+// The optional NUMA placement (DistribOptions::numa_bind) pins shard k's
+// worker to NUMA node k mod nodes via sched_setaffinity, so each worker's
+// trace matrices are generated, faulted, and collected on one socket's local
+// memory. No-op on single-node machines and when node topology is not
+// exposed under /sys.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+
+namespace jstream {
+
+/// Execution knobs for the distributed runners.
+struct DistribOptions {
+  /// Worker process count (= shard count). 0 picks two shards — the smallest
+  /// configuration that exercises the merge; callers wanting one process per
+  /// socket or per N cells choose explicitly. Clamped to the cell count.
+  std::size_t processes = 0;
+  /// Per-worker execution knobs, used verbatim by every worker (threads,
+  /// trace cache, persistent store). A non-null `campaign.store` is shared by
+  /// all workers through the filesystem: spills are atomic and idempotent, so
+  /// concurrent workers cooperate instead of conflicting.
+  CampaignOptions campaign;
+  /// Pin shard k's worker to NUMA node k mod <nodes> (see file comment).
+  bool numa_bind = false;
+};
+
+/// Contiguous half-open cell range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool operator==(const ShardRange&) const noexcept = default;
+};
+
+/// Splits `cells` into at most `shards` contiguous non-empty ranges that
+/// cover [0, cells) in order. Sizes differ by at most one (remainder spread
+/// over the leading shards); fewer than `shards` ranges come back when there
+/// are fewer cells than shards. `shards` 0 is treated as 1.
+[[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t cells,
+                                                   std::size_t shards);
+
+/// Parses a /sys-style CPU list ("0-3,8,10-11") into CPU ids, in order.
+/// Throws Error on malformed input. Exposed for tests; the NUMA binding path
+/// feeds it /sys/devices/system/node/node<k>/cpulist.
+[[nodiscard]] std::vector<int> parse_cpu_list(const std::string& text);
+
+/// Little-endian binary encoder for result frames. Integers are fixed-width;
+/// doubles travel as their IEEE-754 bit patterns, so encode/decode round
+/// trips are bit-exact (the merge protocol's whole point).
+class ByteWriter {
+ public:
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);
+  void boolean(bool value);
+  void doubles(std::span<const double> values);  ///< count + payload
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked reader over a ByteWriter payload. Throws Error on overrun
+/// or (via finish()) trailing bytes — a truncated or oversized frame must
+/// never decode quietly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::vector<double> doubles();
+
+  /// Count of bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  /// Asserts the payload was consumed exactly.
+  void finish() const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Canonical binary encoding of one run's metrics (every field, per-slot
+/// series included). decode(encode(m)) reproduces m bit for bit.
+void encode_run_metrics(ByteWriter& out, const RunMetrics& metrics);
+[[nodiscard]] RunMetrics decode_run_metrics(ByteReader& in);
+
+/// XXH64 over the canonical encoding: equal digests <=> bit-identical
+/// metrics. The span overload digests the whole result vector (count mixed
+/// in), which is what serial-vs-sharded comparisons assert on.
+[[nodiscard]] std::uint64_t metrics_digest(const RunMetrics& metrics);
+[[nodiscard]] std::uint64_t metrics_digest(std::span<const RunMetrics> metrics);
+
+/// Low-level fork/pipe engine shared by the batch and service runners: forks
+/// one worker per shard of [0, cells), calls `encode_slice(shard, range)` in
+/// the child (returning the frame payload bytes), and hands the validated
+/// payloads back in shard order. A worker whose encode_slice throws reports
+/// the exception message in an error frame; the parent reaps every child,
+/// then rethrows as Error naming the shard. Used directly only by runner
+/// implementations; everyone else wants run_campaign_distributed or
+/// run_service_campaign_distributed.
+class ShardEncoder {
+ public:
+  virtual ~ShardEncoder() = default;
+  [[nodiscard]] virtual std::vector<std::uint8_t> encode_slice(
+      std::size_t shard, ShardRange range) = 0;
+};
+
+/// One shard's validated result frame payload, tagged with the cell range it
+/// covers (as stamped in the frame header and checked by the parent).
+struct ShardPayload {
+  ShardRange range;
+  std::vector<std::uint8_t> bytes;
+};
+
+[[nodiscard]] std::vector<ShardPayload> run_forked_shards(std::size_t cells,
+                                                          std::size_t processes,
+                                                          bool numa_bind,
+                                                          ShardEncoder& encoder);
+
+/// run_campaign split across worker processes; the merged result vector is
+/// bit-identical to run_campaign(specs, options.campaign) (see file comment).
+[[nodiscard]] std::vector<RunMetrics> run_campaign_distributed(
+    std::span<const ExperimentSpec> specs, const DistribOptions& options = {});
+
+}  // namespace jstream

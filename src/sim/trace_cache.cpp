@@ -1,9 +1,11 @@
 #include "sim/trace_cache.hpp"
 
 #include <bit>
+#include <chrono>
 #include <utility>
 
 #include "common/error.hpp"
+#include "sim/trace_store.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/scoped_timer.hpp"
 
@@ -15,6 +17,7 @@ struct TraceCacheTelemetry {
   telemetry::Counter& hits;
   telemetry::Counter& misses;
   telemetry::Counter& evictions;
+  telemetry::Counter& promotions;
   telemetry::Histogram& generate_latency_us;
 
   static TraceCacheTelemetry& instance() {
@@ -22,6 +25,7 @@ struct TraceCacheTelemetry {
     static TraceCacheTelemetry probes{
         registry.counter("trace_cache.hits"), registry.counter("trace_cache.misses"),
         registry.counter("trace_cache.evictions"),
+        registry.counter("trace_cache.promotions"),
         registry.histogram("trace_cache.generate_latency_us")};
     return probes;
   }
@@ -86,7 +90,7 @@ bool TraceKey::operator==(const TraceKey& other) const noexcept {
          session_fingerprint == other.session_fingerprint;
 }
 
-std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
+std::uint64_t trace_key_fingerprint(const TraceKey& key) noexcept {
   std::uint64_t hash = kFnvOffset;
   fnv_mix(hash, static_cast<std::uint64_t>(key.users));
   fnv_mix(hash, static_cast<std::uint64_t>(key.slots));
@@ -107,9 +111,13 @@ std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
   fnv_mix(hash, key.link_fingerprint);
   fnv_mix(hash, key.fault_fingerprint);
   fnv_mix(hash, key.session_fingerprint);
+  return hash;
+}
+
+std::size_t TraceKeyHash::operator()(const TraceKey& key) const noexcept {
   // jstream-lint: allow(checked-narrowing) -- hash fold, not an index: the
-  // 64-bit FNV state truncates to whatever width unordered_map buckets use.
-  return static_cast<std::size_t>(hash);
+  // 64-bit fingerprint truncates to whatever width unordered_map buckets use.
+  return static_cast<std::size_t>(trace_key_fingerprint(key));
 }
 
 TraceKey make_trace_key(const ScenarioConfig& config,
@@ -159,8 +167,11 @@ std::shared_ptr<const SignalTraceSet> TraceCache::get_or_generate(
   TraceFuture future;
   std::promise<std::shared_ptr<const SignalTraceSet>> promise;
   bool generate = false;
+  TraceStore* store = nullptr;
+  std::vector<SpillItem> spill;
   {
     const std::lock_guard lock(mutex_);
+    store = store_;
     const auto found = index_.find(key);
     if (found != index_.end()) {
       ++hits_;
@@ -175,15 +186,30 @@ std::shared_ptr<const SignalTraceSet> TraceCache::get_or_generate(
                                                            config.max_slots)});
       resident_bytes_ += lru_.front().bytes;
       index_.emplace(key, lru_.begin());
-      evict_locked();
+      evict_locked(spill);
     }
   }
+  if (store != nullptr) spill_items(*store, spill);
   if (telemetry::enabled()) {
     (generate ? probes.misses : probes.hits).add();
   }
   if (generate) {
     try {
-      promise.set_value(generate_signal_trace_set(config));
+      std::shared_ptr<const SignalTraceSet> set;
+      // Persistent tier first: a warm store serves the matrices zero-copy out
+      // of the page cache instead of rerunning the generation pipeline.
+      if (store != nullptr) {
+        set = store->try_load(trace_key_fingerprint(key), config.users,
+                              config.max_slots);
+      }
+      const bool promoted = set != nullptr;
+      if (!promoted) set = generate_signal_trace_set(config);
+      promise.set_value(set);
+      {
+        const std::lock_guard lock(mutex_);
+        ++(promoted ? promotions_ : generations_);
+      }
+      if (promoted && telemetry::enabled()) probes.promotions.add();
     } catch (...) {
       promise.set_exception(std::current_exception());
       // Forget the poisoned entry so a later call retries; waiters already
@@ -201,26 +227,94 @@ std::shared_ptr<const SignalTraceSet> TraceCache::get_or_generate(
   return future.get();
 }
 
+void TraceCache::attach_store(TraceStore* store) {
+  const std::lock_guard lock(mutex_);
+  store_ = store;
+}
+
+TraceStore* TraceCache::store() const {
+  const std::lock_guard lock(mutex_);
+  return store_;
+}
+
+void TraceCache::spill_resident() {
+  TraceStore* store = nullptr;
+  std::vector<SpillItem> items;
+  {
+    const std::lock_guard lock(mutex_);
+    store = store_;
+    if (store == nullptr) return;
+    items.reserve(lru_.size());
+    for (const Entry& entry : lru_) {
+      if (entry.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        continue;  // generation still in flight on another thread
+      }
+      std::shared_ptr<const SignalTraceSet> set;
+      try {
+        set = entry.future.get();
+      } catch (...) {
+        continue;  // poisoned entry; nothing to persist
+      }
+      if (set != nullptr) {
+        items.push_back(SpillItem{trace_key_fingerprint(entry.key), set});
+      }
+    }
+  }
+  spill_items(*store, items);
+}
+
 std::size_t TraceCache::max_bytes() const {
   const std::lock_guard lock(mutex_);
   return max_bytes_;
 }
 
 void TraceCache::set_max_bytes(std::size_t max_bytes) {
-  const std::lock_guard lock(mutex_);
-  max_bytes_ = max_bytes;
-  evict_locked();
+  TraceStore* store = nullptr;
+  std::vector<SpillItem> spill;
+  {
+    const std::lock_guard lock(mutex_);
+    store = store_;
+    max_bytes_ = max_bytes;
+    evict_locked(spill);
+  }
+  if (store != nullptr) spill_items(*store, spill);
 }
 
-void TraceCache::evict_locked() {
+void TraceCache::evict_locked(std::vector<SpillItem>& spill) {
   auto& probes = TraceCacheTelemetry::instance();
   while (lru_.size() > 1 && resident_bytes_ > max_bytes_) {
     const Entry& victim = lru_.back();
+    // Spill completed victims so the persistent tier can answer the next
+    // miss. An entry whose generation is still in flight is dropped without
+    // spilling — its future holder finishes the work; by then the entry is
+    // gone from the index, and spill_resident at end of run will not see it
+    // either, which only costs a regeneration on some future cold miss.
+    if (store_ != nullptr &&
+        victim.future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+      std::shared_ptr<const SignalTraceSet> set;
+      try {
+        set = victim.future.get();
+      } catch (...) {
+        set = nullptr;  // poisoned entry; nothing to persist
+      }
+      if (set != nullptr) {
+        spill.push_back(SpillItem{trace_key_fingerprint(victim.key), set});
+      }
+    }
     resident_bytes_ -= victim.bytes;
     index_.erase(victim.key);
     lru_.pop_back();
     ++evictions_;
     if (telemetry::enabled()) probes.evictions.add();
+  }
+}
+
+void TraceCache::spill_items(TraceStore& store,
+                             const std::vector<SpillItem>& items) {
+  for (const SpillItem& item : items) {
+    store.put(item.fingerprint, *item.set);
   }
 }
 
@@ -247,6 +341,16 @@ std::uint64_t TraceCache::misses() const {
 std::uint64_t TraceCache::evictions() const {
   const std::lock_guard lock(mutex_);
   return evictions_;
+}
+
+std::uint64_t TraceCache::generations() const {
+  const std::lock_guard lock(mutex_);
+  return generations_;
+}
+
+std::uint64_t TraceCache::promotions() const {
+  const std::lock_guard lock(mutex_);
+  return promotions_;
 }
 
 void TraceCache::clear() {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "radio/signal_trace.hpp"
 #include "sim/scenario.hpp"
@@ -60,6 +61,13 @@ struct TraceKey {
   [[nodiscard]] bool operator==(const TraceKey& other) const noexcept;
 };
 
+/// Stable 64-bit identity of a trace key: an FNV-1a fold over every key
+/// field. This is the fingerprint the persistent tier (TraceStore) names
+/// files by and stamps into trace-set headers, so its value is part of the
+/// on-disk contract — changing the fold invalidates every stored file (bump
+/// kTraceSetFileVersion if that ever becomes necessary).
+[[nodiscard]] std::uint64_t trace_key_fingerprint(const TraceKey& key) noexcept;
+
 /// Hash functor for unordered_map<TraceKey, ...>.
 struct TraceKeyHash {
   [[nodiscard]] std::size_t operator()(const TraceKey& key) const noexcept;
@@ -77,7 +85,12 @@ struct TraceKeyHash {
 [[nodiscard]] std::shared_ptr<const SignalTraceSet> generate_signal_trace_set(
     const ScenarioConfig& config);
 
-/// Thread-safe byte-budgeted LRU cache over generate_signal_trace_set.
+class TraceStore;
+
+/// Thread-safe byte-budgeted LRU cache over generate_signal_trace_set, with
+/// an optional persistent tier underneath (attach_store): evicted entries
+/// spill to disk and misses promote from disk (zero-copy mmap) before
+/// falling back to regeneration.
 class TraceCache {
  public:
   /// `max_bytes` budgets the resident trace matrices (estimate_bytes per
@@ -88,9 +101,21 @@ class TraceCache {
   /// Returns the cached set for the config's trace key, generating it on a
   /// miss. Concurrent callers for the same key share one generation.
   /// Propagates generation failures (and forgets the entry so later calls
-  /// retry).
+  /// retry). With a store attached, a miss consults the store before
+  /// generating, and entries evicted by the insertion spill to the store.
   [[nodiscard]] std::shared_ptr<const SignalTraceSet> get_or_generate(
       const ScenarioConfig& config, std::uint64_t session_fingerprint = 0);
+
+  /// Attaches (or detaches, with nullptr) the persistent tier. The store must
+  /// outlive the cache or the next attach_store call. Not owned.
+  void attach_store(TraceStore* store);
+  [[nodiscard]] TraceStore* store() const;
+
+  /// Spills every resident, fully-generated entry to the attached store (no
+  /// eviction). Campaigns call this at end of run so a warm store holds the
+  /// whole working set, not just what happened to overflow the LRU budget.
+  /// No-op without a store.
+  void spill_resident();
 
   [[nodiscard]] std::size_t max_bytes() const;
   void set_max_bytes(std::size_t max_bytes);
@@ -100,6 +125,11 @@ class TraceCache {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
   [[nodiscard]] std::uint64_t evictions() const;
+  /// Misses served by running the generation pipeline (a warm-store campaign
+  /// should report zero of these).
+  [[nodiscard]] std::uint64_t generations() const;
+  /// Misses served zero-copy from the attached store.
+  [[nodiscard]] std::uint64_t promotions() const;
   void clear();
 
   static constexpr std::size_t kDefaultMaxBytes = std::size_t{1} << 30;
@@ -113,9 +143,21 @@ class TraceCache {
     std::size_t bytes = 0;  ///< estimate_bytes at insert time
   };
 
+  /// One evicted entry queued for a spill outside the lock.
+  struct SpillItem {
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const SignalTraceSet> set;
+  };
+
   /// Drops LRU entries until the budget holds (keeps >= 1 entry). Caller
-  /// must hold mutex_.
-  void evict_locked();
+  /// must hold mutex_. When a store is attached, victims whose generation
+  /// already completed are collected into `spill` — the caller writes them
+  /// after releasing the lock (a spill is tens of MB of I/O; holding the
+  /// cache mutex across it would serialize every concurrent shard).
+  void evict_locked(std::vector<SpillItem>& spill);
+
+  /// Writes queued victims to `store`. Called without mutex_ held.
+  static void spill_items(TraceStore& store, const std::vector<SpillItem>& items);
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
@@ -125,6 +167,9 @@ class TraceCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t generations_ = 0;
+  std::uint64_t promotions_ = 0;
+  TraceStore* store_ = nullptr;  ///< persistent tier; not owned
 };
 
 /// Process-wide cache shared by the campaign runner and the bench harness.

@@ -2,17 +2,45 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "radio/link_model.hpp"
 
 namespace jstream {
 namespace {
 
 std::string temp_path(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// A small derived trace set with varied, reproducible content.
+SignalTraceSet make_set(std::size_t users = 3, std::int64_t slots = 17) {
+  SignalTraceSet set(users, slots);
+  SineSignalParams params;
+  const Rng rng(42);
+  for (std::size_t user = 0; user < users; ++user) {
+    params.phase_radians = 0.37 * as_double(user + 1);
+    SineSignalModel model(params, rng.split(user));
+    set.fill_user(user, model);
+  }
+  set.derive_link(make_paper_link_model());
+  return set;
+}
+
+// Flips one byte at `offset` in the file.
+void corrupt_byte(const std::string& path, std::int64_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(offset);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  file.seekp(offset);
+  file.write(&byte, 1);
 }
 
 TEST(SignalTraceIo, RoundTripsThroughDisk) {
@@ -60,6 +88,107 @@ TEST(SignalTraceIo, RejectsGarbageAndEmpty) {
   EXPECT_THROW((void)load_signal_trace("/no/such/dir/trace.txt"), Error);
   EXPECT_THROW(save_signal_trace(path, {}), Error);
   std::filesystem::remove(path);
+}
+
+TEST(TraceSetFile, RoundTripsBitExactAndZeroCopy) {
+  const SignalTraceSet set = make_set();
+  const std::string path = temp_path("jstream_traceset_rt.jst");
+  const std::uint64_t fingerprint = 0xfeedface12345678ULL;
+  save_trace_set(path, set, fingerprint);
+
+  const TraceSetFileInfo info = probe_trace_set(path);
+  EXPECT_EQ(info.version, kTraceSetFileVersion);
+  EXPECT_EQ(info.fingerprint, fingerprint);
+  EXPECT_EQ(info.users, set.users());
+  EXPECT_EQ(info.slots, set.slots());
+  EXPECT_EQ(info.payload_bytes, set.total_bytes());
+
+  const std::shared_ptr<const SignalTraceSet> loaded =
+      load_trace_set(path, fingerprint);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_TRUE(loaded->mapped());
+  EXPECT_TRUE(loaded->link_derived());
+  ASSERT_EQ(loaded->users(), set.users());
+  ASSERT_EQ(loaded->slots(), set.slots());
+  for (std::size_t user = 0; user < set.users(); ++user) {
+    for (std::int64_t slot = 0; slot < set.slots(); ++slot) {
+      EXPECT_EQ(loaded->signal_dbm(user, slot), set.signal_dbm(user, slot));
+      EXPECT_EQ(loaded->throughput_kbps(user, slot), set.throughput_kbps(user, slot));
+      EXPECT_EQ(loaded->energy_per_kb(user, slot), set.energy_per_kb(user, slot));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceSetFile, MappedSetOutlivesTheFileAndRefusesMutation) {
+  const SignalTraceSet set = make_set();
+  const std::string path = temp_path("jstream_traceset_unlink.jst");
+  save_trace_set(path, set, 1);
+  const std::shared_ptr<const SignalTraceSet> loaded = load_trace_set(path, 1);
+  // POSIX keeps the mapping alive after the unlink; reads must still work.
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded->signal_dbm(0, 0), set.signal_dbm(0, 0));
+  EXPECT_EQ(loaded->energy_per_kb(2, 16), set.energy_per_kb(2, 16));
+}
+
+TEST(TraceSetFile, SaveRejectsUnderivedSetsAndBadPaths) {
+  SignalTraceSet underived(2, 5);
+  EXPECT_THROW(save_trace_set(temp_path("jstream_traceset_u.jst"), underived, 1),
+               Error);
+  const SignalTraceSet set = make_set();
+  EXPECT_THROW(save_trace_set("/no/such/dir/set.jst", set, 1), Error);
+}
+
+TEST(TraceSetFile, RejectsFingerprintMismatch) {
+  const std::string path = temp_path("jstream_traceset_fp.jst");
+  save_trace_set(path, make_set(), /*fingerprint=*/7);
+  EXPECT_THROW((void)load_trace_set(path, /*expected_fingerprint=*/8),
+               TraceFileError);
+  // The right fingerprint still loads: the reject above did not destroy it.
+  EXPECT_NE(load_trace_set(path, 7), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceSetFile, RejectsCorruptMagicVersionAndHeader) {
+  const std::string path = temp_path("jstream_traceset_hdr.jst");
+  for (const std::int64_t offset : {0,   // magic
+                                    8,   // schema version
+                                    12,  // endianness tag
+                                    24,  // users
+                                    56}) {  // header checksum
+    save_trace_set(path, make_set(), 1);
+    corrupt_byte(path, offset);
+    EXPECT_THROW((void)probe_trace_set(path), TraceFileError) << "offset " << offset;
+    EXPECT_THROW((void)load_trace_set(path, 1), TraceFileError)
+        << "offset " << offset;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceSetFile, RejectsPayloadCorruption) {
+  const std::string path = temp_path("jstream_traceset_bits.jst");
+  save_trace_set(path, make_set(), 1);
+  // Header (incl. payload checksum) intact, one payload byte flipped.
+  corrupt_byte(path, 64 + 11);
+  EXPECT_NO_THROW((void)probe_trace_set(path));  // header-only probe can't see it
+  EXPECT_THROW((void)load_trace_set(path, 1), TraceFileError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceSetFile, RejectsTruncation) {
+  const std::string path = temp_path("jstream_traceset_trunc.jst");
+  save_trace_set(path, make_set(), 1);
+  const std::uintmax_t full = std::filesystem::file_size(path);
+  // Cut mid-payload, then mid-header.
+  std::filesystem::resize_file(path, full - 16);
+  EXPECT_THROW((void)probe_trace_set(path), TraceFileError);
+  EXPECT_THROW((void)load_trace_set(path, 1), TraceFileError);
+  std::filesystem::resize_file(path, 32);
+  EXPECT_THROW((void)probe_trace_set(path), TraceFileError);
+  EXPECT_THROW((void)load_trace_set(path, 1), TraceFileError);
+  std::filesystem::remove(path);
+  // Missing file is an Error (open failure), not silent.
+  EXPECT_THROW((void)load_trace_set(path, 1), Error);
 }
 
 TEST(SignalTraceIo, RecordsFromAModel) {

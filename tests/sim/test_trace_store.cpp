@@ -1,0 +1,191 @@
+// Persistent trace tier correctness: spill/promote round trips are
+// bit-identical, corrupt or mismatched files degrade to regeneration (never
+// a crash, never wrong data), and the TraceCache integration spills on
+// eviction / flush and promotes on miss with zero regenerations when warm.
+
+#include "sim/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sim/campaign.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trace_cache.hpp"
+
+namespace jstream {
+namespace {
+
+class TraceStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("jstream_store_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+ScenarioConfig small_scenario(std::uint64_t seed = 21) {
+  ScenarioConfig config = paper_scenario(/*users=*/6, seed);
+  config.max_slots = 200;
+  return config;
+}
+
+void expect_identical_sets(const SignalTraceSet& a, const SignalTraceSet& b) {
+  ASSERT_EQ(a.users(), b.users());
+  ASSERT_EQ(a.slots(), b.slots());
+  for (std::size_t user = 0; user < a.users(); ++user) {
+    for (std::int64_t slot = 0; slot < a.slots(); ++slot) {
+      EXPECT_EQ(a.signal_dbm(user, slot), b.signal_dbm(user, slot));
+      EXPECT_EQ(a.throughput_kbps(user, slot), b.throughput_kbps(user, slot));
+      EXPECT_EQ(a.energy_per_kb(user, slot), b.energy_per_kb(user, slot));
+    }
+  }
+}
+
+TEST_F(TraceStoreTest, SpillPromoteRoundTripIsBitIdentical) {
+  TraceStore store(dir_);
+  const ScenarioConfig scenario = small_scenario();
+  const std::uint64_t fp = trace_key_fingerprint(make_trace_key(scenario));
+  const std::shared_ptr<const SignalTraceSet> generated =
+      generate_signal_trace_set(scenario);
+
+  EXPECT_FALSE(store.contains(fp));
+  EXPECT_EQ(store.try_load(fp, scenario.users, scenario.max_slots), nullptr);
+  EXPECT_TRUE(store.put(fp, *generated));
+  EXPECT_TRUE(store.contains(fp));
+  EXPECT_FALSE(store.put(fp, *generated));  // idempotent: second put skips
+  EXPECT_EQ(store.spills(), 1u);
+
+  const std::shared_ptr<const SignalTraceSet> promoted =
+      store.try_load(fp, scenario.users, scenario.max_slots);
+  ASSERT_NE(promoted, nullptr);
+  EXPECT_TRUE(promoted->mapped());
+  expect_identical_sets(*generated, *promoted);
+  EXPECT_EQ(store.promotions(), 1u);
+  EXPECT_EQ(store.rejections(), 0u);
+}
+
+TEST_F(TraceStoreTest, CorruptFileIsDroppedAndReportedAsMiss) {
+  TraceStore store(dir_);
+  const ScenarioConfig scenario = small_scenario();
+  const std::uint64_t fp = trace_key_fingerprint(make_trace_key(scenario));
+  ASSERT_TRUE(store.put(fp, *generate_signal_trace_set(scenario)));
+
+  // Flip one payload byte behind the checksum's back.
+  {
+    std::fstream file(store.path_for(fp),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(64 + 3);
+    const char byte = 0x7f;
+    file.write(&byte, 1);
+  }
+  EXPECT_EQ(store.try_load(fp, scenario.users, scenario.max_slots), nullptr);
+  EXPECT_EQ(store.rejections(), 1u);
+  // The poisoned file was unlinked so a fresh spill can land.
+  EXPECT_FALSE(store.contains(fp));
+  EXPECT_TRUE(store.put(fp, *generate_signal_trace_set(scenario)));
+  EXPECT_NE(store.try_load(fp, scenario.users, scenario.max_slots), nullptr);
+}
+
+TEST_F(TraceStoreTest, DimensionDisagreementRejects) {
+  TraceStore store(dir_);
+  const ScenarioConfig scenario = small_scenario();
+  const std::uint64_t fp = trace_key_fingerprint(make_trace_key(scenario));
+  ASSERT_TRUE(store.put(fp, *generate_signal_trace_set(scenario)));
+  EXPECT_EQ(store.try_load(fp, scenario.users + 1, scenario.max_slots), nullptr);
+  EXPECT_EQ(store.rejections(), 1u);
+}
+
+TEST_F(TraceStoreTest, RejectsUnusableDirectory) {
+  EXPECT_THROW(TraceStore(""), Error);
+  EXPECT_THROW(TraceStore("/proc/no/such/dir"), Error);
+}
+
+TEST_F(TraceStoreTest, CacheSpillsOnEvictionAndPromotesOnMiss) {
+  TraceStore store(dir_);
+  // Budget of one entry: inserting the second scenario evicts (and spills)
+  // the first.
+  const ScenarioConfig first = small_scenario(21);
+  const ScenarioConfig second = small_scenario(22);
+  TraceCache cache(SignalTraceSet::estimate_bytes(first.users, first.max_slots));
+  cache.attach_store(&store);
+
+  const std::shared_ptr<const SignalTraceSet> generated =
+      cache.get_or_generate(first);
+  EXPECT_EQ(cache.generations(), 1u);
+  (void)cache.get_or_generate(second);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(store.spills(), 1u);
+  EXPECT_TRUE(store.contains(trace_key_fingerprint(make_trace_key(first))));
+
+  // Touching the first scenario again misses the LRU but promotes from disk:
+  // no regeneration, bit-identical data.
+  const std::shared_ptr<const SignalTraceSet> promoted =
+      cache.get_or_generate(first);
+  EXPECT_EQ(cache.generations(), 2u);  // only the two cold generations
+  EXPECT_EQ(cache.promotions(), 1u);
+  EXPECT_TRUE(promoted->mapped());
+  expect_identical_sets(*generated, *promoted);
+}
+
+TEST_F(TraceStoreTest, SpillResidentFlushesTheWholeWorkingSet) {
+  TraceStore store(dir_);
+  TraceCache cache;  // default budget: nothing evicts
+  cache.attach_store(&store);
+  const ScenarioConfig first = small_scenario(31);
+  const ScenarioConfig second = small_scenario(32);
+  (void)cache.get_or_generate(first);
+  (void)cache.get_or_generate(second);
+  EXPECT_EQ(store.spills(), 0u);  // no evictions yet, nothing written
+  cache.spill_resident();
+  EXPECT_EQ(store.spills(), 2u);
+  EXPECT_TRUE(store.contains(trace_key_fingerprint(make_trace_key(first))));
+  EXPECT_TRUE(store.contains(trace_key_fingerprint(make_trace_key(second))));
+  cache.spill_resident();  // idempotent: files already present
+  EXPECT_EQ(store.spills(), 2u);
+}
+
+TEST_F(TraceStoreTest, CampaignStoreOptionWarmsTheStore) {
+  TraceStore store(dir_);
+  const std::vector<CampaignSeries> series = {{"default", "default", {}},
+                                              {"rtma", "rtma", {}}};
+  const std::vector<ExperimentSpec> specs =
+      make_campaign_grid(small_scenario(41), series, /*replications=*/2);
+
+  TraceCache cold_cache;
+  CampaignOptions cold;
+  cold.threads = 2;
+  cold.cache = &cold_cache;
+  cold.store = &store;
+  const std::vector<RunMetrics> cold_results = run_campaign(specs, cold);
+  EXPECT_EQ(cold_cache.generations(), 2u);  // one per seed
+  EXPECT_EQ(store.spills(), 2u);            // end-of-run flush persisted both
+  EXPECT_EQ(cold_cache.store(), nullptr);   // attachment is scoped to the run
+
+  // A fresh cache over a warm store: every miss promotes, nothing generates.
+  TraceCache warm_cache;
+  CampaignOptions warm = cold;
+  warm.cache = &warm_cache;
+  const std::vector<RunMetrics> warm_results = run_campaign(specs, warm);
+  EXPECT_EQ(warm_cache.generations(), 0u);
+  EXPECT_EQ(warm_cache.promotions(), 2u);
+  ASSERT_EQ(warm_results.size(), cold_results.size());
+  for (std::size_t i = 0; i < warm_results.size(); ++i) {
+    EXPECT_EQ(warm_results[i].slots_run, cold_results[i].slots_run);
+    EXPECT_EQ(warm_results[i].total_energy_mj(), cold_results[i].total_energy_mj());
+    EXPECT_EQ(warm_results[i].total_rebuffer_s(), cold_results[i].total_rebuffer_s());
+  }
+}
+
+}  // namespace
+}  // namespace jstream
