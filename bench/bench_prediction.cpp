@@ -1,67 +1,201 @@
-// Prediction study: what would perfect short-term channel prediction buy over
-// the paper's prediction-free designs? Runs the oracle-assisted Lookahead
-// scheduler (Proteus/Bartendr-style) against RTMA and EMA across prediction
-// horizons.
+// Prediction study: what does short-term channel prediction buy, and how fast
+// does the benefit decay with forecast error? Sweeps the prediction-assisted
+// EMA (PredictiveEmaScheduler, docs/PREDICTION.md) over a horizon x error-sigma
+// grid — benign, medium-fault, and stale-feedback variants — and reports for
+// every cell the fraction of the oracle's energy headroom it recovers over the
+// prediction-free EMA:
+//
+//     recovered = (E_ema - E_pred) / (E_ema - E_oracle)
+//
+// where E_oracle is the offline transportation bound (sim/oracle.hpp). The
+// oracle-assisted per-user Lookahead scheduler (Proteus/Bartendr-style) runs
+// as a comparator: cross-user predictive EMA recovers headroom that per-user
+// prefetching cannot (crest capacity is shared, and Eq. 5 never charges a
+// pace-every-slot policy the RRC tails the lookahead's refills pay).
+//
+// With --validate every slot passes the paper-invariant checker AND (at the
+// full horizon only; REPRO_SLOTS runs report without gating) the bench
+// enforces the acceptance bar: perfect-forecast predictive EMA must recover
+// >= 50% of the oracle headroom on the paper scenario.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "analysis/invariant_checker.hpp"
 #include "bench_util.hpp"
+#include "common/error.hpp"
 #include "core/lookahead.hpp"
+#include "core/predictive_ema.hpp"
+#include "sim/fault.hpp"
 #include "sim/forecast.hpp"
+#include "sim/oracle.hpp"
 
 using namespace jstream;
 using namespace jstream::bench;
 
 namespace {
 
+/// The bench_fault_sweep "medium" cell: deep fades, stale feedback windows,
+/// departures, capacity dips.
+FaultConfig medium_faults() {
+  FaultConfig faults;
+  faults.outage_rate_per_kslot = 5.0;
+  faults.outage_min_slots = 5;
+  faults.outage_max_slots = 30;
+  faults.staleness_rate_per_kslot = 10.0;
+  faults.staleness_max_slots = 30;
+  faults.departure_fraction = 0.25;
+  faults.capacity_rate_per_kslot = 2.0;
+  faults.capacity_scale = 0.5;
+  return faults;
+}
+
+/// Stale-feedback-heavy cell: the forecast window interacts with the fault
+/// layer (track_fault_staleness freezes predictions across stale windows).
+FaultConfig stale_faults() {
+  FaultConfig faults;
+  faults.staleness_rate_per_kslot = 25.0;
+  faults.staleness_min_slots = 5;
+  faults.staleness_max_slots = 40;
+  return faults;
+}
+
+struct Variant {
+  std::string name;
+  ScenarioConfig scenario;
+};
+
 int run(int argc, const char* const* argv) {
-  Cli cli = make_cli("bench_prediction", "perfect-prediction lookahead vs RTMA/EMA",
+  Cli cli = make_cli("bench_prediction",
+                     "predictive EMA horizon x error sweep vs the oracle bound",
                      10000, 30);
   const CommonArgs args = parse_common(cli, argc, argv);
 
-  ScenarioConfig scenario = paper_scenario(args.users, args.seed);
-  scenario.max_slots = args.slots;
-  const DefaultReference reference = run_default_reference(scenario);
-  const auto forecast = make_signal_forecast(scenario, scenario.max_slots);
+  ScenarioConfig benign = paper_scenario(args.users, args.seed);
+  benign.max_slots = args.slots;
 
-  Table table("prediction study",
-              {"scheduler", "PE (mJ/us)", "tail (mJ/us)", "PC (ms/us)"});
+  ScenarioConfig faulted = benign;
+  faulted.faults = medium_faults();
+
+  ScenarioConfig stale = benign;
+  stale.faults = stale_faults();
+  stale.forecast.track_fault_staleness = true;
+
+  const std::vector<Variant> variants = {
+      {"benign", benign}, {"faulted", faulted}, {"stale", stale}};
+  const std::vector<std::int64_t> horizons = {30, 90, 300};
+  const std::vector<double> sigmas = {0.0, 4.0, 12.0};
+
+  // Build the whole study as one campaign grid: the prediction-free EMA
+  // baseline plus every (horizon, sigma) predictive cell per variant. Cells
+  // of a variant share one cached channel substrate (sigma perturbs only the
+  // forecast, and the trace key separates forecast fingerprints from the
+  // plain series).
+  std::vector<ExperimentSpec> specs;
+  for (const Variant& variant : variants) {
+    {
+      ExperimentSpec spec;
+      spec.label = variant.name + "/ema";
+      spec.scheduler = "ema";
+      spec.scenario = variant.scenario;
+      specs.push_back(std::move(spec));
+    }
+    for (const std::int64_t horizon : horizons) {
+      for (const double sigma : sigmas) {
+        ExperimentSpec spec;
+        spec.label = variant.name + "/H=" + std::to_string(horizon) +
+                     "/sigma=" + format_double(sigma, 0);
+        spec.scheduler = "ema-predictive";
+        spec.scenario = variant.scenario;
+        spec.scenario.forecast.sigma_dbm = sigma;
+        spec.options.ema_predictive.horizon_slots = horizon;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const std::vector<RunMetrics> results = run_grid(args, specs);
+
+  Table table("prediction study (recovered = share of oracle headroom over ema)",
+              {"series", "PE (mJ/us)", "PC (ms/us)", "recovered"});
   std::vector<std::vector<std::string>> csv_rows;
+  double benign_perfect_best = 0.0;
 
-  const auto report = [&](const std::string& label, const RunMetrics& m) {
-    table.row({label, format_double(m.avg_energy_per_user_slot_mj(), 1),
-               format_double(m.avg_tail_per_user_slot_mj(), 1),
-               format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1)});
-    csv_rows.push_back({label, format_double(m.avg_energy_per_user_slot_mj(), 4),
-                        format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4)});
-  };
-
-  {
-    const RunMetrics m = run_experiment(
-        {"rtma", "rtma", scenario, rtma_options_for_alpha(1.0, reference)}, false);
-    report("rtma (no prediction)", m);
-  }
-  {
-    SchedulerOptions options;
-    options.ema.v_weight = 0.05;
-    const RunMetrics m = run_experiment({"ema", "ema", scenario, options}, false);
-    report("ema (no prediction)", m);
-  }
-  for (std::int64_t horizon : {30, 90, 300}) {
-    LookaheadConfig config;
-    config.horizon_slots = horizon;
-    const RunMetrics m = simulate(
-        scenario, std::make_unique<LookaheadScheduler>(config, forecast), false);
-    report("lookahead H=" + std::to_string(horizon), m);
+  std::size_t at = 0;
+  for (const Variant& variant : variants) {
+    const OracleResult oracle = offline_energy_bound(variant.scenario);
+    const RunMetrics& ema = results[at++];
+    const double headroom_mj = ema.total_energy_mj() - oracle.total_energy_mj();
+    table.row({variant.name + "/ema", format_double(ema.avg_energy_per_user_slot_mj(), 1),
+               format_double(1000.0 * ema.avg_rebuffer_per_user_slot_s(), 1), "--"});
+    csv_rows.push_back({variant.name, "ema", "0", "0",
+                        format_double(ema.avg_energy_per_user_slot_mj(), 4),
+                        format_double(1000.0 * ema.avg_rebuffer_per_user_slot_s(), 4),
+                        "0"});
+    for (const std::int64_t horizon : horizons) {
+      for (const double sigma : sigmas) {
+        const RunMetrics& m = results[at];
+        const double recovered =
+            headroom_mj > 0.0
+                ? (ema.total_energy_mj() - m.total_energy_mj()) / headroom_mj
+                : 0.0;
+        if (variant.name == "benign" && sigma == 0.0) {
+          benign_perfect_best = std::max(benign_perfect_best, recovered);
+        }
+        table.row({specs[at].label, format_double(m.avg_energy_per_user_slot_mj(), 1),
+                   format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 1),
+                   format_double(100.0 * recovered, 1) + "%"});
+        csv_rows.push_back({variant.name, "ema-predictive", std::to_string(horizon),
+                            format_double(sigma, 1),
+                            format_double(m.avg_energy_per_user_slot_mj(), 4),
+                            format_double(1000.0 * m.avg_rebuffer_per_user_slot_s(), 4),
+                            format_double(recovered, 4)});
+        ++at;
+      }
+    }
   }
   table.print();
-  std::printf("\nReading: longer horizons help the lookahead (PE falls with H at\n"
-              "RTMA-grade rebuffering), yet it does NOT beat the prediction-free\n"
-              "designs: crest capacity is oversubscribed under contention, and the\n"
-              "inter-crest safety refills keep paying RRC tails that Eq. 5 never\n"
-              "charges a pace-every-slot policy. This supports the paper's choice of\n"
-              "cross-user scheduling over per-user prediction (Proteus, Bartendr).\n");
-  maybe_write_csv(args.csv_dir, "prediction.csv", {"scheduler", "pe_mj", "pc_ms"},
+
+  // Per-user prefetch comparator on the benign scenario (perfect forecast).
+  {
+    const auto forecast = make_signal_forecast(benign, benign.max_slots);
+    LookaheadConfig config;
+    config.horizon_slots = 300;
+    const RunMetrics m = simulate(
+        benign, std::make_unique<LookaheadScheduler>(config, forecast), false);
+    std::printf("\nlookahead H=300 (per-user prefetch comparator): "
+                "PE %.1f mJ/us, PC %.1f ms/us\n",
+                m.avg_energy_per_user_slot_mj(),
+                1000.0 * m.avg_rebuffer_per_user_slot_s());
+  }
+
+  std::printf("\nReading: the crest credit and deferral terms shift units toward\n"
+              "the cheap slots the forecast exposes, so long-horizon cells recover\n"
+              "all of the oracle's headroom and then some (best benign sigma=0\n"
+              "cell: %.0f%%) — >100%% is legitimate because the offline bound is a\n"
+              "cheapest-cell greedy that pays heavy RRC tail energy, i.e. an upper\n"
+              "bound on the true optimum. On this periodic channel moderate sigma\n"
+              "barely dents (and via price-space convexity can even inflate) the\n"
+              "horizon-mean credit, so long-horizon sweeps are robust to noise;\n"
+              "faults and stale feedback attenuate but do not erase the gain. The\n"
+              "per-user lookahead, by contrast, oversubscribes crest capacity and\n"
+              "pays RRC tails on its safety refills — cross-user scheduling keeps\n"
+              "the advantage even with prediction on both sides.\n",
+              100.0 * benign_perfect_best);
+
+  if (analysis::validation_enabled() && args.slots >= 10000) {
+    require(benign_perfect_best >= 0.5,
+            "acceptance gate: perfect-forecast predictive EMA recovered " +
+                format_double(100.0 * benign_perfect_best, 1) +
+                "% of the oracle headroom on the paper scenario (need >= 50%)");
+    std::printf("\nvalidate: perfect-forecast recovery %.1f%% >= 50%% gate ok\n",
+                100.0 * benign_perfect_best);
+  }
+
+  maybe_write_csv(args.csv_dir, "prediction.csv",
+                  {"variant", "scheduler", "horizon", "sigma_dbm", "pe_mj",
+                   "pc_ms", "recovered"},
                   csv_rows);
   return 0;
 }

@@ -79,6 +79,12 @@ if [[ "${SKIP_SMOKE:-0}" != 1 ]]; then
   # must merge bit-identically to the serial engine, with the paper-invariant
   # validator active inside every forked worker. See docs/PERFORMANCE.md.
   REPRO_SLOTS=50 build/bench/bench_distrib_smoke --validate > /dev/null
+  # Prediction gate: the horizon x error-sigma sweep of the prediction-
+  # assisted EMA (benign + faulted + stale-feedback variants) under the
+  # validator. The >= 50% oracle-headroom recovery acceptance bound only
+  # arms at full scale (REPRO_SLOTS unset); at 50 slots the run still
+  # exercises the forecast plumbing end to end. See docs/PREDICTION.md.
+  REPRO_SLOTS=50 build/bench/bench_prediction --validate > /dev/null
   ctest --test-dir build --output-on-failure -L session -LE smoke
   ctest --test-dir build --output-on-failure -L golden
 else

@@ -32,6 +32,11 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   }
   if (name == "ema") return std::make_unique<EmaScheduler>(options.ema);
   if (name == "ema-fast") return std::make_unique<EmaFastScheduler>(options.ema);
+  if (name == "ema-predictive") {
+    throw Error(
+        "ema-predictive needs a scenario to derive its forecast — construct it "
+        "via make_scheduler_for_scenario (sim/experiment.hpp)");
+  }
   throw Error("unknown scheduler: " + name);
 }
 
@@ -39,5 +44,7 @@ std::vector<std::string> scheduler_names() {
   return {"default", "throttling", "onoff", "salsa",     "estreamer",
           "rtma",    "rtma-adaptive", "ema", "ema-fast"};
 }
+
+std::vector<std::string> scenario_scheduler_names() { return {"ema-predictive"}; }
 
 }  // namespace jstream

@@ -7,6 +7,7 @@
 
 #include "core/adaptive_rtma.hpp"
 #include "core/ema.hpp"
+#include "core/predictive_ema.hpp"
 #include "core/rtma.hpp"
 #include "gateway/scheduler.hpp"
 
@@ -17,6 +18,10 @@ struct SchedulerOptions {
   RtmaConfig rtma;
   EmaConfig ema;
   AdaptiveRtmaConfig rtma_adaptive;
+  /// "ema-predictive" knobs (horizon, defer weight, safety margin). The
+  /// forecast itself is scenario-derived, so this name resolves only through
+  /// make_scheduler_for_scenario (sim/experiment.hpp).
+  PredictiveEmaConfig ema_predictive;
   double throttling_rate_factor = 1.25;
   double onoff_low_s = 10.0;
   double onoff_high_s = 40.0;
@@ -26,11 +31,21 @@ struct SchedulerOptions {
 
 /// Creates a scheduler by name: "default", "throttling", "onoff", "salsa",
 /// "estreamer", "rtma", "rtma-adaptive", "ema", "ema-fast". Throws
-/// jstream::Error for unknown names.
+/// jstream::Error for unknown names, and a pointed one for "ema-predictive",
+/// whose construction needs a scenario (its forecast is derived from the
+/// scenario seed) — resolve it via make_scheduler_for_scenario in
+/// sim/experiment.hpp, which every campaign/experiment path routes through.
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                                         const SchedulerOptions& options = {});
 
-/// All scheduler names the factory accepts.
+/// All scenario-free scheduler names the factory accepts. "ema-predictive"
+/// is deliberately not listed: the many scenario-free factory loops (tests,
+/// benches) construct each name without a scenario, which the predictive
+/// scheduler cannot satisfy. See scenario_scheduler_names().
 [[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Names that additionally require a scenario to construct (resolved by
+/// make_scheduler_for_scenario): currently just "ema-predictive".
+[[nodiscard]] std::vector<std::string> scenario_scheduler_names();
 
 }  // namespace jstream

@@ -779,6 +779,7 @@ void EmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
   // contract for this frame).
   require(ctx.soa.size() == n, "SlotContext::finalize() not called before allocate");
   compute_ema_slot_costs(ctx, queues_, config_.v_weight, costs_ws_);
+  adjust_costs(ctx, costs_ws_);
   // The SoA mirror already holds the caps contiguously — no per-slot copy.
   const std::span<const std::int64_t> caps{ctx.soa.alloc_cap_units.data(), n};
   {
@@ -812,6 +813,11 @@ void EmaScheduler::allocate_into(const SlotContext& ctx, Allocation& out) {
     probes.tracer.record(ctx.slot, -1, telemetry::TraceEventKind::kQueueLevel,
                          max_queue);
   }
+}
+
+void EmaScheduler::adjust_costs(const SlotContext& /*ctx*/, EmaSlotCosts& /*costs*/) {
+  // Algorithm 2 solves the unmodified Eq. 3-5 cost model; predictive
+  // subclasses perturb the slopes here.
 }
 
 void EmaScheduler::solve_slot(const EmaSlotCosts& costs,

@@ -266,6 +266,15 @@ class EmaScheduler : public Scheduler {
   [[nodiscard]] const EmaDpWorkspace& dp_workspace() const noexcept { return dp_ws_; }
 
  protected:
+  /// Cost-model extension point, called between compute_ema_slot_costs and
+  /// solve_slot with the same slot snapshot. The base scheduler leaves the
+  /// costs untouched (the paper's Algorithm 2); PredictiveEmaScheduler adds
+  /// its predicted-price deferral term here. Overrides must keep the per-user
+  /// cost linear in phi (mutate idle_cost/active_base/slope only) so every
+  /// slot solver — DP, greedy, coarsened — remains applicable, and must not
+  /// touch the Eq. 16 queue update that follows the solve.
+  virtual void adjust_costs(const SlotContext& ctx, EmaSlotCosts& costs);
+
   /// Slot-problem solver; EmaFastScheduler overrides with the greedy solver.
   /// Writes the decision into `out` (storage recycled by the caller) and
   /// maintains `certificate_`.

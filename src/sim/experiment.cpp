@@ -4,12 +4,35 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "sim/forecast.hpp"
 
 namespace jstream {
 
+std::unique_ptr<Scheduler> make_scheduler_for_scenario(const std::string& name,
+                                                       const SchedulerOptions& options,
+                                                       const ScenarioConfig& scenario) {
+  if (name == "ema-predictive") {
+    const PredictiveEmaConfig& pred = options.ema_predictive;
+    std::vector<std::vector<double>> forecast;
+    if (pred.horizon_slots > 0) {
+      forecast =
+          make_signal_forecast(scenario, scenario.max_slots, scenario.forecast);
+    } else {
+      // Horizon 0 never reads the forecast; empty per-user rows keep the
+      // population check satisfied without replaying the channel.
+      forecast.assign(scenario.users, {});
+    }
+    return std::make_unique<PredictiveEmaScheduler>(options.ema, pred,
+                                                    std::move(forecast));
+  }
+  return make_scheduler(name, options);
+}
+
 RunMetrics run_experiment(const ExperimentSpec& spec, bool keep_series,
                           std::shared_ptr<const SignalTraceSet> trace) {
-  Simulator simulator(spec.scenario, make_scheduler(spec.scheduler, spec.options),
+  Simulator simulator(spec.scenario,
+                      make_scheduler_for_scenario(spec.scheduler, spec.options,
+                                                  spec.scenario),
                       SchedulingMode::kBaseline, std::move(trace));
   return simulator.run(keep_series);
 }

@@ -25,6 +25,16 @@ struct ExperimentSpec {
   SchedulerOptions options;
 };
 
+/// Scenario-aware scheduler factory: resolves the names whose construction
+/// needs the scenario itself — "ema-predictive" derives its signal forecast
+/// from the scenario seed through the scenario's forecast error spec
+/// (make_signal_forecast, sim/forecast.hpp) — and delegates every other name
+/// to make_scheduler. Campaign cells, golden runs, and run_experiment all
+/// route through this, so predictive series drop into any grid.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler_for_scenario(
+    const std::string& name, const SchedulerOptions& options,
+    const ScenarioConfig& scenario);
+
 /// Runs one spec and returns its metrics. When `trace` is set the run reads
 /// the channel from the precomputed substrate (see Simulator); results are
 /// bit-identical either way.

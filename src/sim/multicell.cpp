@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "common/units.hpp"
 
@@ -70,8 +71,11 @@ MultiCellResult simulate_multicell(const MultiCellConfig& config,
   MultiCellResult result;
   result.per_cell = parallel_map(pool, config.cells.size(), [&](std::size_t cell) {
     // Each cell gets its own scheduler instance: framework state must not
-    // leak between base stations.
-    return simulate(config.cells[cell], make_scheduler(scheduler_name, options),
+    // leak between base stations. The scenario-aware factory lets predictive
+    // series run per-cell (each cell's forecast follows its own seed).
+    return simulate(config.cells[cell],
+                    make_scheduler_for_scenario(scheduler_name, options,
+                                                config.cells[cell]),
                     /*keep_series=*/false);
   });
   return result;

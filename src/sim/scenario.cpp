@@ -101,6 +101,7 @@ void validate(const ScenarioConfig& config) {
           "link model must be complete");
   validate(config.radio);
   validate(config.faults);
+  validate(config.forecast);
   if (config.faults.outage_rate_per_kslot > 0.0) {
     // The fault injector re-evaluates the Definition 3/4 fits at the fade
     // depth; both throw here if the depth falls outside their positive range

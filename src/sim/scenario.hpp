@@ -16,6 +16,7 @@
 #include "radio/radio_profile.hpp"
 #include "radio/signal_model.hpp"
 #include "sim/fault.hpp"
+#include "sim/forecast.hpp"
 
 namespace jstream {
 
@@ -79,6 +80,13 @@ struct ScenarioConfig {
   /// RNG streams independent of the endpoint streams, so enabling faults
   /// changes nothing about the channel or the content.
   FaultConfig faults;
+
+  /// Forecast error model for prediction-assisted schedulers (see
+  /// sim/forecast.hpp). Default: perfect forecasts. Like faults, the noise is
+  /// drawn on RNG streams independent of the endpoint streams, and an
+  /// inactive spec is the identity — it never alters the channel substrate,
+  /// only what a predictive scheduler believes about it.
+  ForecastErrorSpec forecast;
 
   /// Stop once every session has finished (plus a tail-flush margin) instead
   /// of idling to max_slots. Keeps metrics focused on session activity.

@@ -87,7 +87,8 @@ bool TraceKey::operator==(const TraceKey& other) const noexcept {
          same(gauss_markov, other.gauss_markov) && trace_hash == other.trace_hash &&
          link_fingerprint == other.link_fingerprint &&
          fault_fingerprint == other.fault_fingerprint &&
-         session_fingerprint == other.session_fingerprint;
+         session_fingerprint == other.session_fingerprint &&
+         forecast_fingerprint == other.forecast_fingerprint;
 }
 
 std::uint64_t trace_key_fingerprint(const TraceKey& key) noexcept {
@@ -111,6 +112,10 @@ std::uint64_t trace_key_fingerprint(const TraceKey& key) noexcept {
   fnv_mix(hash, key.link_fingerprint);
   fnv_mix(hash, key.fault_fingerprint);
   fnv_mix(hash, key.session_fingerprint);
+  // Post-format fields fold in only when active: an inactive forecast spec
+  // leaves the fingerprint — and therefore every existing TraceStore file
+  // name — byte-identical to the pre-field fold (see the header contract).
+  if (key.forecast_fingerprint != 0) fnv_mix(hash, key.forecast_fingerprint);
   return hash;
 }
 
@@ -139,6 +144,7 @@ TraceKey make_trace_key(const ScenarioConfig& config,
   key.link_fingerprint = link_fingerprint(config.link);
   key.fault_fingerprint = fault_fingerprint(config.faults);
   key.session_fingerprint = session_fingerprint;
+  key.forecast_fingerprint = forecast_fingerprint(config.forecast);
   return key;
 }
 

@@ -57,6 +57,13 @@ struct TraceKey {
   /// population slot, not the session occupying it — but the key isolates
   /// service-mode campaigns from batch ones.
   std::uint64_t session_fingerprint = 0;
+  /// forecast_fingerprint(config.forecast): 0 when the forecast error spec is
+  /// inactive (perfect forecasts share entries with prediction-free runs —
+  /// the matrices are identical and so is every scheduler's view of them).
+  /// A noisy spec isolates its campaign cells: forecast noise never alters
+  /// the matrices either, but two cells sweeping different error levels must
+  /// not serve each other's entries.
+  std::uint64_t forecast_fingerprint = 0;
 
   [[nodiscard]] bool operator==(const TraceKey& other) const noexcept;
 };
@@ -65,7 +72,10 @@ struct TraceKey {
 /// field. This is the fingerprint the persistent tier (TraceStore) names
 /// files by and stamps into trace-set headers, so its value is part of the
 /// on-disk contract — changing the fold invalidates every stored file (bump
-/// kTraceSetFileVersion if that ever becomes necessary).
+/// kTraceSetFileVersion if that ever becomes necessary). Fields added after
+/// the format shipped (forecast_fingerprint) fold in only when nonzero, so
+/// every pre-existing key — and every `.jst` file named from one — keeps its
+/// fingerprint byte-identical.
 [[nodiscard]] std::uint64_t trace_key_fingerprint(const TraceKey& key) noexcept;
 
 /// Hash functor for unordered_map<TraceKey, ...>.

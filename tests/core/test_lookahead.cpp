@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "sim/forecast.hpp"
+#include "sim/scenario.hpp"
 #include "test_helpers.hpp"
 #include "common/units.hpp"
 

@@ -2,6 +2,8 @@
 // fixed scenario set (benign and faulted) and its outcome digest — slot
 // count, energy split, rebuffering, delivered bytes, fairness, completion —
 // is compared against the checked-in tests/integration/golden_runs.csv.
+// The prediction-assisted EMA adds three rows of its own (benign, faulted,
+// and a stale-feedback case with a fault-tracking forecast error model).
 //
 // The digests pin the numerical behaviour of the whole pipeline (channel
 // generation, scheduling, fault injection, transmission, metrics): any
@@ -20,6 +22,7 @@
 
 #include "baselines/factory.hpp"
 #include "common/csv.hpp"
+#include "sim/experiment.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
@@ -55,6 +58,32 @@ std::vector<GoldenCase> golden_cases() {
   return {{"benign", benign}, {"faulted", faulted}};
 }
 
+/// Cases for the prediction-assisted scheduler: the two shared cases above
+/// plus a stale-feedback-heavy cell whose forecast error model tracks the
+/// fault windows (track_fault_staleness) with mild seeded Gaussian noise —
+/// the fault layer and the forecast window interacting is exactly what these
+/// digests pin. Predictive rows ride on the same CSV; the plain grid's rows
+/// stay byte-identical (the predictive scheduler never touches it).
+std::vector<GoldenCase> predictive_cases() {
+  std::vector<GoldenCase> cases = golden_cases();
+  ScenarioConfig stale = cases.front().config;
+  stale.faults.staleness_rate_per_kslot = 25.0;
+  stale.faults.staleness_min_slots = 5;
+  stale.faults.staleness_max_slots = 40;
+  stale.forecast.track_fault_staleness = true;
+  stale.forecast.sigma_dbm = 3.0;
+  cases.push_back({"stale", stale});
+  return cases;
+}
+
+/// The pinned predictive configuration for the golden rows: a horizon long
+/// enough that both deferral and crest credit fire on the 300-slot cases.
+SchedulerOptions predictive_golden_options() {
+  SchedulerOptions options;
+  options.ema_predictive.horizon_slots = 60;
+  return options;
+}
+
 const std::vector<std::string> kColumns = {
     "case",        "scheduler",  "slots_run",  "trans_mj", "tail_mj",
     "rebuffer_s",  "delivered_kb", "fairness", "completion"};
@@ -66,9 +95,12 @@ std::string fmt(double value) {
 }
 
 std::vector<std::string> digest_row(const GoldenCase& golden,
-                                    const std::string& scheduler) {
+                                    const std::string& scheduler,
+                                    const SchedulerOptions& options = {}) {
   const RunMetrics m =
-      simulate(golden.config, make_scheduler(scheduler), /*keep_series=*/true);
+      simulate(golden.config,
+               make_scheduler_for_scenario(scheduler, options, golden.config),
+               /*keep_series=*/true);
   double delivered_kb = 0.0;
   for (const UserTotals& user : m.per_user) delivered_kb += user.delivered_kb;
   return {golden.name,
@@ -103,12 +135,18 @@ TEST(GoldenRuns, EveryFactorySchedulerMatchesTheCheckedInDigests) {
   const std::vector<GoldenCase> cases = golden_cases();
   const std::vector<std::string> schedulers = scheduler_names();
 
+  const std::vector<GoldenCase> pred_cases = predictive_cases();
+  const SchedulerOptions pred_options = predictive_golden_options();
+
   if (std::getenv("GOLDEN_REGEN") != nullptr) {
     CsvWriter writer(JSTREAM_GOLDEN_CSV, kColumns);
     for (const GoldenCase& golden : cases) {
       for (const std::string& scheduler : schedulers) {
         writer.row(digest_row(golden, scheduler));
       }
+    }
+    for (const GoldenCase& golden : pred_cases) {
+      writer.row(digest_row(golden, "ema-predictive", pred_options));
     }
     GTEST_SKIP() << "GOLDEN_REGEN=1: rewrote " << JSTREAM_GOLDEN_CSV << " with "
                  << writer.rows_written() << " digests";
@@ -122,8 +160,10 @@ TEST(GoldenRuns, EveryFactorySchedulerMatchesTheCheckedInDigests) {
   for (const std::vector<std::string>& row : table.rows) {
     golden_rows[row[0] + "/" + row[1]] = row;
   }
-  ASSERT_EQ(golden_rows.size(), cases.size() * schedulers.size())
-      << "golden_runs.csv row set does not cover the case x scheduler grid";
+  ASSERT_EQ(golden_rows.size(),
+            cases.size() * schedulers.size() + pred_cases.size())
+      << "golden_runs.csv row set does not cover the case x scheduler grid "
+         "plus the predictive rows";
 
   for (const GoldenCase& golden : cases) {
     for (const std::string& scheduler : schedulers) {
@@ -136,6 +176,27 @@ TEST(GoldenRuns, EveryFactorySchedulerMatchesTheCheckedInDigests) {
       }
     }
   }
+  for (const GoldenCase& golden : pred_cases) {
+    const std::string key = golden.name + "/ema-predictive";
+    const auto it = golden_rows.find(key);
+    ASSERT_NE(it, golden_rows.end()) << "no golden row for " << key;
+    const std::vector<std::string> actual =
+        digest_row(golden, "ema-predictive", pred_options);
+    for (std::size_t col = 2; col < kColumns.size(); ++col) {
+      expect_cell_matches(it->second[col], actual[col], kColumns[col], key);
+    }
+  }
+}
+
+TEST(GoldenRuns, StaleCaseInteractsFaultsWithTheForecastWindow) {
+  // The stale predictive case must actually draw stale-feedback windows —
+  // that is the interaction its digest row pins (track_fault_staleness
+  // freezes the forecast across exactly those windows).
+  const GoldenCase stale = predictive_cases().back();
+  ASSERT_EQ(stale.name, "stale");
+  ASSERT_TRUE(stale.config.forecast.track_fault_staleness);
+  const FaultSchedule schedule = make_fault_schedule(stale.config);
+  EXPECT_GT(schedule.total_stale_slots(), 0);
 }
 
 TEST(GoldenRuns, FaultedCaseActuallyInjectsEveryFamily) {

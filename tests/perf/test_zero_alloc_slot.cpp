@@ -15,6 +15,7 @@
 #include "core/adaptive_rtma.hpp"
 #include "core/ema.hpp"
 #include "core/ema_fast.hpp"
+#include "core/predictive_ema.hpp"
 #include "core/rtma.hpp"
 #include "gateway/framework.hpp"
 #include "radio/link_model.hpp"
@@ -108,6 +109,30 @@ TEST(ZeroAllocSlot, EmaDpSteadyStateIsAllocationFree) {
 
 TEST(ZeroAllocSlot, EmaGreedySteadyStateIsAllocationFree) {
   EXPECT_EQ(steady_state_allocs(std::make_unique<EmaFastScheduler>()), 0u);
+}
+
+TEST(ZeroAllocSlot, PredictiveEmaSteadyStateIsAllocationFree) {
+  // The predictive slot path: adjust_costs reads the prebuilt price tables
+  // every slot (both terms fire — the forecast disagrees with the live
+  // constant signals, so some users see cheaper-ahead and some see
+  // below-mean). The lazy table build lands in the warm-up; the measured
+  // region must stay allocation-free.
+  std::vector<std::vector<double>> forecast(5, std::vector<double>(300));
+  const std::vector<double> levels = {-65.0, -75.0, -85.0, -95.0, -105.0};
+  for (std::size_t user = 0; user < forecast.size(); ++user) {
+    for (std::size_t slot = 0; slot < forecast[user].size(); ++slot) {
+      // A slow per-user zig-zag around the live level keeps the windowed
+      // minimum and the window mean strictly away from the current price.
+      forecast[user][slot] =
+          levels[user] + ((slot / 10 + user) % 2 == 0 ? 6.0 : -6.0);
+    }
+  }
+  PredictiveEmaConfig config;
+  config.horizon_slots = 40;
+  config.safety_margin_s = 0.0;  // let the deferral side engage too
+  EXPECT_EQ(steady_state_allocs(std::make_unique<PredictiveEmaScheduler>(
+                EmaConfig{}, config, std::move(forecast))),
+            0u);
 }
 
 TEST(ZeroAllocSlot, DefaultSchedulerSteadyStateIsAllocationFree) {
